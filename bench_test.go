@@ -1,0 +1,358 @@
+// Benchmarks regenerating every table and figure of the SGXGauge
+// paper (one Benchmark per experiment, reporting each experiment's
+// headline numbers as custom metrics), plus micro-benchmarks of the
+// simulation substrate itself.
+//
+// Experiment benchmarks share one cached Runner, so the first
+// iteration performs the simulated runs and later iterations are
+// cache hits; the interesting output is the reported metrics, which
+// mirror EXPERIMENTS.md.
+package sgxgauge_test
+
+import (
+	"sync"
+	"testing"
+
+	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/epc"
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/mee"
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// benchEPCPages is the simulated EPC scale used by the experiment
+// benchmarks (kept below the CLI default so the full bench suite runs
+// in a couple of minutes).
+const benchEPCPages = 192
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *harness.Runner
+)
+
+func runner() *harness.Runner {
+	benchRunnerOnce.Do(func() {
+		benchRunner = harness.NewRunner(benchEPCPages)
+		benchRunner.Seed = 1
+	})
+	return benchRunner
+}
+
+// BenchmarkTable2 regenerates the workload/settings inventory.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner().Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the EPC-stress motivation experiment.
+func BenchmarkFigure2(b *testing.B) {
+	var d *harness.Figure2Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = runner().Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.Overhead[workloads.High], "overhead-high-x")
+	b.ReportMetric(d.DTLBRatio[workloads.High], "dtlb-high-x")
+	b.ReportMetric(d.EvictRatio[workloads.High], "evict-vs-low-x")
+}
+
+// BenchmarkFigure3 regenerates the Lighttpd concurrency sweep.
+func BenchmarkFigure3(b *testing.B) {
+	var pts []harness.Figure3Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = runner().Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[len(pts)-1].Ratio, "latency-ratio-16c")
+}
+
+// BenchmarkFigure4 regenerates the LibOS-vs-Native comparison.
+func BenchmarkFigure4(b *testing.B) {
+	var rows []harness.Figure4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = runner().Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var min, max float64 = 1e9, 0
+	for _, r := range rows {
+		for _, s := range workloads.Sizes() {
+			if r.Ratio[s] < min {
+				min = r.Ratio[s]
+			}
+			if r.Ratio[s] > max {
+				max = r.Ratio[s]
+			}
+		}
+	}
+	b.ReportMetric(min, "libos-vs-native-min-x")
+	b.ReportMetric(max, "libos-vs-native-max-x")
+}
+
+// BenchmarkTable4 regenerates the headline overhead table.
+func BenchmarkTable4(b *testing.B) {
+	var d *harness.Table4Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = runner().Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.NativeVsVanilla.Overhead[workloads.Low], "native-low-x")
+	b.ReportMetric(d.NativeVsVanilla.Overhead[workloads.Medium], "native-medium-x")
+	b.ReportMetric(d.NativeVsVanilla.Overhead[workloads.High], "native-high-x")
+	b.ReportMetric(d.LibOSVsNative.Overhead[workloads.Medium], "libos-vs-native-x")
+}
+
+// BenchmarkFigure5 regenerates per-workload Native overheads and
+// evictions.
+func BenchmarkFigure5(b *testing.B) {
+	var rows []harness.Figure5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = runner().Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		if row.Name == "BTree" {
+			lo := float64(row.Evictions[workloads.Low])
+			if lo == 0 {
+				lo = 1
+			}
+			b.ReportMetric(float64(row.Evictions[workloads.Medium])/lo, "btree-evict-jump-x")
+		}
+	}
+}
+
+// BenchmarkFigure6a regenerates the empty-workload LibOS probe.
+func BenchmarkFigure6a(b *testing.B) {
+	var d *harness.Figure6aData
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = runner().Figure6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.ECalls), "ecalls")
+	b.ReportMetric(float64(d.OCalls), "ocalls")
+	b.ReportMetric(float64(d.AEXs), "aex")
+	b.ReportMetric(float64(d.EPCEvictions), "evictions")
+	b.ReportMetric(float64(d.EPCLoadBacks), "loadbacks")
+}
+
+// BenchmarkFigure6bc regenerates LibOS-mode overheads and load-backs.
+func BenchmarkFigure6bc(b *testing.B) {
+	var rows []harness.Figure6bcRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = runner().Figure6bc()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worst float64
+	for _, row := range rows {
+		if row.Overhead[workloads.High] > worst {
+			worst = row.Overhead[workloads.High]
+		}
+	}
+	b.ReportMetric(worst, "libos-worst-high-x")
+}
+
+// BenchmarkFigure6d regenerates the switchless comparison.
+func BenchmarkFigure6d(b *testing.B) {
+	var d *harness.Figure6dData
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = runner().Figure6d()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(d.SwitchlessLatency-d.DefaultLatency)/d.DefaultLatency, "latency-change-pct")
+	b.ReportMetric(100*(float64(d.SwitchlessDTLB)/float64(d.DefaultDTLB)-1), "dtlb-change-pct")
+}
+
+// BenchmarkFigure7 regenerates the SGX driver-operation latencies.
+func BenchmarkFigure7(b *testing.B) {
+	var rows []harness.Figure7Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = runner().Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		switch row.Op {
+		case epc.OpEWB:
+			b.ReportMetric(row.MeanUS, "ewb-us")
+		case epc.OpELDU:
+			b.ReportMetric(row.MeanUS, "eldu-us")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the Native-mode counter heat map.
+func BenchmarkFigure8(b *testing.B) {
+	var d *harness.Figure8Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = runner().Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.Ratio["Blockchain"][workloads.Low][perf.DTLBMisses], "blockchain-dtlb-x")
+}
+
+// BenchmarkTable5 regenerates the counter-importance regressions.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner().Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the EPC activity timelines.
+func BenchmarkFigure9(b *testing.B) {
+	var d *harness.Figure9Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = runner().Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.LibOS[len(d.LibOS)-1].Evictions), "libos-evictions")
+	b.ReportMetric(float64(d.Native[len(d.Native)-1].Evictions), "native-evictions")
+}
+
+// BenchmarkFigure10 regenerates the Iozone protected-files comparison.
+func BenchmarkFigure10(b *testing.B) {
+	var rows []harness.Figure10Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = runner().Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	van, lib, pf := rows[0], rows[1], rows[2]
+	b.ReportMetric(100*(lib.PhaseCycles["read"]/van.PhaseCycles["read"]-1), "libos-read-ovh-pct")
+	b.ReportMetric(100*(pf.PhaseCycles["read"]/van.PhaseCycles["read"]-1), "pf-read-ovh-pct")
+	b.ReportMetric(100*(pf.PhaseCycles["write"]/van.PhaseCycles["write"]-1), "pf-write-ovh-pct")
+}
+
+// --- substrate micro-benchmarks (real wall-clock performance of the
+// simulator itself) ---
+
+// BenchmarkMEESealPage measures sealing one 4 KiB page (AES-CTR +
+// HMAC-SHA-256).
+func BenchmarkMEESealPage(b *testing.B) {
+	e := mee.New(1)
+	var f mem.Frame
+	id := mem.PageID{Enclave: 1, VPN: 7}
+	b.SetBytes(mem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.SealPage(id, uint64(i+1), &f)
+	}
+}
+
+// BenchmarkEPCFaultLoadBack measures a full evict/load-back cycle.
+func BenchmarkEPCFaultLoadBack(b *testing.B) {
+	counters := &perf.Counters{}
+	e := epc.New(32, mee.New(1), mem.NewBackingStore(), counters)
+	clk := &cycles.Clock{}
+	costs := cycles.DefaultCosts()
+	// Over-subscribe so every round-robin touch faults.
+	ids := make([]mem.PageID, 64)
+	for i := range ids {
+		ids[i] = mem.PageID{Enclave: 1, VPN: uint64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%len(ids)]
+		if _, ok := e.Lookup(id); !ok {
+			if _, _, err := e.Fault(clk, &costs, id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSpaceReadU64 measures one simulated 8-byte enclave read
+// through the full dTLB/LLC/EPC path.
+func BenchmarkSpaceReadU64(b *testing.B) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 256})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 200); err != nil {
+		b.Fatal(err)
+	}
+	addr := env.MustAlloc(64*mem.PageSize, mem.PageSize)
+	tr := env.Main
+	tr.Memset(addr, 0, 64*mem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ReadU64(addr + uint64(i%(64*mem.PageSize/8))*8)
+	}
+}
+
+// BenchmarkECall measures one simulated enclave transition round trip.
+func BenchmarkECall(b *testing.B) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 64})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 32); err != nil {
+		b.Fatal(err)
+	}
+	tr := env.Main
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ECall(func() {})
+	}
+}
+
+// BenchmarkWorkloadBTreeNative measures one full B-Tree Native run at
+// a small scale (end-to-end simulator throughput).
+func BenchmarkWorkloadBTreeNative(b *testing.B) {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Run(harness.Spec{
+			Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: 96, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

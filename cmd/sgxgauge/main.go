@@ -1,0 +1,187 @@
+// Command sgxgauge runs individual SGXGauge workloads on the simulated
+// SGX machine and reports run time and performance counters.
+//
+// Usage:
+//
+//	sgxgauge list
+//	sgxgauge run -workload BTree [-mode Native] [-size Medium]
+//	              [-epc pages] [-seed n] [-switchless] [-pf] [-counters]
+//	sgxgauge ops [-epc pages]
+//
+// "list" prints the suite; "run" executes one workload; "ops" reports
+// the latencies of the core SGX driver operations (Figure 7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "run":
+		cmdRun(os.Args[2:])
+	case "ops":
+		cmdOps(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
+	case "sweep":
+		cmdSweep(os.Args[2:])
+	case "recommend":
+		cmdRecommend(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sgxgauge list
+  sgxgauge run   -workload <name> [-mode Vanilla|Native|LibOS] [-size Low|Medium|High]
+                 [-epc pages] [-seed n] [-switchless] [-pf] [-counters]
+  sgxgauge ops   [-epc pages]
+  sgxgauge trace -workload <name> [-mode ...] [-size ...] [-epc pages] [-csv]
+  sgxgauge sweep [-epc list] [-workloads list] [-mode ...] [-size ...]
+  sgxgauge recommend -component epc|transitions|mee|syscalls [-epc pages]`)
+}
+
+func cmdList() {
+	fmt.Printf("%-12s %-22s %s\n", "Workload", "Property", "Modes")
+	for _, w := range suite.All() {
+		modes := "Vanilla, LibOS"
+		if w.NativePort() {
+			modes = "Vanilla, Native, LibOS"
+		}
+		fmt.Printf("%-12s %-22s %s\n", w.Name(), w.Property(), modes)
+	}
+	fmt.Printf("%-12s %-22s %s\n", "Empty", suite.Empty().Property(), "Vanilla, Native, LibOS")
+	fmt.Printf("%-12s %-22s %s\n", "Iozone", suite.Iozone().Property(), "Vanilla, LibOS")
+}
+
+func parseMode(s string) (sgx.Mode, error) {
+	switch s {
+	case "Vanilla", "vanilla":
+		return sgx.Vanilla, nil
+	case "Native", "native":
+		return sgx.Native, nil
+	case "LibOS", "libos":
+		return sgx.LibOS, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want Vanilla, Native or LibOS)", s)
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "Low", "low":
+		return workloads.Low, nil
+	case "Medium", "medium":
+		return workloads.Medium, nil
+	case "High", "high":
+		return workloads.High, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (want Low, Medium or High)", s)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("workload", "", "workload name (see 'sgxgauge list')")
+	modeStr := fs.String("mode", "Vanilla", "execution mode")
+	sizeStr := fs.String("size", "Medium", "input setting")
+	epcPages := fs.Int("epc", sgx.DefaultEPCPages, "EPC size in pages")
+	seed := fs.Int64("seed", 1, "random seed")
+	switchless := fs.Bool("switchless", false, "enable switchless OCALLs")
+	pf := fs.Bool("pf", false, "enable LibOS protected files")
+	showCounters := fs.Bool("counters", false, "print all performance counters")
+	fs.Parse(args)
+
+	if *name == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	w, err := suite.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := harness.Run(harness.Spec{
+		Workload:       w,
+		Mode:           mode,
+		Size:           size,
+		EPCPages:       *epcPages,
+		Seed:           *seed,
+		Switchless:     *switchless,
+		ProtectedFiles: *pf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload:  %s (%s, %s mode)\n", res.Name, size, mode)
+	fmt.Printf("settings:  %v\n", res.Params.Knobs)
+	fmt.Printf("run time:  %v (%d cycles)\n", cycles.Duration(res.Cycles), res.Cycles)
+	if res.StartupCycles > 0 {
+		fmt.Printf("startup:   %v (excluded)\n", cycles.Duration(res.StartupCycles))
+	}
+	fmt.Printf("checksum:  %#x\n", res.Output.Checksum)
+	fmt.Printf("ops:       %d\n", res.Output.Ops)
+	if res.Output.MeanLatency > 0 {
+		fmt.Printf("latency:   %.1f us mean\n", cycles.Micros(uint64(res.Output.MeanLatency)))
+	}
+	key := []perf.Event{
+		perf.DTLBMisses, perf.WalkCycles, perf.StallCycles, perf.LLCMisses,
+		perf.PageFaults, perf.EPCEvictions, perf.EPCLoadBacks,
+		perf.ECalls, perf.OCalls, perf.AEXs,
+	}
+	fmt.Println("counters (measured portion):")
+	for _, e := range key {
+		fmt.Printf("  %-16s %d\n", e.String(), res.Counters.Get(e))
+	}
+	if *showCounters {
+		fmt.Println("all counters:")
+		for _, e := range perf.Events() {
+			fmt.Printf("  %-16s %d\n", e.String(), res.Counters.Get(e))
+		}
+	}
+}
+
+func cmdOps(args []string) {
+	fs := flag.NewFlagSet("ops", flag.ExitOnError)
+	epcPages := fs.Int("epc", sgx.DefaultEPCPages, "EPC size in pages")
+	fs.Parse(args)
+
+	r := harness.NewRunner(*epcPages)
+	r.Seed = 1
+	rows, err := r.Figure7()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(harness.RenderFigure7(rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sgxgauge: %v\n", err)
+	os.Exit(1)
+}

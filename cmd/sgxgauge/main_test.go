@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]sgx.Mode{
+		"Vanilla": sgx.Vanilla, "vanilla": sgx.Vanilla,
+		"Native": sgx.Native, "native": sgx.Native,
+		"LibOS": sgx.LibOS, "libos": sgx.LibOS,
+	}
+	for in, want := range cases {
+		got, err := parseMode(in)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseMode("SIM"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]workloads.Size{
+		"Low": workloads.Low, "low": workloads.Low,
+		"Medium": workloads.Medium, "medium": workloads.Medium,
+		"High": workloads.High, "high": workloads.High,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSize("XL"); err == nil {
+		t.Error("unknown size accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/sgx"
+)
+
+// cmdRecommend implements the Appendix C workflow: given the SGX
+// component a proposal targets, rank the suite's workloads by how hard
+// they stress it.
+func cmdRecommend(args []string) {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	component := fs.String("component", "", "SGX component to stress (epc, transitions, mee, syscalls)")
+	epcPages := fs.Int("epc", sgx.DefaultEPCPages, "EPC size in pages")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	if *component == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	c, err := harness.ParseComponent(*component)
+	if err != nil {
+		fatal(err)
+	}
+	r := harness.NewRunner(*epcPages)
+	r.Seed = *seed
+	recs, err := r.Recommend(c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(harness.RenderRecommendations(c, recs))
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// cmdSweep runs a (workload x EPC size) grid in one mode/size and
+// emits a CSV of run times and key counters — the raw material for
+// sensitivity plots (how does each workload's overhead move as the
+// EPC grows?).
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	epcList := fs.String("epc", "128,256,512", "comma-separated EPC sizes in pages")
+	wlList := fs.String("workloads", "BTree,HashJoin,BFS", "comma-separated workload names")
+	modeStr := fs.String("mode", "Native", "execution mode")
+	sizeStr := fs.String("size", "Medium", "input setting")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var epcs []int
+	for _, s := range strings.Split(*epcList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("bad EPC size %q", s))
+		}
+		epcs = append(epcs, v)
+	}
+
+	fmt.Println("workload,mode,size,epc_pages,cycles,overhead_vs_vanilla,dtlb_misses,page_faults,epc_evictions,epc_loadbacks")
+	for _, name := range strings.Split(*wlList, ",") {
+		w, err := suite.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		if mode == sgx.Native && !w.NativePort() {
+			fmt.Fprintf(os.Stderr, "sgxgauge: skipping %s (no Native port)\n", w.Name())
+			continue
+		}
+		for _, epc := range epcs {
+			res, err := harness.Run(harness.Spec{Workload: w, Mode: mode, Size: size, EPCPages: epc, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			van, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.Vanilla, Size: size, EPCPages: epc, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s,%s,%s,%d,%d,%.3f,%d,%d,%d,%d\n",
+				w.Name(), mode, size, epc, res.Cycles,
+				harness.Overhead(res, van),
+				res.Counters.Get(perf.DTLBMisses),
+				res.Counters.Get(perf.PageFaults),
+				res.Counters.Get(perf.EPCEvictions),
+				res.Counters.Get(perf.EPCLoadBacks))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/trace"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// cmdTrace runs one workload with an sgx-perf-style event collector
+// attached and prints a per-event summary (or the raw CSV stream).
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	name := fs.String("workload", "", "workload name (see 'sgxgauge list')")
+	modeStr := fs.String("mode", "Native", "execution mode")
+	sizeStr := fs.String("size", "Medium", "input setting")
+	epcPages := fs.Int("epc", sgx.DefaultEPCPages, "EPC size in pages")
+	seed := fs.Int64("seed", 1, "random seed")
+	csv := fs.Bool("csv", false, "dump raw events as CSV instead of the summary")
+	keep := fs.Int("keep", 100000, "max raw events retained for -csv")
+	fs.Parse(args)
+
+	if *name == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	w, err := suite.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	collector := trace.New(*keep)
+	res, err := harness.Run(harness.Spec{
+		Workload:  w,
+		Mode:      mode,
+		Size:      size,
+		EPCPages:  *epcPages,
+		Seed:      *seed,
+		OnMachine: collector.Attach,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csv {
+		fmt.Print(collector.CSV())
+		return
+	}
+	fmt.Printf("trace of %s (%s, %s mode), run time %d cycles\n\n", res.Name, size, mode, res.Cycles)
+	fmt.Print(collector.Summary())
+}

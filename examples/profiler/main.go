@@ -1,0 +1,53 @@
+// Profiler demonstrates the sgx-perf/TEEMon-style tooling the paper
+// surveys (§3.1.2): it attaches the event collector to a run of the
+// EPC-stressing B-Tree workload, prints the per-event profile, and
+// then demonstrates the §3.2.1 multi-enclave interference effect —
+// several individually-small enclaves thrash a shared EPC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/trace"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+func main() {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("profiler: B-Tree, Native mode, High (EPC-thrashing) setting")
+	fmt.Println()
+
+	collector := trace.New(50000)
+	res, err := harness.Run(harness.Spec{
+		Workload:  w,
+		Mode:      sgx.Native,
+		Size:      workloads.High,
+		Seed:      1,
+		OnMachine: collector.Attach,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run time: %d cycles, checksum %#x\n\n", res.Cycles, res.Output.Checksum)
+	fmt.Print(collector.Summary())
+
+	fmt.Println()
+	fmt.Println("multi-enclave interference (paper §3.2.1): each instance uses")
+	fmt.Println("~35% of the EPC, so four or more no longer fit together:")
+	fmt.Println()
+
+	r := harness.NewRunner(sgx.DefaultEPCPages)
+	points, err := r.MultiEnclave([]int{1, 2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(harness.RenderMultiEnclave(points, sgx.DefaultEPCPages))
+}

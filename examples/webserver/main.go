@@ -1,0 +1,68 @@
+// Webserver reproduces the paper's two headline web-serving
+// experiments interactively: the Figure 3 latency blow-up of a
+// Lighttpd-style server under SGX as client concurrency grows, and the
+// Figure 6d rescue via switchless OCALLs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+func main() {
+	w, err := suite.ByName("Lighttpd")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("webserver: Lighttpd under closed-loop ab-style load")
+	fmt.Println()
+	fmt.Printf("%-8s %-22s %-22s %s\n", "clients", "Vanilla latency", "SGX (LibOS) latency", "ratio")
+
+	for _, clients := range []int{1, 2, 4, 8, 16} {
+		params := w.DefaultParams(sgx.DefaultEPCPages, workloads.Medium)
+		params.Threads = clients
+		van, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.Vanilla, Params: &params, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.LibOS, Params: &params, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-22s %-22s %.2fx\n",
+			clients,
+			fmt.Sprintf("%.1f us", cycles.Micros(uint64(van.Output.MeanLatency))),
+			fmt.Sprintf("%.1f us", cycles.Micros(uint64(lib.Output.MeanLatency))),
+			lib.Output.MeanLatency/van.Output.MeanLatency)
+	}
+
+	fmt.Println()
+	fmt.Println("switchless OCALLs at 16 clients (proxy threads answer syscalls")
+	fmt.Println("without leaving the enclave, so no TLB flush per request):")
+
+	def, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Seed: 1, Switchless: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  default:    %.1f us mean, %d dTLB misses, %d OCALLs\n",
+		cycles.Micros(uint64(def.Output.MeanLatency)),
+		def.Counters.Get(perf.DTLBMisses), def.Counters.Get(perf.OCalls))
+	fmt.Printf("  switchless: %.1f us mean, %d dTLB misses, %d switchless calls\n",
+		cycles.Micros(uint64(sw.Output.MeanLatency)),
+		sw.Counters.Get(perf.DTLBMisses), sw.Counters.Get(perf.SwitchlessCalls))
+	fmt.Printf("  latency change: %+.0f%%, dTLB misses change: %+.0f%%\n",
+		100*(sw.Output.MeanLatency-def.Output.MeanLatency)/def.Output.MeanLatency,
+		100*(float64(sw.Counters.Get(perf.DTLBMisses))-float64(def.Counters.Get(perf.DTLBMisses)))/float64(def.Counters.Get(perf.DTLBMisses)))
+}

@@ -1,0 +1,3 @@
+module sgxgauge
+
+go 1.22

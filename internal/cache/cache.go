@@ -1,0 +1,124 @@
+// Package cache implements the set-associative last-level cache model
+// of the simulated machine.
+//
+// The model tracks tags only (data lives in the page frames); its job
+// is to classify each memory access as an LLC hit or miss so the cycle
+// model can charge DRAM latency — and, for EPC-resident lines, the
+// additional MEE encryption/decryption latency (paper §2.2: "data is
+// decrypted when brought in to the LLC upon a CPU request").
+package cache
+
+import "fmt"
+
+// LLC is a set-associative cache of line tags with round-robin
+// replacement within a set. It is not safe for concurrent use; the
+// machine serializes simulated threads.
+type LLC struct {
+	sets    int
+	ways    int
+	setMask uint64
+	tags    []uint64 // sets*ways entries; 0 means invalid
+	next    []uint8  // per-set round-robin pointer
+	hits    uint64
+	misses  uint64
+}
+
+// NewLLC builds a cache of totalBytes capacity with the given
+// associativity and 64-byte lines. totalBytes is rounded down to a
+// power-of-two set count; the resulting geometry is available through
+// Sets and Ways. It panics if the geometry is degenerate.
+func NewLLC(totalBytes int, ways int) *LLC {
+	if ways <= 0 || ways > 255 {
+		panic(fmt.Sprintf("cache: invalid ways %d", ways))
+	}
+	lines := totalBytes / 64
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &LLC{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		next:    make([]uint8, sets),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *LLC) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *LLC) Ways() int { return c.ways }
+
+// SizeBytes returns the modeled capacity in bytes.
+func (c *LLC) SizeBytes() int { return c.sets * c.ways * 64 }
+
+// Access looks up the cache line containing lineAddr (a line number,
+// i.e. byte address / 64) and returns true on a hit. On a miss the
+// line is installed, evicting the round-robin victim of its set.
+func (c *LLC) Access(line uint64) bool {
+	// Tag 0 marks an invalid slot, so bias stored tags by 1.
+	tag := line + 1
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.tags[base+i] == tag {
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	v := int(c.next[set])
+	c.tags[base+v] = tag
+	c.next[set] = uint8((v + 1) % c.ways)
+	return false
+}
+
+// InvalidateRange removes n consecutive lines starting at line from
+// the cache (used when an EPC page is encrypted out to DRAM).
+func (c *LLC) InvalidateRange(line uint64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		tag := line + i + 1
+		base := int((line+i)&c.setMask) * c.ways
+		for w := 0; w < c.ways; w++ {
+			if c.tags[base+w] == tag {
+				c.tags[base+w] = 0
+				break
+			}
+		}
+	}
+}
+
+// EvictEveryNth invalidates every n-th line slot, starting at phase
+// mod n. It models the cache pollution of one enclave transition: the
+// kernel/microcode path displaces roughly 1/n of the cache, spread
+// across sets. The rotating phase keeps repeated transitions from
+// always sparing the same slots.
+func (c *LLC) EvictEveryNth(n uint64, phase uint64) {
+	if n == 0 {
+		return
+	}
+	for i := int(phase % n); i < len(c.tags); i += int(n) {
+		c.tags[i] = 0
+	}
+}
+
+// Flush invalidates the entire cache.
+func (c *LLC) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	for i := range c.next {
+		c.next[i] = 0
+	}
+}
+
+// Stats returns cumulative hits and misses since construction.
+func (c *LLC) Stats() (hits, misses uint64) { return c.hits, c.misses }

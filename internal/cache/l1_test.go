@@ -1,0 +1,69 @@
+package cache
+
+import "testing"
+
+func TestL1MissThenHit(t *testing.T) {
+	c := NewL1(4 * 1024)
+	if c.Access(77) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(77) {
+		t.Fatal("warm access missed")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestL1DirectMappedConflict(t *testing.T) {
+	c := NewL1(64 * 64) // 64 lines
+	lines := uint64(c.Lines())
+	c.Access(0)
+	c.Access(lines) // same slot, evicts line 0
+	if c.Access(0) {
+		t.Error("conflict victim still resident")
+	}
+}
+
+func TestL1InvalidateRange(t *testing.T) {
+	c := NewL1(16 * 1024)
+	for i := uint64(0); i < 64; i++ {
+		c.Access(100 + i)
+	}
+	c.InvalidateRange(100, 64)
+	for i := uint64(0); i < 64; i++ {
+		if c.Access(100 + i) {
+			t.Fatalf("line %d survived invalidation", 100+i)
+		}
+	}
+}
+
+func TestL1InvalidateLeavesOthers(t *testing.T) {
+	c := NewL1(16 * 1024)
+	c.Access(3)
+	c.InvalidateRange(1000, 4)
+	if !c.Access(3) {
+		t.Error("unrelated line invalidated")
+	}
+}
+
+func TestL1Flush(t *testing.T) {
+	c := NewL1(16 * 1024)
+	c.Access(5)
+	c.Flush()
+	if c.Access(5) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestL1MinimumSize(t *testing.T) {
+	c := NewL1(1)
+	if c.Lines() != 1 {
+		t.Errorf("Lines = %d", c.Lines())
+	}
+	c.Access(9)
+	if !c.Access(9) {
+		t.Error("single-line cache broken")
+	}
+}

@@ -1,0 +1,60 @@
+package cycles
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Cycles() != 0 {
+		t.Fatalf("new clock reads %d, want 0", c.Cycles())
+	}
+	c.Advance(100)
+	c.Advance(23)
+	if got := c.Cycles(); got != 123 {
+		t.Fatalf("clock reads %d, want 123", got)
+	}
+	c.Reset()
+	if c.Cycles() != 0 {
+		t.Fatalf("reset clock reads %d, want 0", c.Cycles())
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	// One second of cycles at the nominal frequency.
+	d := Duration(uint64(Frequency))
+	if d != time.Second {
+		t.Fatalf("Duration(freq) = %v, want 1s", d)
+	}
+	if us := Micros(3800); us < 0.99 || us > 1.01 {
+		t.Fatalf("Micros(3800) = %v, want ~1.0", us)
+	}
+}
+
+func TestDefaultCostsCalibration(t *testing.T) {
+	c := DefaultCosts()
+	// Paper section 2.2: evicting a page takes ~12,000 cycles.
+	if c.EWBPage != 12000 {
+		t.Errorf("EWBPage = %d, want 12000 (paper calibration)", c.EWBPage)
+	}
+	// Paper appendix A: EWB is ~16% more expensive than ELDU.
+	ratio := float64(c.EWBPage) / float64(c.ELDUPage)
+	if ratio < 1.10 || ratio > 1.25 {
+		t.Errorf("EWB/ELDU ratio = %.3f, want ~1.16", ratio)
+	}
+	// Weisse et al.: an ECALL round trip is ~17,000 cycles.
+	if rt := c.ECallEnter + c.ECallExit; rt != 17000 {
+		t.Errorf("ECALL round trip = %d, want 17000", rt)
+	}
+	// A switchless call must be far cheaper than a real OCALL, or
+	// section 5.6 makes no sense.
+	if c.SwitchlessCall*4 > c.OCallExit {
+		t.Errorf("switchless call (%d) is not clearly cheaper than an OCALL exit (%d)", c.SwitchlessCall, c.OCallExit)
+	}
+	// The MEE charge applies on top of DRAM; both must be nonzero
+	// for the encryption overhead to exist.
+	if c.MEELine == 0 || c.DRAMAccess == 0 {
+		t.Error("MEELine and DRAMAccess must be nonzero")
+	}
+}

@@ -1,0 +1,113 @@
+// Package enclave models the software-visible state of one SGX
+// enclave: its identity, virtual address range, launch-time
+// measurement, and in-enclave heap.
+//
+// The expensive parts of an enclave's life — paging its contents
+// through the EPC, transitions, TLB flushes — are driven by the
+// machine (package sgx); this package holds the bookkeeping.
+package enclave
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sgxgauge/internal/mem"
+)
+
+// ErrOutOfMemory is returned when an allocation does not fit in the
+// enclave's declared size.
+var ErrOutOfMemory = errors.New("enclave: heap exhausted (enclave size exceeded)")
+
+// Enclave is one trusted execution environment instance.
+type Enclave struct {
+	// ID is the machine-assigned enclave identity (EPCM owner field).
+	ID uint32
+	// Base is the first virtual address of the enclave range.
+	Base uint64
+	// SizePages is the declared enclave size. SGX loads this many
+	// pages through the EPC at launch to compute the measurement
+	// (paper §3.2.1, Appendix D).
+	SizePages int
+	// Measurement is the SHA-256 launch measurement (MRENCLAVE
+	// analogue) computed over every page added at build time.
+	Measurement [32]byte
+
+	heapNext uint64
+	hash     [32]byte // running measurement state (chained SHA-256)
+	launched bool
+}
+
+// New creates an un-launched enclave covering
+// [base, base+SizePages*PageSize).
+func New(id uint32, base uint64, sizePages int) *Enclave {
+	if sizePages <= 0 {
+		panic(fmt.Sprintf("enclave: invalid size %d pages", sizePages))
+	}
+	e := &Enclave{ID: id, Base: base, SizePages: sizePages, heapNext: base}
+	e.hash = sha256.Sum256([]byte("sgxgauge-enclave-init"))
+	return e
+}
+
+// Limit returns the first address past the enclave range.
+func (e *Enclave) Limit() uint64 {
+	return e.Base + uint64(e.SizePages)*mem.PageSize
+}
+
+// Contains reports whether addr falls inside the enclave range.
+func (e *Enclave) Contains(addr uint64) bool {
+	return addr >= e.Base && addr < e.Limit()
+}
+
+// PageID returns the EPC page identity for the page containing addr.
+func (e *Enclave) PageID(addr uint64) mem.PageID {
+	return mem.PageID{Enclave: e.ID, VPN: mem.PageNumber(addr)}
+}
+
+// ExtendMeasurement folds one added page into the launch measurement
+// (the EEXTEND step). The machine calls this once per page while
+// building the enclave.
+func (e *Enclave) ExtendMeasurement(vpn uint64, f *mem.Frame) {
+	h := sha256.New()
+	h.Write(e.hash[:])
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], vpn)
+	h.Write(hdr[:])
+	h.Write(f.Data[:])
+	copy(e.hash[:], h.Sum(nil))
+}
+
+// FinishLaunch seals the measurement; further ExtendMeasurement calls
+// are a bug.
+func (e *Enclave) FinishLaunch() {
+	if e.launched {
+		panic("enclave: FinishLaunch called twice")
+	}
+	e.Measurement = e.hash
+	e.launched = true
+}
+
+// Launched reports whether the enclave finished its build phase.
+func (e *Enclave) Launched() bool { return e.launched }
+
+// Alloc reserves n bytes from the enclave heap with the given
+// alignment (which must be a power of two; 0 means 8). Memory is
+// demand-paged: no EPC pages are consumed until first touch.
+func (e *Enclave) Alloc(n uint64, align uint64) (uint64, error) {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("enclave: alignment %d is not a power of two", align)
+	}
+	addr := (e.heapNext + align - 1) &^ (align - 1)
+	if addr+n > e.Limit() || addr+n < addr {
+		return 0, ErrOutOfMemory
+	}
+	e.heapNext = addr + n
+	return addr, nil
+}
+
+// HeapUsed returns the number of heap bytes reserved so far.
+func (e *Enclave) HeapUsed() uint64 { return e.heapNext - e.Base }

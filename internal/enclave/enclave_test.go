@@ -1,0 +1,136 @@
+package enclave
+
+import (
+	"testing"
+
+	"sgxgauge/internal/mem"
+)
+
+func TestAddressRange(t *testing.T) {
+	e := New(1, 0x7000_0000_0000, 16)
+	if e.Limit() != 0x7000_0000_0000+16*mem.PageSize {
+		t.Errorf("Limit = %#x", e.Limit())
+	}
+	if !e.Contains(e.Base) || !e.Contains(e.Limit()-1) {
+		t.Error("range excludes its own pages")
+	}
+	if e.Contains(e.Base-1) || e.Contains(e.Limit()) {
+		t.Error("range includes foreign addresses")
+	}
+}
+
+func TestPageID(t *testing.T) {
+	e := New(7, 0x7000_0000_0000, 16)
+	id := e.PageID(e.Base + 5000)
+	if id.Enclave != 7 {
+		t.Errorf("owner = %d", id.Enclave)
+	}
+	if id.VPN != (e.Base+5000)>>12 {
+		t.Errorf("vpn = %#x", id.VPN)
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with size 0 did not panic")
+		}
+	}()
+	New(1, 0, 0)
+}
+
+func TestHeapAllocation(t *testing.T) {
+	e := New(1, 0x1000_0000, 4)
+	a, err := e.Alloc(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != e.Base {
+		t.Errorf("first alloc at %#x, want base %#x", a, e.Base)
+	}
+	b, err := e.Alloc(100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b%64 != 0 {
+		t.Errorf("alloc not aligned: %#x", b)
+	}
+	if b < a+100 {
+		t.Error("allocations overlap")
+	}
+	if e.HeapUsed() == 0 {
+		t.Error("HeapUsed = 0")
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	e := New(1, 0x1000_0000, 2)
+	if _, err := e.Alloc(3*mem.PageSize, 0); err != ErrOutOfMemory {
+		t.Errorf("oversized alloc: err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := e.Alloc(2*mem.PageSize, 0); err != nil {
+		t.Errorf("exact-fit alloc failed: %v", err)
+	}
+	if _, err := e.Alloc(1, 0); err != ErrOutOfMemory {
+		t.Errorf("post-exhaustion alloc: err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestAllocBadAlignment(t *testing.T) {
+	e := New(1, 0x1000_0000, 4)
+	if _, err := e.Alloc(8, 3); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+}
+
+func TestMeasurementDeterministicAndSensitive(t *testing.T) {
+	build := func(poison bool) [32]byte {
+		e := New(1, 0, 4)
+		for vpn := uint64(0); vpn < 4; vpn++ {
+			var f mem.Frame
+			f.Data[0] = byte(vpn)
+			if poison && vpn == 2 {
+				f.Data[100] = 0xFF
+			}
+			e.ExtendMeasurement(vpn, &f)
+		}
+		e.FinishLaunch()
+		return e.Measurement
+	}
+	a, b := build(false), build(false)
+	if a != b {
+		t.Fatal("measurement is not deterministic")
+	}
+	if c := build(true); c == a {
+		t.Fatal("measurement ignores page content (tampered binary would pass)")
+	}
+}
+
+func TestMeasurementOrderSensitive(t *testing.T) {
+	var f mem.Frame
+	e1 := New(1, 0, 4)
+	e1.ExtendMeasurement(0, &f)
+	e1.ExtendMeasurement(1, &f)
+	e1.FinishLaunch()
+	e2 := New(1, 0, 4)
+	e2.ExtendMeasurement(1, &f)
+	e2.ExtendMeasurement(0, &f)
+	e2.FinishLaunch()
+	if e1.Measurement == e2.Measurement {
+		t.Error("measurement ignores page order")
+	}
+}
+
+func TestDoubleFinishLaunchPanics(t *testing.T) {
+	e := New(1, 0, 4)
+	e.FinishLaunch()
+	if !e.Launched() {
+		t.Error("Launched() false after FinishLaunch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double FinishLaunch did not panic")
+		}
+	}()
+	e.FinishLaunch()
+}

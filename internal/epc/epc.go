@@ -1,0 +1,447 @@
+// Package epc implements the Enclave Page Cache of the simulated SGX
+// machine: a bounded pool of protected page frames, the EPCM metadata
+// table, CLOCK-based eviction with 16-page batches, and the four
+// driver-level operations the paper instruments (sgx_alloc_page,
+// sgx_ewb, sgx_eldu, sgx_do_fault — Appendix A).
+//
+// Pages evicted from the EPC are genuinely encrypted and MACed by the
+// MEE and parked in the untrusted backing store; load-backs decrypt
+// and integrity-check them. The EPC-fault storms that dominate the
+// paper's evaluation are emergent behaviour of this bounded cache.
+package epc
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/mee"
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/perf"
+)
+
+// BatchEvictPages is how many pages one eviction pass writes back.
+// "SGX evicts pages in a batch that is typically 16 pages" (paper
+// Appendix A).
+const BatchEvictPages = 16
+
+// Op identifies one of the instrumented driver operations.
+type Op int
+
+// The four operations of Figure 7.
+const (
+	OpAlloc Op = iota
+	OpEWB
+	OpELDU
+	OpFault
+	numOps
+)
+
+// String returns the driver function name used in the paper.
+func (o Op) String() string {
+	switch o {
+	case OpAlloc:
+		return "sgx_alloc_page"
+	case OpEWB:
+		return "sgx_ewb"
+	case OpELDU:
+		return "sgx_eldu"
+	case OpFault:
+		return "sgx_do_fault"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// OpStats accumulates latency samples for one operation.
+type OpStats struct {
+	Samples uint64
+	Cycles  uint64
+	Min     uint64
+	Max     uint64
+}
+
+// MeanCycles returns the mean latency in cycles, or 0 with no samples.
+func (s OpStats) MeanCycles() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Samples)
+}
+
+// MeanMicros returns the mean latency in microseconds.
+func (s OpStats) MeanMicros() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return cycles.Micros(s.Cycles) / float64(s.Samples)
+}
+
+func (s *OpStats) add(c uint64) {
+	s.Samples++
+	s.Cycles += c
+	if s.Min == 0 || c < s.Min {
+		s.Min = c
+	}
+	if c > s.Max {
+		s.Max = c
+	}
+}
+
+// TimelineEvent is one sampled point for Figure 9: cumulative EPC
+// activity at a given simulated cycle stamp.
+type TimelineEvent struct {
+	Cycle     uint64
+	Allocs    uint64
+	Evictions uint64
+	LoadBacks uint64
+}
+
+// EPCMEntry mirrors the fields of the hardware Enclave Page Cache Map
+// the paper describes in §2.3: for each EPC page, its owner enclave
+// and the virtual address it was allocated for. These are checked when
+// a TLB entry for the page is installed.
+type EPCMEntry struct {
+	Owner uint32
+	VPN   uint64
+	Valid bool
+}
+
+type slot struct {
+	id         mem.PageID
+	frame      *mem.Frame
+	referenced bool
+	used       bool
+}
+
+// EPC is the enclave page cache. It is not safe for concurrent use;
+// the machine serializes simulated threads.
+type EPC struct {
+	capacity int
+	engine   *mee.Engine
+	backing  *mem.BackingStore
+	pool     *mem.Pool
+	counters *perf.Counters
+
+	slots    []slot
+	resident map[mem.PageID]int
+	free     []int
+	hand     int
+
+	// versions holds, per page, the version number used for the most
+	// recent seal. Load-back must present exactly this version; any
+	// other version is a rollback.
+	versions map[mem.PageID]uint64
+
+	ops [numOps]OpStats
+
+	// onEvict, when set, is called with the VPNs of pages that leave
+	// the EPC so the machine can shoot down their TLB entries.
+	onEvict func(id mem.PageID)
+
+	// tree, when set, is the Merkle integrity tree maintained over
+	// evicted-page MACs: EWB updates a path, ELDU verifies one, and
+	// each uncached level costs TreeLevel cycles (the VAULT-style
+	// overhead of §2.2's integrity checking).
+	tree *mee.IntegrityTree
+
+	timeline      []TimelineEvent
+	timelineEvery uint64
+	opsSinceTick  uint64
+	clockRef      *cycles.Clock
+
+	jitter uint64
+}
+
+// New builds an EPC holding capacityPages pages, backed by the given
+// MEE and untrusted store, charging the given counter bank.
+func New(capacityPages int, engine *mee.Engine, backing *mem.BackingStore, counters *perf.Counters) *EPC {
+	if capacityPages < BatchEvictPages+1 {
+		capacityPages = BatchEvictPages + 1
+	}
+	e := &EPC{
+		capacity: capacityPages,
+		engine:   engine,
+		backing:  backing,
+		pool:     &mem.Pool{},
+		counters: counters,
+		slots:    make([]slot, capacityPages),
+		resident: make(map[mem.PageID]int, capacityPages),
+		versions: make(map[mem.PageID]uint64),
+		jitter:   0x9e3779b97f4a7c15,
+	}
+	e.free = make([]int, capacityPages)
+	for i := range e.free {
+		e.free[i] = capacityPages - 1 - i
+	}
+	return e
+}
+
+// Capacity returns the number of pages the EPC can hold.
+func (e *EPC) Capacity() int { return e.capacity }
+
+// Resident returns the number of pages currently in the EPC.
+func (e *EPC) Resident() int { return len(e.resident) }
+
+// SetEvictHook registers fn to be invoked for each page evicted from
+// the EPC (the machine uses this to invalidate TLB entries).
+func (e *EPC) SetEvictHook(fn func(id mem.PageID)) { e.onEvict = fn }
+
+// SetIntegrityTree attaches a Merkle integrity tree; subsequent
+// evictions update it and load-backs verify against it.
+func (e *EPC) SetIntegrityTree(t *mee.IntegrityTree) { e.tree = t }
+
+// IntegrityTree returns the attached tree, or nil.
+func (e *EPC) IntegrityTree() *mee.IntegrityTree { return e.tree }
+
+// EnableTimeline starts recording a TimelineEvent roughly every
+// everyOps EPC operations, stamped with clk's cycle count (Figure 9).
+func (e *EPC) EnableTimeline(clk *cycles.Clock, everyOps uint64) {
+	if everyOps == 0 {
+		everyOps = 1
+	}
+	e.clockRef = clk
+	e.timelineEvery = everyOps
+	e.timeline = e.timeline[:0]
+}
+
+// Timeline returns the recorded samples.
+func (e *EPC) Timeline() []TimelineEvent { return e.timeline }
+
+// OpStatsFor returns the latency statistics of op.
+func (e *EPC) OpStatsFor(op Op) OpStats { return e.ops[op] }
+
+// EPCMLookup returns the EPCM entry for the page, valid only while the
+// page is resident. The TLB fill path consults this (paper Figure 1).
+func (e *EPC) EPCMLookup(id mem.PageID) EPCMEntry {
+	if idx, ok := e.resident[id]; ok {
+		return EPCMEntry{Owner: id.Enclave, VPN: id.VPN, Valid: e.slots[idx].used}
+	}
+	return EPCMEntry{}
+}
+
+// Lookup returns the frame for id when resident, marking it recently
+// used for the CLOCK policy.
+func (e *EPC) Lookup(id mem.PageID) (*mem.Frame, bool) {
+	idx, ok := e.resident[id]
+	if !ok {
+		return nil, false
+	}
+	e.slots[idx].referenced = true
+	return e.slots[idx].frame, true
+}
+
+// nextJitter returns a small deterministic latency perturbation in
+// [0, 1/8 of base), so op-latency distributions are non-degenerate as
+// in the ftrace samples of Appendix A.
+func (e *EPC) nextJitter(base uint64) uint64 {
+	e.jitter ^= e.jitter << 13
+	e.jitter ^= e.jitter >> 7
+	e.jitter ^= e.jitter << 17
+	if base < 8 {
+		return 0
+	}
+	return e.jitter % (base / 8)
+}
+
+func (e *EPC) tick() {
+	if e.timelineEvery == 0 {
+		return
+	}
+	e.opsSinceTick++
+	if e.opsSinceTick < e.timelineEvery {
+		return
+	}
+	e.opsSinceTick = 0
+	e.timeline = append(e.timeline, TimelineEvent{
+		Cycle:     e.clockRef.Cycles(),
+		Allocs:    e.counters.Get(perf.EPCAllocs),
+		Evictions: e.counters.Get(perf.EPCEvictions),
+		LoadBacks: e.counters.Get(perf.EPCLoadBacks),
+	})
+}
+
+// AllocPage allocates a zeroed EPC page for id (the EAUG path /
+// sgx_alloc_page), evicting a batch first when the EPC is full. It
+// panics if the page is already resident — callers must Lookup first.
+func (e *EPC) AllocPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) *mem.Frame {
+	if _, ok := e.resident[id]; ok {
+		panic(fmt.Sprintf("epc: AllocPage of resident page (%v)", id))
+	}
+	if len(e.free) == 0 {
+		e.evictBatch(clk, costs)
+	}
+	idx := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	f := e.pool.Get()
+	e.slots[idx] = slot{id: id, frame: f, referenced: true, used: true}
+	e.resident[id] = idx
+
+	lat := costs.EPCAlloc + e.nextJitter(costs.EPCAlloc)
+	clk.Advance(lat)
+	e.ops[OpAlloc].add(lat)
+	e.counters.Inc(perf.EPCAllocs)
+	e.tick()
+	return f
+}
+
+// evictBatch writes back BatchEvictPages victims chosen by CLOCK.
+func (e *EPC) evictBatch(clk *cycles.Clock, costs *cycles.CostModel) {
+	n := BatchEvictPages
+	if n > len(e.resident) {
+		n = len(e.resident)
+	}
+	for i := 0; i < n; i++ {
+		e.evictOne(clk, costs)
+	}
+}
+
+func (e *EPC) evictOne(clk *cycles.Clock, costs *cycles.CostModel) {
+	// CLOCK: sweep, clearing reference bits, until an unreferenced
+	// used slot is found. Two full sweeps guarantee a victim.
+	var idx = -1
+	for sweep := 0; sweep < 2*e.capacity; sweep++ {
+		s := &e.slots[e.hand]
+		cur := e.hand
+		e.hand = (e.hand + 1) % e.capacity
+		if !s.used {
+			continue
+		}
+		if s.referenced {
+			s.referenced = false
+			continue
+		}
+		idx = cur
+		break
+	}
+	if idx < 0 {
+		panic("epc: no evictable page found")
+	}
+	s := &e.slots[idx]
+	id := s.id
+
+	ver := e.versions[id] + 1
+	e.versions[id] = ver
+	sp := e.engine.SealPage(id, ver, s.frame)
+	e.backing.Put(sp)
+	if e.tree != nil {
+		if err := e.tree.Update(id, sp.MAC); err != nil {
+			panic(fmt.Sprintf("epc: integrity tree: %v", err))
+		}
+		clk.Advance(uint64(e.tree.UncachedLevels()) * costs.TreeLevel)
+	}
+
+	e.pool.Put(s.frame)
+	*s = slot{}
+	delete(e.resident, id)
+	e.free = append(e.free, idx)
+
+	// The driver spends the full EWB latency (recorded for Figure 7),
+	// but most of it overlaps execution: evictions run in 16-page
+	// batches ahead of demand, so the faulting thread only pays the
+	// synchronous share.
+	lat := costs.EWBPage + e.nextJitter(costs.EWBPage)
+	share := costs.AsyncEvictShare
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	clk.Advance(uint64(float64(lat) * share))
+	e.ops[OpEWB].add(lat)
+	e.counters.Inc(perf.EPCEvictions)
+	if e.onEvict != nil {
+		e.onEvict(id)
+	}
+	e.tick()
+}
+
+// loadBack performs the ELDU path: fetch the sealed page from the
+// untrusted store, decrypt, verify its MAC and version, and install it
+// in a free EPC slot.
+func (e *EPC) loadBack(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID, sp *mem.SealedPage) (*mem.Frame, error) {
+	if len(e.free) == 0 {
+		e.evictBatch(clk, costs)
+	}
+	f := e.pool.Get()
+	if e.tree != nil {
+		if err := e.tree.Verify(id, sp.MAC); err != nil {
+			e.pool.Put(f)
+			return nil, err
+		}
+		clk.Advance(uint64(e.tree.UncachedLevels()) * costs.TreeLevel)
+	}
+	if err := e.engine.UnsealPage(sp, e.versions[id], f); err != nil {
+		e.pool.Put(f)
+		return nil, err
+	}
+	idx := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	e.slots[idx] = slot{id: id, frame: f, referenced: true, used: true}
+	e.resident[id] = idx
+	e.backing.Delete(id)
+
+	lat := costs.ELDUPage + e.nextJitter(costs.ELDUPage)
+	clk.Advance(lat)
+	e.ops[OpELDU].add(lat)
+	e.counters.Inc(perf.EPCLoadBacks)
+	e.tick()
+	return f, nil
+}
+
+// Fault handles an EPC page fault for id (the sgx_do_fault path): the
+// page is either loaded back from the untrusted store or, on first
+// touch, allocated fresh. The returned bool reports whether a
+// load-back occurred (as opposed to a demand allocation).
+func (e *EPC) Fault(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (*mem.Frame, bool, error) {
+	if _, ok := e.resident[id]; ok {
+		panic(fmt.Sprintf("epc: Fault on resident page (%v)", id))
+	}
+	start := clk.Cycles()
+	lat := costs.FaultOverhead + e.nextJitter(costs.FaultOverhead)
+	clk.Advance(lat)
+
+	var f *mem.Frame
+	var loaded bool
+	var err error
+	if sp := e.backing.Get(id); sp != nil {
+		f, err = e.loadBack(clk, costs, id, sp)
+		loaded = true
+	} else {
+		f = e.AllocPage(clk, costs, id)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	e.ops[OpFault].add(clk.Cycles() - start)
+	return f, loaded, nil
+}
+
+// Remove discards the page for id from the EPC and the backing store
+// without writing it back (enclave teardown).
+func (e *EPC) Remove(id mem.PageID) {
+	if idx, ok := e.resident[id]; ok {
+		e.pool.Put(e.slots[idx].frame)
+		e.slots[idx] = slot{}
+		delete(e.resident, id)
+		e.free = append(e.free, idx)
+	}
+	e.backing.Delete(id)
+	delete(e.versions, id)
+}
+
+// RemoveEnclave discards every page (resident or sealed) belonging to
+// the enclave.
+func (e *EPC) RemoveEnclave(enclave uint32) {
+	for id, idx := range e.resident {
+		if id.Enclave != enclave {
+			continue
+		}
+		e.pool.Put(e.slots[idx].frame)
+		e.slots[idx] = slot{}
+		delete(e.resident, id)
+		e.free = append(e.free, idx)
+	}
+	e.backing.DropEnclave(enclave)
+	for id := range e.versions {
+		if id.Enclave == enclave {
+			delete(e.versions, id)
+		}
+	}
+}

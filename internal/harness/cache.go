@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+// Runner caches Results so the report generators can share runs
+// between tables and figures (every figure of the paper draws from the
+// same experiment grid).
+type Runner struct {
+	// EPCPages is the simulated EPC size used for all runs
+	// (0 = machine default).
+	EPCPages int
+	// Seed is the base seed.
+	Seed int64
+
+	cache map[string]*Result
+}
+
+// NewRunner returns a Runner for the given EPC size.
+func NewRunner(epcPages int) *Runner {
+	return &Runner{EPCPages: epcPages, cache: make(map[string]*Result)}
+}
+
+func specKey(spec Spec) string {
+	pf := ""
+	if spec.Params != nil {
+		pf = fmt.Sprintf("%v", *spec.Params)
+	}
+	mc := ""
+	if spec.Machine != nil {
+		mc = fmt.Sprintf("%+v", *spec.Machine)
+	}
+	return fmt.Sprintf("%s|%v|%v|%d|%d|%v|%v|%d|%s|%s",
+		spec.Workload.Name(), spec.Mode, spec.Size, spec.EPCPages,
+		spec.Seed, spec.Switchless, spec.ProtectedFiles, spec.Timeline, pf, mc)
+}
+
+// Run executes (or returns the cached result of) a spec, forcing the
+// runner's EPC size and seed when the spec leaves them zero.
+func (r *Runner) Run(spec Spec) (*Result, error) {
+	if spec.EPCPages == 0 {
+		spec.EPCPages = r.EPCPages
+	}
+	if spec.Seed == 0 {
+		spec.Seed = r.Seed
+	}
+	key := specKey(spec)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// Get runs workload w in the given mode and size with default
+// parameters.
+func (r *Runner) Get(w workloads.Workload, mode sgx.Mode, size workloads.Size) (*Result, error) {
+	return r.Run(Spec{Workload: w, Mode: mode, Size: size})
+}

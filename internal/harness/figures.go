@@ -1,0 +1,517 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/epc"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// Figure2Data reproduces Figure 2: stressing the EPC with an
+// EPC-bound workload (HashJoin). Overheads are against Vanilla at the
+// same input size; EPC evictions are against the Low setting.
+type Figure2Data struct {
+	// Overhead[size]: Native runtime / Vanilla runtime.
+	Overhead map[workloads.Size]float64
+	// DTLBRatio/WalkRatio[size]: Native counter / Vanilla counter.
+	DTLBRatio map[workloads.Size]float64
+	WalkRatio map[workloads.Size]float64
+	// EvictRatio[size]: Native evictions at size / at Low.
+	EvictRatio map[workloads.Size]float64
+}
+
+// Figure2 regenerates the motivation experiment of §3.2.1. B-Tree is
+// the EPC stressor: its footprint brackets the EPC and its random
+// lookups surface the boundary crossing in every paging counter.
+func (r *Runner) Figure2() (*Figure2Data, error) {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		return nil, err
+	}
+	d := &Figure2Data{
+		Overhead:   map[workloads.Size]float64{},
+		DTLBRatio:  map[workloads.Size]float64{},
+		WalkRatio:  map[workloads.Size]float64{},
+		EvictRatio: map[workloads.Size]float64{},
+	}
+	low, err := r.Get(w, sgx.Native, workloads.Low)
+	if err != nil {
+		return nil, err
+	}
+	lowEvict := float64(low.Counters.Get(perf.EPCEvictions))
+	if lowEvict == 0 {
+		lowEvict = 1 // Low fits in the EPC; avoid dividing by zero
+	}
+	for _, size := range workloads.Sizes() {
+		nat, err := r.Get(w, sgx.Native, size)
+		if err != nil {
+			return nil, err
+		}
+		van, err := r.Get(w, sgx.Vanilla, size)
+		if err != nil {
+			return nil, err
+		}
+		d.Overhead[size] = Overhead(nat, van)
+		d.DTLBRatio[size] = nat.Counters.Ratio(van.Counters, perf.DTLBMisses)
+		d.WalkRatio[size] = nat.Counters.Ratio(van.Counters, perf.WalkCycles)
+		d.EvictRatio[size] = float64(nat.Counters.Get(perf.EPCEvictions)) / lowEvict
+	}
+	return d, nil
+}
+
+// Render renders Figure 2 as a table.
+func (d *Figure2Data) Render() string {
+	t := Table{
+		Title:  "Figure 2: crossing the EPC boundary (BTree, Native vs Vanilla)",
+		Header: []string{"", "Overhead", "dTLB misses", "Walk cycles", "EPC evictions (vs Low)"},
+	}
+	for _, size := range workloads.Sizes() {
+		t.AddRow(size.String(), fx(d.Overhead[size]), fx(d.DTLBRatio[size]), fx(d.WalkRatio[size]), fx(d.EvictRatio[size]))
+	}
+	return t.String()
+}
+
+// Figure3Point is Lighttpd latency at one concurrency level.
+type Figure3Point struct {
+	Threads        int
+	VanillaLatency float64 // cycles
+	SGXLatency     float64 // cycles (LibOS mode)
+	Ratio          float64
+}
+
+// Figure3 regenerates §3.2.2: Lighttpd latency vs concurrent clients,
+// SGX (LibOS) against Vanilla.
+func (r *Runner) Figure3() ([]Figure3Point, error) {
+	w, err := suite.ByName("Lighttpd")
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure3Point
+	for _, threads := range []int{1, 2, 4, 8, 16} {
+		epcPages := r.EPCPages
+		if epcPages == 0 {
+			epcPages = sgx.DefaultEPCPages
+		}
+		params := w.DefaultParams(epcPages, workloads.Medium)
+		params.Threads = threads
+		van, err := r.Run(Spec{Workload: w, Mode: sgx.Vanilla, Params: &params})
+		if err != nil {
+			return nil, err
+		}
+		lib, err := r.Run(Spec{Workload: w, Mode: sgx.LibOS, Params: &params})
+		if err != nil {
+			return nil, err
+		}
+		p := Figure3Point{
+			Threads:        threads,
+			VanillaLatency: van.Output.MeanLatency,
+			SGXLatency:     lib.Output.MeanLatency,
+		}
+		if p.VanillaLatency > 0 {
+			p.Ratio = p.SGXLatency / p.VanillaLatency
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderFigure3 renders the latency sweep.
+func RenderFigure3(points []Figure3Point) string {
+	t := Table{
+		Title:  "Figure 3: Lighttpd latency vs concurrent clients (LibOS vs Vanilla)",
+		Header: []string{"Threads", "Vanilla latency (us)", "SGX latency (us)", "Ratio"},
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.Threads),
+			fmt.Sprintf("%.1f", cycles.Micros(uint64(p.VanillaLatency))),
+			fmt.Sprintf("%.1f", cycles.Micros(uint64(p.SGXLatency))),
+			fx(p.Ratio))
+	}
+	return t.String()
+}
+
+// Figure4Row compares LibOS against Native for one workload.
+type Figure4Row struct {
+	Name string
+	// Ratio is LibOS runtime / Native runtime at Medium size: below
+	// 1.0 the library OS helps, above it hurts.
+	Ratio map[workloads.Size]float64
+}
+
+// Figure4 regenerates §3.2.3: the library OS can help or hurt
+// depending on the workload.
+func (r *Runner) Figure4() ([]Figure4Row, error) {
+	var out []Figure4Row
+	for _, w := range suite.Native() {
+		row := Figure4Row{Name: w.Name(), Ratio: map[workloads.Size]float64{}}
+		for _, size := range workloads.Sizes() {
+			lib, err := r.Get(w, sgx.LibOS, size)
+			if err != nil {
+				return nil, err
+			}
+			nat, err := r.Get(w, sgx.Native, size)
+			if err != nil {
+				return nil, err
+			}
+			row.Ratio[size] = Overhead(lib, nat)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFigure4 renders the LibOS-vs-Native comparison.
+func RenderFigure4(rows []Figure4Row) string {
+	t := Table{
+		Title:  "Figure 4: LibOS runtime relative to Native (<1 helps, >1 hurts)",
+		Header: []string{"Workload", "Low", "Medium", "High"},
+	}
+	for _, row := range rows {
+		t.AddRow(row.Name, fx(row.Ratio[workloads.Low]), fx(row.Ratio[workloads.Medium]), fx(row.Ratio[workloads.High]))
+	}
+	return t.String()
+}
+
+// Figure5Row is one workload's Native-mode overheads and evictions.
+type Figure5Row struct {
+	Name string
+	// Overhead[size] is Native/Vanilla runtime (Figure 5a).
+	Overhead map[workloads.Size]float64
+	// Evictions[size] is the raw Native eviction count (Figure 5b).
+	Evictions map[workloads.Size]uint64
+}
+
+// Figure5 regenerates Figures 5a and 5b over the six ported
+// workloads.
+func (r *Runner) Figure5() ([]Figure5Row, error) {
+	var out []Figure5Row
+	for _, w := range suite.Native() {
+		row := Figure5Row{
+			Name:      w.Name(),
+			Overhead:  map[workloads.Size]float64{},
+			Evictions: map[workloads.Size]uint64{},
+		}
+		for _, size := range workloads.Sizes() {
+			nat, err := r.Get(w, sgx.Native, size)
+			if err != nil {
+				return nil, err
+			}
+			van, err := r.Get(w, sgx.Vanilla, size)
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead[size] = Overhead(nat, van)
+			row.Evictions[size] = nat.Counters.Get(perf.EPCEvictions)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFigure5 renders both panels.
+func RenderFigure5(rows []Figure5Row) string {
+	a := Table{
+		Title:  "Figure 5a: Native-mode runtime overhead vs Vanilla",
+		Header: []string{"Workload", "Low", "Medium", "High"},
+	}
+	b := Table{
+		Title:  "Figure 5b: Native-mode EPC evictions",
+		Header: []string{"Workload", "Low", "Medium", "High"},
+	}
+	for _, row := range rows {
+		a.AddRow(row.Name, fx(row.Overhead[workloads.Low]), fx(row.Overhead[workloads.Medium]), fx(row.Overhead[workloads.High]))
+		b.AddRow(row.Name, fc(float64(row.Evictions[workloads.Low])), fc(float64(row.Evictions[workloads.Medium])), fc(float64(row.Evictions[workloads.High])))
+	}
+	return a.String() + "\n" + b.String()
+}
+
+// Figure6aData characterizes pure LibOS overhead with the empty
+// workload (§5.4.1).
+type Figure6aData struct {
+	ECalls       uint64
+	OCalls       uint64
+	AEXs         uint64
+	EPCEvictions uint64
+	EPCLoadBacks uint64
+	// StartupCycles is the initialization time (excluded from
+	// workload timings).
+	StartupCycles uint64
+	// RunCycles is the measured time of the empty body.
+	RunCycles uint64
+}
+
+// Figure6a regenerates the empty-workload characterization. The
+// counters are the LibOS startup counters: everything the runtime did
+// before handing control to the (empty) application.
+func (r *Runner) Figure6a() (*Figure6aData, error) {
+	res, err := r.Run(Spec{Workload: suite.Empty(), Mode: sgx.LibOS})
+	if err != nil {
+		return nil, err
+	}
+	s := res.StartupCounters
+	return &Figure6aData{
+		ECalls:        s.Get(perf.ECalls),
+		OCalls:        s.Get(perf.OCalls),
+		AEXs:          s.Get(perf.AEXs),
+		EPCEvictions:  s.Get(perf.EPCEvictions),
+		EPCLoadBacks:  s.Get(perf.EPCLoadBacks),
+		StartupCycles: res.StartupCycles,
+		RunCycles:     res.Cycles,
+	}, nil
+}
+
+// Render renders Figure 6a.
+func (d *Figure6aData) Render() string {
+	t := Table{
+		Title:  "Figure 6a: GrapheneSGX statistics for an empty workload",
+		Header: []string{"Metric", "Value"},
+	}
+	t.AddRow("ECALLs", fc(float64(d.ECalls)))
+	t.AddRow("OCALLs", fc(float64(d.OCalls)))
+	t.AddRow("AEX exits", fc(float64(d.AEXs)))
+	t.AddRow("EPC evictions", fc(float64(d.EPCEvictions)))
+	t.AddRow("EPC load-backs", fc(float64(d.EPCLoadBacks)))
+	t.AddRow("Startup time", fmt.Sprintf("%.1f ms", cycles.Micros(d.StartupCycles)/1000))
+	t.AddNote("startup activity is excluded from workload run times (Appendix D)")
+	return t.String()
+}
+
+// Figure6bcRow is one workload's LibOS-mode overhead and load-backs.
+type Figure6bcRow struct {
+	Name string
+	// Overhead[size] is LibOS/Vanilla runtime (Figure 6b).
+	Overhead map[workloads.Size]float64
+	// LoadBacks[size] is the raw load-back count (Figure 6c).
+	LoadBacks map[workloads.Size]uint64
+}
+
+// Figure6bc regenerates Figures 6b and 6c over the full suite.
+func (r *Runner) Figure6bc() ([]Figure6bcRow, error) {
+	var out []Figure6bcRow
+	for _, w := range suite.All() {
+		row := Figure6bcRow{
+			Name:      w.Name(),
+			Overhead:  map[workloads.Size]float64{},
+			LoadBacks: map[workloads.Size]uint64{},
+		}
+		for _, size := range workloads.Sizes() {
+			lib, err := r.Get(w, sgx.LibOS, size)
+			if err != nil {
+				return nil, err
+			}
+			van, err := r.Get(w, sgx.Vanilla, size)
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead[size] = Overhead(lib, van)
+			row.LoadBacks[size] = lib.Counters.Get(perf.EPCLoadBacks)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFigure6bc renders both panels.
+func RenderFigure6bc(rows []Figure6bcRow) string {
+	b := Table{
+		Title:  "Figure 6b: LibOS-mode runtime overhead vs Vanilla",
+		Header: []string{"Workload", "Low", "Medium", "High"},
+	}
+	c := Table{
+		Title:  "Figure 6c: LibOS-mode EPC page load-backs",
+		Header: []string{"Workload", "Low", "Medium", "High"},
+	}
+	for _, row := range rows {
+		b.AddRow(row.Name, fx(row.Overhead[workloads.Low]), fx(row.Overhead[workloads.Medium]), fx(row.Overhead[workloads.High]))
+		c.AddRow(row.Name, fc(float64(row.LoadBacks[workloads.Low])), fc(float64(row.LoadBacks[workloads.Medium])), fc(float64(row.LoadBacks[workloads.High])))
+	}
+	return b.String() + "\n" + c.String()
+}
+
+// Figure6dData compares default and switchless OCALLs on Lighttpd.
+type Figure6dData struct {
+	DefaultLatency    float64
+	SwitchlessLatency float64
+	DefaultDTLB       uint64
+	SwitchlessDTLB    uint64
+}
+
+// Figure6d regenerates §5.6: switchless calls avoid enclave exits and
+// their TLB flushes.
+func (r *Runner) Figure6d() (*Figure6dData, error) {
+	w, err := suite.ByName("Lighttpd")
+	if err != nil {
+		return nil, err
+	}
+	def, err := r.Run(Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium})
+	if err != nil {
+		return nil, err
+	}
+	sw, err := r.Run(Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Switchless: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure6dData{
+		DefaultLatency:    def.Output.MeanLatency,
+		SwitchlessLatency: sw.Output.MeanLatency,
+		DefaultDTLB:       def.Counters.Get(perf.DTLBMisses),
+		SwitchlessDTLB:    sw.Counters.Get(perf.DTLBMisses),
+	}, nil
+}
+
+// Render renders Figure 6d.
+func (d *Figure6dData) Render() string {
+	t := Table{
+		Title:  "Figure 6d: Lighttpd with switchless OCALLs (LibOS, Medium)",
+		Header: []string{"", "Default", "Switchless", "Change"},
+	}
+	t.AddRow("Mean latency (us)",
+		fmt.Sprintf("%.1f", cycles.Micros(uint64(d.DefaultLatency))),
+		fmt.Sprintf("%.1f", cycles.Micros(uint64(d.SwitchlessLatency))),
+		fmt.Sprintf("%+.0f%%", 100*(d.SwitchlessLatency-d.DefaultLatency)/d.DefaultLatency))
+	t.AddRow("dTLB misses",
+		fc(float64(d.DefaultDTLB)), fc(float64(d.SwitchlessDTLB)),
+		fmt.Sprintf("%+.0f%%", 100*(float64(d.SwitchlessDTLB)-float64(d.DefaultDTLB))/float64(d.DefaultDTLB)))
+	return t.String()
+}
+
+// Figure7Row is one EPC driver operation's latency.
+type Figure7Row struct {
+	Op      epc.Op
+	Samples uint64
+	MeanUS  float64
+}
+
+// Figure7 regenerates Appendix A: the latencies of the core SGX
+// driver operations, sampled from an EPC-thrashing run (HashJoin,
+// High, Native).
+func (r *Runner) Figure7() ([]Figure7Row, error) {
+	w, err := suite.ByName("HashJoin")
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Get(w, sgx.Native, workloads.High)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure7Row
+	for _, op := range []epc.Op{epc.OpAlloc, epc.OpEWB, epc.OpELDU, epc.OpFault} {
+		st := res.OpStats[op]
+		out = append(out, Figure7Row{Op: op, Samples: st.Samples, MeanUS: st.MeanMicros()})
+	}
+	return out, nil
+}
+
+// RenderFigure7 renders the operation latencies.
+func RenderFigure7(rows []Figure7Row) string {
+	t := Table{
+		Title:  "Figure 7: latency of core Intel SGX operations",
+		Header: []string{"Operation", "Samples", "Mean latency (us)"},
+	}
+	for _, row := range rows {
+		t.AddRow(row.Op.String(), fc(float64(row.Samples)), fmt.Sprintf("%.2f", row.MeanUS))
+	}
+	var ewb, eldu float64
+	for _, row := range rows {
+		switch row.Op {
+		case epc.OpEWB:
+			ewb = row.MeanUS
+		case epc.OpELDU:
+			eldu = row.MeanUS
+		}
+	}
+	if eldu > 0 {
+		t.AddNote("EWB/ELDU latency ratio: %.2f (paper: ~1.16)", ewb/eldu)
+	}
+	return t.String()
+}
+
+// Figure8Cell is one workload x counter overhead ratio in Native mode
+// relative to Vanilla.
+type Figure8Data struct {
+	Workloads []string
+	Events    []perf.Event
+	// Ratio[workload][size][event]
+	Ratio map[string]map[workloads.Size]map[perf.Event]float64
+}
+
+// figure8Events are the heat-map columns.
+var figure8Events = []perf.Event{
+	perf.DTLBMisses, perf.WalkCycles, perf.StallCycles,
+	perf.PageFaults, perf.LLCMisses, perf.EPCEvictions,
+}
+
+// Figure8 regenerates the Native-mode counter heat map of Appendix B.
+func (r *Runner) Figure8() (*Figure8Data, error) {
+	d := &Figure8Data{
+		Events: figure8Events,
+		Ratio:  map[string]map[workloads.Size]map[perf.Event]float64{},
+	}
+	for _, w := range suite.Native() {
+		d.Workloads = append(d.Workloads, w.Name())
+		d.Ratio[w.Name()] = map[workloads.Size]map[perf.Event]float64{}
+		for _, size := range workloads.Sizes() {
+			nat, err := r.Get(w, sgx.Native, size)
+			if err != nil {
+				return nil, err
+			}
+			van, err := r.Get(w, sgx.Vanilla, size)
+			if err != nil {
+				return nil, err
+			}
+			m := map[perf.Event]float64{}
+			for _, e := range figure8Events {
+				m[e] = nat.Counters.Ratio(van.Counters, e)
+			}
+			d.Ratio[w.Name()][size] = m
+		}
+	}
+	return d, nil
+}
+
+// Render renders the heat map as per-size tables with a log-scale
+// shade character per cell.
+func (d *Figure8Data) Render() string {
+	var b strings.Builder
+	for _, size := range workloads.Sizes() {
+		t := Table{
+			Title:  fmt.Sprintf("Figure 8 (%s): Native-mode counter overheads vs Vanilla", size),
+			Header: []string{"Workload"},
+		}
+		for _, e := range d.Events {
+			t.Header = append(t.Header, e.String())
+		}
+		for _, name := range d.Workloads {
+			cells := []string{name}
+			for _, e := range d.Events {
+				v := d.Ratio[name][size][e]
+				cells = append(cells, fmt.Sprintf("%s %s", shade(v), fx(v)))
+			}
+			t.AddRow(cells...)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// shade maps a ratio to a log-scale heat character.
+func shade(v float64) string {
+	switch {
+	case v >= 100:
+		return "@"
+	case v >= 10:
+		return "#"
+	case v >= 3:
+		return "+"
+	case v >= 1.5:
+		return "."
+	default:
+		return " "
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseComponent(t *testing.T) {
+	for _, c := range Components() {
+		got, err := ParseComponent(string(c))
+		if err != nil || got != c {
+			t.Errorf("ParseComponent(%q) = %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseComponent("gpu"); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestRecommendRanksSensibly(t *testing.T) {
+	r := NewRunner(testEPC)
+	r.Seed = 1
+
+	rank := func(c Component) []string {
+		recs, err := r.Recommend(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 10 {
+			t.Fatalf("%d recommendations", len(recs))
+		}
+		names := make([]string, len(recs))
+		for i, rec := range recs {
+			names[i] = rec.Name
+		}
+		// Intensities must be sorted descending.
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Intensity > recs[i-1].Intensity {
+				t.Fatalf("%v ranking not sorted", c)
+			}
+		}
+		return names
+	}
+
+	pos := func(names []string, w string) int {
+		for i, n := range names {
+			if n == w {
+				return i
+			}
+		}
+		t.Fatalf("%s missing from ranking", w)
+		return -1
+	}
+
+	// Transition-heavy workloads must top the transitions ranking.
+	trans := rank(ComponentTransitions)
+	if p := pos(trans, "Lighttpd"); p > 3 {
+		t.Errorf("Lighttpd ranked %d for transitions; it is the ECALL-intensive workload", p+1)
+	}
+	// The paging ranking must put an EPC-stressing data workload well
+	// above the tiny-footprint Blockchain.
+	epcRank := rank(ComponentEPC)
+	if pos(epcRank, "Blockchain") < pos(epcRank, "BTree") {
+		t.Error("Blockchain outranked BTree for EPC stress")
+	}
+	// Syscall ranking: the server workloads lead.
+	sys := rank(ComponentSyscalls)
+	if p := pos(sys, "Memcached"); p > 3 {
+		t.Errorf("Memcached ranked %d for syscalls", p+1)
+	}
+
+	out := RenderRecommendations(ComponentEPC, mustRecs(t, r, ComponentEPC))
+	if !strings.Contains(out, "Rank") {
+		t.Error("render malformed")
+	}
+}
+
+func mustRecs(t *testing.T, r *Runner, c Component) []Recommendation {
+	t.Helper()
+	recs, err := r.Recommend(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}

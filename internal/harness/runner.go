@@ -1,0 +1,215 @@
+// Package harness runs SGXGauge workloads under controlled conditions
+// and regenerates every table and figure of the paper's evaluation
+// (the per-experiment index lives in DESIGN.md).
+//
+// A Run boots a fresh machine, prepares the workload host-side, sets
+// up the requested execution mode (launching an enclave for Native
+// mode, booting the library OS for LibOS mode), and measures only the
+// workload's run portion — GrapheneSGX-style startup is recorded
+// separately and excluded, exactly as the paper does (Appendix D).
+package harness
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/epc"
+	"sgxgauge/internal/libos"
+	"sgxgauge/internal/osal"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+// Spec describes one measured run.
+type Spec struct {
+	// Workload is the benchmark to run.
+	Workload workloads.Workload
+	// Mode is the execution mode.
+	Mode sgx.Mode
+	// Size is the input setting; ignored when Params is set.
+	Size workloads.Size
+	// EPCPages overrides the simulated EPC size (0 = default).
+	EPCPages int
+	// Seed drives all randomness (0 is a valid, fixed seed).
+	Seed int64
+	// Switchless enables switchless OCALLs (Figure 6d).
+	Switchless bool
+	// ProtectedFiles enables the LibOS protected file system
+	// (Figure 10); LibOS mode only.
+	ProtectedFiles bool
+	// Params overrides the workload's DefaultParams when non-nil.
+	Params *workloads.Params
+	// Timeline enables EPC activity sampling (Figure 9) roughly
+	// every Timeline EPC operations (0 = off).
+	Timeline uint64
+	// Machine, when non-nil, is the base machine configuration —
+	// used by ablation studies to vary cost-model constants, cache
+	// and TLB geometry, or enable the integrity tree. EPCPages, Seed
+	// and Switchless from the Spec still apply on top.
+	Machine *sgx.Config
+	// OnMachine, when non-nil, is invoked with the freshly booted
+	// machine before any environment exists — the hook profilers use
+	// to attach a tracer.
+	OnMachine func(*sgx.Machine)
+}
+
+// Result is one measured run.
+type Result struct {
+	// Name, Mode and Params echo the effective configuration.
+	Name   string
+	Mode   sgx.Mode
+	Params workloads.Params
+
+	// Cycles is the simulated duration of the measured portion.
+	Cycles uint64
+	// Counters is the counter delta over the measured portion.
+	Counters perf.Snapshot
+	// TotalCounters is the counter state over the whole machine
+	// lifetime, including LibOS startup. The paper's driver-level
+	// instrumentation observes the whole process even though startup
+	// *time* is excluded, which is why its LibOS rows report
+	// startup-storm-sized EPC eviction counts (Table 4).
+	TotalCounters perf.Snapshot
+	// Output is the workload's functional result.
+	Output workloads.Output
+
+	// StartupCycles is the excluded setup time: enclave build and
+	// (in LibOS mode) the library-OS initialization.
+	StartupCycles uint64
+	// StartupCounters is the counter delta over startup.
+	StartupCounters perf.Snapshot
+	// Timeline is the EPC activity trace when requested.
+	Timeline []epc.TimelineEvent
+	// OpStats reports the EPC driver-operation latencies observed
+	// over the whole machine lifetime (Figure 7).
+	OpStats map[epc.Op]epc.OpStats
+}
+
+// Run executes one spec on a fresh machine.
+func Run(spec Spec) (*Result, error) {
+	if spec.Workload == nil {
+		return nil, fmt.Errorf("harness: spec has no workload")
+	}
+	if spec.Mode == sgx.Native && !spec.Workload.NativePort() {
+		return nil, fmt.Errorf("harness: %s has no Native-mode port", spec.Workload.Name())
+	}
+
+	var cfg sgx.Config
+	if spec.Machine != nil {
+		cfg = *spec.Machine
+	}
+	cfg.EPCPages = spec.EPCPages
+	cfg.Seed = uint64(spec.Seed) ^ 0x5067617567 // "gauge"
+	cfg.Switchless = spec.Switchless
+	m := sgx.NewMachine(cfg)
+	if spec.OnMachine != nil {
+		spec.OnMachine(m)
+	}
+	epcPages := m.Config().EPCPages
+
+	params := spec.Workload.DefaultParams(epcPages, spec.Size)
+	if spec.Params != nil {
+		params = *spec.Params
+	}
+
+	rawFS := osal.NewFS()
+	ctx := &workloads.Ctx{
+		RawFS:  rawFS,
+		Params: params,
+		Seed:   spec.Seed,
+	}
+	// Host-side preparation happens before any environment exists,
+	// so LibOS manifest processing sees the input files.
+	if err := spec.Workload.Setup(ctx); err != nil {
+		return nil, fmt.Errorf("harness: setup of %s: %w", spec.Workload.Name(), err)
+	}
+
+	var env *sgx.Env
+	switch spec.Mode {
+	case sgx.Vanilla:
+		env = m.NewEnv(sgx.Vanilla)
+		ctx.FS = rawFS
+	case sgx.Native:
+		env = m.NewEnv(sgx.Native)
+		if spec.Timeline > 0 {
+			m.EPC.EnableTimeline(&env.Main.Clock, spec.Timeline)
+		}
+		ctx.FS = rawFS
+	case sgx.LibOS:
+		// The manifest trusts every file present after setup.
+		man := libos.Manifest{
+			Binary:         spec.Workload.Name(),
+			Files:          rawFS.List(),
+			ProtectedFiles: spec.ProtectedFiles,
+		}
+		inst, err := startLibOS(m, rawFS, man, spec.Timeline)
+		if err != nil {
+			return nil, fmt.Errorf("harness: booting LibOS: %w", err)
+		}
+		env = inst.Env
+		ctx.LibOS = inst
+		ctx.FS = inst.FS()
+	default:
+		return nil, fmt.Errorf("harness: unknown mode %v", spec.Mode)
+	}
+	ctx.Env = env
+
+	res := &Result{
+		Name:            spec.Workload.Name(),
+		Mode:            spec.Mode,
+		Params:          params,
+		StartupCycles:   env.Elapsed(),
+		StartupCounters: env.Snapshot(),
+	}
+
+	// A Native-mode run launches its enclave inside the measured
+	// window: SGX loads the entire declared enclave through the EPC
+	// to verify it ("an enclave prior to its execution is loaded
+	// completely in the EPC", §3.2.1), and unlike the one-time LibOS
+	// boot the paper excludes (Appendix D), this launch is part of
+	// running the ported application.
+	if spec.Mode == sgx.Native {
+		foot := spec.Workload.FootprintPages(params)
+		size := workloads.NativeEnclaveSize(foot)
+		if _, err := env.LaunchEnclaveReserve(size, workloads.NativeImagePages, size); err != nil {
+			return nil, fmt.Errorf("harness: launching Native enclave: %w", err)
+		}
+	}
+
+	out, err := spec.Workload.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("harness: running %s in %v mode: %w", spec.Workload.Name(), spec.Mode, err)
+	}
+
+	res.Output = out
+	res.Cycles = env.Elapsed() - res.StartupCycles
+	res.TotalCounters = env.Snapshot()
+	res.Counters = res.TotalCounters.Sub(res.StartupCounters)
+	res.Timeline = m.EPC.Timeline()
+	res.OpStats = map[epc.Op]epc.OpStats{
+		epc.OpAlloc: m.EPC.OpStatsFor(epc.OpAlloc),
+		epc.OpEWB:   m.EPC.OpStatsFor(epc.OpEWB),
+		epc.OpELDU:  m.EPC.OpStatsFor(epc.OpELDU),
+		epc.OpFault: m.EPC.OpStatsFor(epc.OpFault),
+	}
+	return res, nil
+}
+
+// startLibOS boots the library OS, arranging the EPC timeline to use
+// the LibOS environment's main clock from the start.
+func startLibOS(m *sgx.Machine, fs *osal.FS, man libos.Manifest, timeline uint64) (*libos.Instance, error) {
+	inst, err := libos.StartWithTimeline(m, fs, man, timeline)
+	if err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Overhead returns the runtime overhead of res relative to base
+// (res.Cycles / base.Cycles).
+func Overhead(res, base *Result) float64 {
+	if base.Cycles == 0 {
+		return float64(res.Cycles)
+	}
+	return float64(res.Cycles) / float64(base.Cycles)
+}

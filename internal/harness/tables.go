@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/stats"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// table4Events are the counter columns of Table 4.
+var table4Events = []perf.Event{
+	perf.DTLBMisses, perf.WalkCycles, perf.StallCycles, perf.LLCMisses,
+}
+
+// Table4Block is one block of Table 4: a mode comparison aggregated
+// over workloads, per input setting.
+type Table4Block struct {
+	// Label names the comparison ("Native Mode w.r.t Vanilla ...").
+	Label string
+	// Overhead[size] is the geomean runtime overhead.
+	Overhead map[workloads.Size]float64
+	// CounterRatio[size][event] is the geomean counter ratio.
+	CounterRatio map[workloads.Size]map[perf.Event]float64
+	// EPCEvictions[size] is the mean EPC eviction count of the
+	// numerator mode (the paper reports the average raw value).
+	EPCEvictions map[workloads.Size]float64
+}
+
+// Table4Data is the full Table 4.
+type Table4Data struct {
+	NativeVsVanilla Table4Block
+	LibOSVsVanilla  Table4Block
+	LibOSVsNative   Table4Block
+}
+
+// Table4 reproduces Table 4: geometric-mean overheads and counter
+// ratios across the suite for the three mode comparisons.
+func (r *Runner) Table4() (*Table4Data, error) {
+	d := &Table4Data{}
+	var err error
+	d.NativeVsVanilla, err = r.table4Block("Native Mode w.r.t Vanilla (6 workloads)", suite.Native(), sgx.Native, sgx.Vanilla)
+	if err != nil {
+		return nil, err
+	}
+	d.LibOSVsVanilla, err = r.table4Block("LibOS Mode w.r.t Vanilla (10 workloads)", suite.All(), sgx.LibOS, sgx.Vanilla)
+	if err != nil {
+		return nil, err
+	}
+	d.LibOSVsNative, err = r.table4Block("LibOS Mode w.r.t Native (6 workloads)", suite.Native(), sgx.LibOS, sgx.Native)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (r *Runner) table4Block(label string, ws []workloads.Workload, num, den sgx.Mode) (Table4Block, error) {
+	b := Table4Block{
+		Label:        label,
+		Overhead:     map[workloads.Size]float64{},
+		CounterRatio: map[workloads.Size]map[perf.Event]float64{},
+		EPCEvictions: map[workloads.Size]float64{},
+	}
+	for _, size := range workloads.Sizes() {
+		var ovh []float64
+		ratios := map[perf.Event][]float64{}
+		var evict []float64
+		for _, w := range ws {
+			nres, err := r.Get(w, num, size)
+			if err != nil {
+				return b, err
+			}
+			dres, err := r.Get(w, den, size)
+			if err != nil {
+				return b, err
+			}
+			ovh = append(ovh, Overhead(nres, dres))
+			// Counter ratios use whole-lifetime counters: the
+			// paper's driver instrumentation sees LibOS startup
+			// activity even though startup time is excluded.
+			for _, e := range table4Events {
+				rt := nres.TotalCounters.Ratio(dres.TotalCounters, e)
+				if rt <= 0 {
+					rt = 1
+				}
+				ratios[e] = append(ratios[e], rt)
+			}
+			evict = append(evict, float64(nres.TotalCounters.Get(perf.EPCEvictions)))
+		}
+		b.Overhead[size] = stats.GeoMean(ovh)
+		b.CounterRatio[size] = map[perf.Event]float64{}
+		for _, e := range table4Events {
+			b.CounterRatio[size][e] = stats.GeoMean(ratios[e])
+		}
+		b.EPCEvictions[size] = stats.Mean(evict)
+	}
+	return b, nil
+}
+
+// Render returns Table 4 in the paper's layout.
+func (d *Table4Data) Render() string {
+	out := ""
+	for _, blk := range []Table4Block{d.NativeVsVanilla, d.LibOSVsVanilla, d.LibOSVsNative} {
+		t := Table{
+			Title:  blk.Label,
+			Header: []string{"", "Overhead", "dTLB misses", "Walk cycles", "Stall cycles", "LLC misses", "EPC evictions"},
+		}
+		for _, size := range workloads.Sizes() {
+			t.AddRow(size.String(),
+				fx(blk.Overhead[size]),
+				fx(blk.CounterRatio[size][perf.DTLBMisses]),
+				fx(blk.CounterRatio[size][perf.WalkCycles]),
+				fx(blk.CounterRatio[size][perf.StallCycles]),
+				fx(blk.CounterRatio[size][perf.LLCMisses]),
+				fc(blk.EPCEvictions[size]),
+			)
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+// Table2Row is one workload's entry in the settings table.
+type Table2Row struct {
+	Name     string
+	Property string
+	Modes    string
+	Settings map[workloads.Size]workloads.Params
+}
+
+// Table2 reproduces Table 2: the workload inventory with the concrete
+// Low/Medium/High settings for the runner's EPC size.
+func (r *Runner) Table2() ([]Table2Row, error) {
+	epcPages := r.EPCPages
+	if epcPages == 0 {
+		epcPages = sgx.DefaultEPCPages
+	}
+	var rows []Table2Row
+	for _, w := range suite.All() {
+		modes := "Vanilla, LibOS"
+		if w.NativePort() {
+			modes = "Vanilla, Native, LibOS"
+		}
+		row := Table2Row{
+			Name:     w.Name(),
+			Property: w.Property(),
+			Modes:    modes,
+			Settings: map[workloads.Size]workloads.Params{},
+		}
+		for _, s := range workloads.Sizes() {
+			row.Settings[s] = w.DefaultParams(epcPages, s)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable2 renders the settings table.
+func RenderTable2(rows []Table2Row) string {
+	t := Table{
+		Title:  "Table 2: workloads and input settings (scaled to the simulated EPC)",
+		Header: []string{"Workload", "Property", "Modes", "Low", "Medium", "High"},
+	}
+	for _, row := range rows {
+		cells := []string{row.Name, row.Property, row.Modes}
+		for _, s := range workloads.Sizes() {
+			cells = append(cells, knobString(row.Settings[s]))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+func knobString(p workloads.Params) string {
+	names := make([]string, 0, len(p.Knobs))
+	for n := range p.Knobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%s", n, fc(float64(p.Knobs[n])))
+	}
+	if out == "" {
+		out = "-"
+	}
+	return out
+}
+
+// Table5Row is one workload's regression coefficients.
+type Table5Row struct {
+	Name  string
+	Mode  sgx.Mode
+	Coeff map[perf.Event]float64
+	// Top is the most important counter (largest |coefficient|).
+	Top perf.Event
+}
+
+// table5Events are the predictors of Table 5.
+var table5Events = []perf.Event{
+	perf.WalkCycles, perf.StallCycles, perf.PageFaults,
+	perf.DTLBMisses, perf.LLCMisses, perf.EPCEvictions,
+}
+
+// Table5 reproduces Table 5: per workload, a linear regression of run
+// time on the six counters over a grid of runs (sizes x modes x
+// seeds); coefficient magnitude ranks counter importance.
+func (r *Runner) Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, w := range suite.All() {
+		mode := sgx.LibOS
+		if w.NativePort() {
+			mode = sgx.Native
+		}
+		var X [][]float64
+		var y []float64
+		for _, size := range workloads.Sizes() {
+			for _, seed := range []int64{1, 2, 3} {
+				res, err := r.Run(Spec{Workload: w, Mode: mode, Size: size, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				row := make([]float64, len(table5Events))
+				for i, e := range table5Events {
+					row[i] = float64(res.Counters.Get(e))
+				}
+				X = append(X, row)
+				y = append(y, float64(res.Cycles))
+			}
+		}
+		beta, err := stats.LinReg(X, y)
+		if err != nil {
+			return nil, fmt.Errorf("harness: Table 5 regression for %s: %w", w.Name(), err)
+		}
+		row := Table5Row{Name: w.Name(), Mode: mode, Coeff: map[perf.Event]float64{}}
+		best := 0.0
+		for i, e := range table5Events {
+			row.Coeff[e] = beta[i]
+			if a := abs(beta[i]); a > best {
+				best = a
+				row.Top = e
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RenderTable5 renders the regression table, marking each workload's
+// most important counter with a '*'.
+func RenderTable5(rows []Table5Row) string {
+	t := Table{
+		Title:  "Table 5: counter importance by linear regression (standardized coefficients)",
+		Header: []string{"Workload", "Mode", "Walk cycles", "Stall cycles", "Page faults", "dTLB misses", "LLC misses", "EPC evictions"},
+	}
+	for _, row := range rows {
+		cells := []string{row.Name, row.Mode.String()}
+		for _, e := range table5Events {
+			mark := ""
+			if e == row.Top {
+				mark = "*"
+			}
+			cells = append(cells, fmt.Sprintf("%+.2f%s", row.Coeff[e], mark))
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("'*' marks the counter with the largest |coefficient| (bold in the paper)")
+	return t.String()
+}

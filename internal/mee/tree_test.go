@@ -1,0 +1,147 @@
+package mee
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sgxgauge/internal/mem"
+)
+
+func mac(b byte) [32]byte {
+	var m [32]byte
+	for i := range m {
+		m[i] = b
+	}
+	return m
+}
+
+func TestTreeGeometry(t *testing.T) {
+	tr := NewIntegrityTree(100, 4)
+	if tr.Capacity() != 128 {
+		t.Errorf("capacity = %d, want 128", tr.Capacity())
+	}
+	if tr.Depth() != 8 { // 128,64,32,16,8,4,2,1
+		t.Errorf("depth = %d, want 8", tr.Depth())
+	}
+	if tr.UncachedLevels() != 4 {
+		t.Errorf("uncached = %d, want 4", tr.UncachedLevels())
+	}
+	// Fully cached tree charges nothing.
+	if NewIntegrityTree(4, 100).UncachedLevels() != 0 {
+		t.Error("over-cached tree reports uncached levels")
+	}
+}
+
+func TestUpdateVerifyRoundTrip(t *testing.T) {
+	tr := NewIntegrityTree(64, 2)
+	id := mem.PageID{Enclave: 1, VPN: 42}
+	if err := tr.Update(id, mac(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Verify(id, mac(7)); err != nil {
+		t.Fatalf("fresh path failed: %v", err)
+	}
+	// Wrong MAC must fail.
+	if err := tr.Verify(id, mac(8)); err != ErrTreeMismatch {
+		t.Fatalf("wrong MAC verified: %v", err)
+	}
+	// Update then verify new value.
+	if err := tr.Update(id, mac(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Verify(id, mac(9)); err != nil {
+		t.Fatalf("updated path failed: %v", err)
+	}
+	// The stale MAC no longer verifies (replay protection at the
+	// tree level).
+	if err := tr.Verify(id, mac(7)); err != ErrTreeMismatch {
+		t.Fatalf("stale MAC verified: %v", err)
+	}
+}
+
+func TestVerifyUnknownPage(t *testing.T) {
+	tr := NewIntegrityTree(64, 2)
+	if err := tr.Verify(mem.PageID{Enclave: 1, VPN: 1}, mac(1)); err == nil {
+		t.Fatal("unknown page verified")
+	}
+}
+
+func TestNodeCorruptionDetected(t *testing.T) {
+	tr := NewIntegrityTree(64, 2)
+	// Two pages sharing ancestry.
+	a := mem.PageID{Enclave: 1, VPN: 0}
+	b := mem.PageID{Enclave: 1, VPN: 1}
+	if err := tr.Update(a, mac(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update(b, mac(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt an internal node on their shared path.
+	tr.CorruptNode(1, 0)
+	if err := tr.Verify(a, mac(1)); err != ErrTreeMismatch {
+		t.Fatalf("corrupted internal node not detected for a: %v", err)
+	}
+	if err := tr.Verify(b, mac(2)); err != ErrTreeMismatch {
+		t.Fatalf("corrupted internal node not detected for b: %v", err)
+	}
+}
+
+func TestSiblingUpdatesDoNotInterfere(t *testing.T) {
+	tr := NewIntegrityTree(64, 2)
+	ids := make([]mem.PageID, 16)
+	for i := range ids {
+		ids[i] = mem.PageID{Enclave: 1, VPN: uint64(i)}
+		if err := tr.Update(ids[i], mac(byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-update one leaf; every other page must still verify.
+	if err := tr.Update(ids[5], mac(99)); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		want := mac(byte(i + 1))
+		if i == 5 {
+			want = mac(99)
+		}
+		if err := tr.Verify(id, want); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+	}
+}
+
+func TestTreeFull(t *testing.T) {
+	tr := NewIntegrityTree(2, 1)
+	for i := 0; i < tr.Capacity(); i++ {
+		if err := tr.Update(mem.PageID{Enclave: 1, VPN: uint64(i)}, mac(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Update(mem.PageID{Enclave: 1, VPN: 999}, mac(1)); err == nil {
+		t.Fatal("over-capacity update accepted")
+	}
+}
+
+func TestTreeRoundTripProperty(t *testing.T) {
+	tr := NewIntegrityTree(256, 3)
+	seen := map[mem.PageID][32]byte{}
+	f := func(vpn uint16, b byte) bool {
+		id := mem.PageID{Enclave: 1, VPN: uint64(vpn % 200)}
+		m := mac(b)
+		if err := tr.Update(id, m); err != nil {
+			return false
+		}
+		seen[id] = m
+		// Every page updated so far still verifies with its latest MAC.
+		for pid, pm := range seen {
+			if tr.Verify(pid, pm) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

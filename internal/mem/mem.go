@@ -1,0 +1,137 @@
+// Package mem provides the physical-memory primitives of the simulated
+// machine: fixed-size page frames, a frame pool, and the untrusted
+// backing store that holds pages evicted from the EPC.
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of one page in bytes (4 KiB, as on x86 and as
+// assumed throughout the paper: a 4 GB enclave is "1 M * 4 KB").
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// LineSize is the size of one cache line in bytes.
+const LineSize = 64
+
+// PageBase returns the page-aligned base of addr.
+func PageBase(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// PageNumber returns the virtual page number of addr.
+func PageNumber(addr uint64) uint64 { return addr >> PageShift }
+
+// LineNumber returns the cache-line number of addr.
+func LineNumber(addr uint64) uint64 { return addr / LineSize }
+
+// Frame is one physical page frame.
+type Frame struct {
+	Data [PageSize]byte
+}
+
+// Pool recycles page frames to keep allocation pressure low during
+// long simulations. It is safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Frame
+}
+
+// Get returns a zeroed frame, reusing a recycled one when available.
+func (p *Pool) Get() *Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		f.Data = [PageSize]byte{}
+		return f
+	}
+	return &Frame{}
+}
+
+// Put returns a frame to the pool.
+func (p *Pool) Put(f *Frame) {
+	if f == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, f)
+}
+
+// PageID identifies an enclave page: the owning enclave and the
+// virtual page number within it. Enclave 0 is reserved for untrusted
+// (non-enclave) memory.
+type PageID struct {
+	Enclave uint32
+	VPN     uint64
+}
+
+func (id PageID) String() string {
+	return fmt.Sprintf("enclave %d vpn %#x", id.Enclave, id.VPN)
+}
+
+// SealedPage is an encrypted page together with the metadata the MEE
+// needs to verify it on load-back (paper §2.2: pages are evicted "in an
+// encrypted form" with a MAC, and integrity-checked when brought back).
+type SealedPage struct {
+	ID         PageID
+	Version    uint64
+	Ciphertext [PageSize]byte
+	MAC        [32]byte
+}
+
+// BackingStore is the untrusted main memory region that receives
+// evicted (sealed) EPC pages. It is safe for concurrent use.
+type BackingStore struct {
+	mu    sync.Mutex
+	pages map[PageID]*SealedPage
+}
+
+// NewBackingStore returns an empty backing store.
+func NewBackingStore() *BackingStore {
+	return &BackingStore{pages: make(map[PageID]*SealedPage)}
+}
+
+// Put stores the sealed page, replacing any previous version.
+func (b *BackingStore) Put(p *SealedPage) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pages[p.ID] = p
+}
+
+// Get returns the sealed page for id, or nil when the page was never
+// evicted.
+func (b *BackingStore) Get(id PageID) *SealedPage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pages[id]
+}
+
+// Delete removes the sealed page for id, if present.
+func (b *BackingStore) Delete(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.pages, id)
+}
+
+// Len returns the number of sealed pages currently stored.
+func (b *BackingStore) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pages)
+}
+
+// DropEnclave removes every sealed page belonging to the enclave.
+func (b *BackingStore) DropEnclave(enclave uint32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id := range b.pages {
+		if id.Enclave == enclave {
+			delete(b.pages, id)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package netsim simulates closed-loop request/response load against a
+// single-threaded server, standing in for the `ab` tool the paper uses
+// against Lighttpd (§4.2.9) and the YCSB client against Memcached.
+//
+// The model: N concurrent clients each keep exactly one request in
+// flight (closed loop, zero think time unless configured). The server
+// is a single simulated thread; requests queue FIFO. Per-request
+// latency is queueing delay plus service time, so with the server
+// saturated, latency grows with the number of concurrent clients —
+// and grows much faster in SGX modes, where every request's system
+// calls pay contention-scaled enclave transitions (paper Figure 3).
+package netsim
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/sgx"
+)
+
+// Load describes one closed-loop run.
+type Load struct {
+	// Clients is the number of concurrent client connections
+	// (ab's -c / the paper's "threads").
+	Clients int
+	// Requests is the total number of requests to issue.
+	Requests int
+	// ThinkCycles is the per-client delay between receiving a
+	// response and issuing the next request.
+	ThinkCycles uint64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Requests actually served.
+	Requests int
+	// MeanLatency is the mean request latency in cycles.
+	MeanLatency float64
+	// MaxLatency is the worst request latency in cycles.
+	MaxLatency uint64
+	// ServerBusy is the total service time on the server thread.
+	ServerBusy uint64
+}
+
+// Run drives the closed loop. serve is invoked once per request on the
+// server thread and must perform the request's full work (receive
+// syscall, handling, response syscall). The environment's contention
+// level is set to the client count for the duration, modelling
+// concurrent enclave entry pressure.
+func Run(env *sgx.Env, load Load, serve func(t *sgx.Thread, reqID int)) (Result, error) {
+	if load.Clients <= 0 || load.Requests < 0 {
+		return Result{}, fmt.Errorf("netsim: invalid load %+v", load)
+	}
+	t := env.Main
+	prev := env.Concurrency()
+	env.SetConcurrency(load.Clients)
+	defer env.SetConcurrency(prev)
+
+	// ready[i] is the cycle at which client i's next request arrives.
+	ready := make([]uint64, load.Clients)
+	start := t.Clock.Cycles()
+	for i := range ready {
+		ready[i] = start
+	}
+
+	var res Result
+	var totalLatency uint64
+	serverFree := start
+	for r := 0; r < load.Requests; r++ {
+		// Next request: the client that becomes ready earliest.
+		ci := 0
+		for i := 1; i < load.Clients; i++ {
+			if ready[i] < ready[ci] {
+				ci = i
+			}
+		}
+		submit := ready[ci]
+		begin := serverFree
+		if submit > begin {
+			begin = submit
+		}
+		// Execute the service work on the server thread and measure
+		// its cost.
+		before := t.Clock.Cycles()
+		serve(t, r)
+		service := t.Clock.Cycles() - before
+		finish := begin + service
+		serverFree = finish
+		lat := finish - submit
+		totalLatency += lat
+		if lat > res.MaxLatency {
+			res.MaxLatency = lat
+		}
+		ready[ci] = finish + load.ThinkCycles
+		res.Requests++
+		res.ServerBusy += service
+	}
+	if res.Requests > 0 {
+		res.MeanLatency = float64(totalLatency) / float64(res.Requests)
+	}
+	return res, nil
+}

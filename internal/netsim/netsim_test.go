@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"testing"
+
+	"sgxgauge/internal/sgx"
+)
+
+func env() *sgx.Env {
+	return sgx.NewMachine(sgx.Config{EPCPages: 64}).NewEnv(sgx.Vanilla)
+}
+
+func TestInvalidLoad(t *testing.T) {
+	if _, err := Run(env(), Load{Clients: 0, Requests: 1}, nil); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Run(env(), Load{Clients: 1, Requests: -1}, nil); err == nil {
+		t.Error("negative requests accepted")
+	}
+}
+
+func TestZeroRequests(t *testing.T) {
+	res, err := Run(env(), Load{Clients: 2, Requests: 0}, func(*sgx.Thread, int) {})
+	if err != nil || res.Requests != 0 || res.MeanLatency != 0 {
+		t.Fatalf("empty run: %+v, %v", res, err)
+	}
+}
+
+func TestSingleClientLatencyEqualsService(t *testing.T) {
+	const service = 10_000
+	res, err := Run(env(), Load{Clients: 1, Requests: 50}, func(tr *sgx.Thread, _ int) {
+		tr.Compute(service)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 50 {
+		t.Errorf("Requests = %d", res.Requests)
+	}
+	// With one closed-loop client there is no queueing.
+	if res.MeanLatency != service {
+		t.Errorf("mean latency = %v, want %d", res.MeanLatency, service)
+	}
+	if res.MaxLatency != service {
+		t.Errorf("max latency = %v, want %d", res.MaxLatency, service)
+	}
+	if res.ServerBusy != 50*service {
+		t.Errorf("server busy = %d", res.ServerBusy)
+	}
+}
+
+func TestSaturatedLatencyScalesWithClients(t *testing.T) {
+	const service = 10_000
+	mean := func(clients int) float64 {
+		res, err := Run(env(), Load{Clients: clients, Requests: 400}, func(tr *sgx.Thread, _ int) {
+			tr.Compute(service)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	m1, m8 := mean(1), mean(8)
+	// A saturated single server serves one request at a time: with N
+	// closed-loop clients, latency approaches N x service time.
+	ratio := m8 / m1
+	if ratio < 6 || ratio > 8.5 {
+		t.Errorf("8-client/1-client latency ratio = %.2f, want ~8", ratio)
+	}
+}
+
+func TestThinkTimeReducesQueueing(t *testing.T) {
+	const service = 1_000
+	run := func(think uint64) float64 {
+		res, err := Run(env(), Load{Clients: 8, Requests: 400, ThinkCycles: think}, func(tr *sgx.Thread, _ int) {
+			tr.Compute(service)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	busy := run(0)
+	idle := run(100 * service) // long think time: server mostly idle
+	if idle >= busy {
+		t.Errorf("think time did not reduce latency: %v vs %v", idle, busy)
+	}
+	// Clients stay loosely synchronized (they all start together), so
+	// some residual queueing remains; but latency must approach the
+	// bare service time rather than the saturated 8x.
+	if idle > 2*service {
+		t.Errorf("idle-server latency = %v, want < %d", idle, 2*service)
+	}
+}
+
+func TestContentionSetDuringRun(t *testing.T) {
+	e := env()
+	var seen int
+	_, err := Run(e, Load{Clients: 5, Requests: 1}, func(tr *sgx.Thread, _ int) {
+		seen = e.Concurrency()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Errorf("concurrency during run = %d, want 5", seen)
+	}
+	if e.Concurrency() != 1 {
+		t.Errorf("concurrency after run = %d, want restored 1", e.Concurrency())
+	}
+}

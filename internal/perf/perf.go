@@ -1,0 +1,198 @@
+// Package perf implements the performance-counter set used throughout
+// the simulated machine.
+//
+// The counters mirror the hardware events SGXGauge reads with perf
+// (dTLB misses, page-walk cycles, stall cycles, LLC misses, page
+// faults) plus the SGX driver events the paper instruments directly
+// (EPC evictions, EPC load-backs, ECALLs, OCALLs, AEX exits).
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Event identifies one performance counter.
+type Event int
+
+// The counter set. The first group corresponds to hardware PMU events,
+// the second to SGX driver events, the third to bookkeeping values used
+// by the harness.
+const (
+	DTLBMisses Event = iota
+	WalkCycles
+	StallCycles
+	LLCMisses
+	LLCHits
+	PageFaults
+	EPCEvictions
+	EPCLoadBacks
+	EPCAllocs
+	ECalls
+	OCalls
+	AEXs
+	TLBFlushes
+	SwitchlessCalls
+	Syscalls
+	BytesRead
+	BytesWritten
+	Accesses
+	L1Hits
+	L1Misses
+	numEvents
+)
+
+// NumEvents is the number of distinct counters.
+const NumEvents = int(numEvents)
+
+var eventNames = [...]string{
+	DTLBMisses:      "dtlb-misses",
+	WalkCycles:      "walk-cycles",
+	StallCycles:     "stall-cycles",
+	LLCMisses:       "llc-misses",
+	LLCHits:         "llc-hits",
+	PageFaults:      "page-faults",
+	EPCEvictions:    "epc-evictions",
+	EPCLoadBacks:    "epc-loadbacks",
+	EPCAllocs:       "epc-allocs",
+	ECalls:          "ecalls",
+	OCalls:          "ocalls",
+	AEXs:            "aex-exits",
+	TLBFlushes:      "tlb-flushes",
+	SwitchlessCalls: "switchless-calls",
+	Syscalls:        "syscalls",
+	BytesRead:       "bytes-read",
+	BytesWritten:    "bytes-written",
+	Accesses:        "accesses",
+	L1Hits:          "l1-hits",
+	L1Misses:        "l1-misses",
+}
+
+// String returns the perf-style name of the event.
+func (e Event) String() string {
+	if e < 0 || int(e) >= NumEvents {
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// Counters is a live, concurrency-safe counter bank. The zero value is
+// ready to use.
+type Counters struct {
+	v [numEvents]atomic.Uint64
+}
+
+// Add increments event e by n.
+func (c *Counters) Add(e Event, n uint64) { c.v[e].Add(n) }
+
+// Inc increments event e by one.
+func (c *Counters) Inc(e Event) { c.v[e].Add(1) }
+
+// Get returns the current value of event e.
+func (c *Counters) Get(e Event) uint64 { return c.v[e].Load() }
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	for i := range c.v {
+		c.v[i].Store(0)
+	}
+}
+
+// Snapshot captures the current value of every counter.
+func (c *Counters) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range c.v {
+		s[i] = c.v[i].Load()
+	}
+	return s
+}
+
+// Snapshot is an immutable copy of the counter bank.
+type Snapshot [numEvents]uint64
+
+// Get returns the value of event e in the snapshot.
+func (s Snapshot) Get(e Event) uint64 { return s[e] }
+
+// Sub returns the element-wise difference s - prev. Values that would
+// underflow are clamped to zero (counters are monotone, so underflow
+// indicates a reset in between).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s {
+		if s[i] >= prev[i] {
+			d[i] = s[i] - prev[i]
+		}
+	}
+	return d
+}
+
+// Add returns the element-wise sum s + other.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s {
+		d[i] = s[i] + other[i]
+	}
+	return d
+}
+
+// Ratio returns s[e] / base[e] as a float. When the base value is zero
+// the result is defined as: 1 if s[e] is also zero (no change),
+// otherwise the raw numerator (interpreted as "grew from nothing").
+func (s Snapshot) Ratio(base Snapshot, e Event) float64 {
+	b := base[e]
+	n := s[e]
+	if b == 0 {
+		if n == 0 {
+			return 1
+		}
+		return float64(n)
+	}
+	return float64(n) / float64(b)
+}
+
+// String renders the non-zero counters, sorted by event order.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for i := 0; i < NumEvents; i++ {
+		if s[i] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", Event(i), s[i])
+	}
+	return b.String()
+}
+
+// Events returns all events in declaration order.
+func Events() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}
+
+// ParseEvent resolves a perf-style event name; it reports false when
+// the name is unknown.
+func ParseEvent(name string) (Event, bool) {
+	for i, n := range eventNames {
+		if n == name {
+			return Event(i), true
+		}
+	}
+	return 0, false
+}
+
+// TopRatios returns the events ordered by decreasing s/base ratio,
+// restricted to the given events.
+func (s Snapshot) TopRatios(base Snapshot, events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return s.Ratio(base, out[i]) > s.Ratio(base, out[j])
+	})
+	return out
+}

@@ -1,0 +1,251 @@
+package sgx
+
+import (
+	"encoding/binary"
+	"math"
+
+	"sgxgauge/internal/cache"
+	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/tlb"
+)
+
+// Thread is one simulated hardware thread. Each thread owns a private
+// dTLB and cycle clock; the LLC, EPC and counters are shared through
+// the machine. Threads are simulated sequentially, so none of this is
+// concurrency-sensitive.
+type Thread struct {
+	// ID distinguishes threads within an Env.
+	ID int
+	// Clock counts the cycles this thread has consumed.
+	Clock cycles.Clock
+
+	env          *Env
+	tlb          *tlb.DTLB
+	l1           *cache.L1
+	enclaveDepth int
+}
+
+// InEnclave reports whether the thread currently executes inside an
+// enclave (between ECALL entry and exit, outside any OCALL).
+func (t *Thread) InEnclave() bool { return t.enclaveDepth > 0 }
+
+// Env returns the environment the thread belongs to.
+func (t *Thread) Env() *Env { return t.env }
+
+func (t *Thread) flushTLB() {
+	t.tlb.Flush()
+	m := t.env.M
+	m.Counters.Inc(perf.TLBFlushes)
+	// Transitions pollute the LLC: the kernel/microcode path
+	// displaces a slice of the cache (part of the "cache pollution"
+	// cost of frequent enclave transitions, paper §2.3).
+	if d := m.Costs.PollutionDenom; d > 0 {
+		m.LLC.EvictEveryNth(d, m.pollutionPhase)
+		m.pollutionPhase++
+	}
+}
+
+// transitionCost scales a base exit-path transition cost by the
+// current concurrency level (paper §3.2.2: SGX overheads "can change
+// drastically based on the number of threads"; Figure 3 shows Lighttpd
+// latency growing ~7x with 16 concurrent clients). The contention is
+// applied on the OCALL/syscall path, where concurrent requests pile up
+// on kernel-side work and TLB shootdowns.
+func (t *Thread) transitionCost(base uint64) uint64 {
+	n := t.env.concurrency
+	if n <= 1 {
+		return base
+	}
+	f := 1 + t.env.M.Costs.ContentionFactor*float64(n-1)
+	return uint64(float64(base) * f)
+}
+
+// ECall enters the environment's enclave, runs fn inside it, and
+// returns. Only ported (Native-mode) applications perform ECALLs; in
+// Vanilla mode the call is direct, and in LibOS mode the unmodified
+// application already runs entirely inside the enclave, so the call is
+// also direct. Entering and leaving flush the thread's TLB (§2.3).
+func (t *Thread) ECall(fn func()) {
+	if t.env.Mode != Native {
+		fn()
+		return
+	}
+	c := &t.env.M.Costs
+	t.env.M.Counters.Inc(perf.ECalls)
+	t.env.M.trace(TraceECall, t, 0)
+	t.Clock.Advance(c.ECallEnter)
+	t.flushTLB()
+	t.enclaveDepth++
+	fn()
+	t.enclaveDepth--
+	t.Clock.Advance(c.ECallExit)
+	t.flushTLB()
+}
+
+// OCall leaves the enclave to run fn in the untrusted region and
+// returns. When the machine runs in switchless mode the call is
+// instead handed to a proxy thread over shared memory and the enclave
+// is never exited — no TLB flush (paper §5.6). Outside an enclave it
+// degenerates to a plain call.
+func (t *Thread) OCall(fn func()) {
+	if !t.InEnclave() {
+		fn()
+		return
+	}
+	c := &t.env.M.Costs
+	if t.env.M.cfg.Switchless && t.env.M.admitSwitchless() {
+		t.env.M.Counters.Inc(perf.SwitchlessCalls)
+		// The proxy performs the work while the enclave thread
+		// waits; the wait time equals the proxied work, which fn
+		// charges to this clock.
+		t.Clock.Advance(c.SwitchlessCall)
+		depth := t.enclaveDepth
+		t.enclaveDepth = 0 // proxied work happens outside
+		fn()
+		t.enclaveDepth = depth
+		t.Clock.Advance(c.SwitchlessCall)
+		return
+	}
+	t.env.M.Counters.Inc(perf.OCalls)
+	t.env.M.trace(TraceOCall, t, 0)
+	t.Clock.Advance(t.transitionCost(c.OCallExit))
+	t.flushTLB()
+	depth := t.enclaveDepth
+	t.enclaveDepth = 0
+	fn()
+	t.enclaveDepth = depth
+	t.Clock.Advance(t.transitionCost(c.OCallReturn))
+	t.flushTLB()
+}
+
+// Syscall charges one system call that transfers n payload bytes,
+// routed according to the execution mode: directly in Vanilla mode,
+// through an OCALL in Native mode, and through the LibOS shim plus an
+// OCALL in LibOS mode (paper §2.3, §2.4).
+func (t *Thread) Syscall(n uint64) {
+	c := &t.env.M.Costs
+	t.env.M.Counters.Inc(perf.Syscalls)
+	t.env.M.trace(TraceSyscall, t, 0)
+	work := func() {
+		t.Clock.Advance(c.SyscallDirect + n*c.ByteCopy)
+	}
+	switch t.env.Mode {
+	case Vanilla:
+		work()
+	case Native:
+		t.OCall(work)
+	case LibOS:
+		t.Clock.Advance(c.SyscallShim)
+		t.OCall(work)
+	}
+}
+
+// SyscallInternal charges a system call the LibOS handles entirely
+// inside the enclave (no exit) — e.g. memory management. In other
+// modes it behaves like Syscall.
+func (t *Thread) SyscallInternal(n uint64) {
+	if t.env.Mode != LibOS {
+		t.Syscall(n)
+		return
+	}
+	c := &t.env.M.Costs
+	t.env.M.Counters.Inc(perf.Syscalls)
+	t.Clock.Advance(c.SyscallShim + n*c.ByteCopy)
+}
+
+// Read copies len(p) bytes at addr from the simulated address space.
+func (t *Thread) Read(addr uint64, p []byte) { t.env.M.access(t, addr, p, false) }
+
+// Write copies p into the simulated address space at addr.
+func (t *Thread) Write(addr uint64, p []byte) { t.env.M.access(t, addr, p, true) }
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (t *Thread) ReadU64(addr uint64) uint64 {
+	var b [8]byte
+	t.env.M.access(t, addr, b[:], false)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (t *Thread) WriteU64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.env.M.access(t, addr, b[:], true)
+}
+
+// ReadU32 reads a little-endian uint32 at addr.
+func (t *Thread) ReadU32(addr uint64) uint32 {
+	var b [4]byte
+	t.env.M.access(t, addr, b[:], false)
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 writes a little-endian uint32 at addr.
+func (t *Thread) WriteU32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	t.env.M.access(t, addr, b[:], true)
+}
+
+// ReadF64 reads a float64 at addr.
+func (t *Thread) ReadF64(addr uint64) float64 {
+	return math.Float64frombits(t.ReadU64(addr))
+}
+
+// WriteF64 writes a float64 at addr.
+func (t *Thread) WriteF64(addr uint64, v float64) {
+	t.WriteU64(addr, math.Float64bits(v))
+}
+
+// ReadU8 reads one byte at addr.
+func (t *Thread) ReadU8(addr uint64) byte {
+	var b [1]byte
+	t.env.M.access(t, addr, b[:], false)
+	return b[0]
+}
+
+// WriteU8 writes one byte at addr.
+func (t *Thread) WriteU8(addr uint64, v byte) {
+	b := [1]byte{v}
+	t.env.M.access(t, addr, b[:], true)
+}
+
+// Memset fills n bytes at addr with v.
+func (t *Thread) Memset(addr uint64, v byte, n uint64) {
+	var chunk [256]byte
+	if v != 0 {
+		for i := range chunk {
+			chunk[i] = v
+		}
+	}
+	for n > 0 {
+		c := uint64(len(chunk))
+		if c > n {
+			c = n
+		}
+		t.Write(addr, chunk[:c])
+		addr += c
+		n -= c
+	}
+}
+
+// Memcpy copies n bytes from src to dst within the simulated address
+// space. The regions must not overlap.
+func (t *Thread) Memcpy(dst, src, n uint64) {
+	var chunk [256]byte
+	for n > 0 {
+		c := uint64(len(chunk))
+		if c > n {
+			c = n
+		}
+		t.Read(src, chunk[:c])
+		t.Write(dst, chunk[:c])
+		dst += c
+		src += c
+		n -= c
+	}
+}
+
+// Compute charges n cycles of pure computation (no memory traffic).
+func (t *Thread) Compute(n uint64) { t.Clock.Advance(n) }

@@ -1,0 +1,68 @@
+package sgx
+
+// TraceKind identifies one traced SGX event, mirroring the event
+// taxonomy of the enclave profilers the paper surveys (sgx-perf,
+// TEEMon — §3.1.2): transitions, faults, and paging activity.
+type TraceKind int
+
+// The traced event kinds.
+const (
+	TraceECall TraceKind = iota
+	TraceOCall
+	TraceAEX
+	TraceFault
+	TraceEvict
+	TraceLoadBack
+	TraceSyscall
+	numTraceKinds
+)
+
+// NumTraceKinds is the number of distinct trace kinds.
+const NumTraceKinds = int(numTraceKinds)
+
+// String returns the profiler-style event name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceECall:
+		return "ecall"
+	case TraceOCall:
+		return "ocall"
+	case TraceAEX:
+		return "aex"
+	case TraceFault:
+		return "fault"
+	case TraceEvict:
+		return "evict"
+	case TraceLoadBack:
+		return "loadback"
+	case TraceSyscall:
+		return "syscall"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one recorded event.
+type TraceEvent struct {
+	// Kind is the event type.
+	Kind TraceKind
+	// Cycle is the issuing thread's clock at the event.
+	Cycle uint64
+	// Thread is the issuing thread's ID.
+	Thread int
+	// Addr is the page-aligned address for paging events, 0 for
+	// transitions.
+	Addr uint64
+}
+
+// SetTracer installs fn to observe SGX events as they happen; nil
+// disables tracing. Tracing costs nothing in simulated time (the
+// profilers the paper cites instrument the driver, outside the
+// enclave).
+func (m *Machine) SetTracer(fn func(TraceEvent)) { m.tracer = fn }
+
+func (m *Machine) trace(k TraceKind, t *Thread, addr uint64) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer(TraceEvent{Kind: k, Cycle: t.Clock.Cycles(), Thread: t.ID, Addr: addr})
+}

@@ -1,0 +1,105 @@
+// Package tlb implements the data-TLB model of the simulated machine.
+//
+// SGX flushes the TLB on every enclave transition (ECALL, OCALL return
+// path, AEX) "due to security concerns", and refills entries through
+// page walks that additionally verify the EPCM for EPC pages (paper
+// §2.3, Figure 1). The dTLB model makes those flushes and refills
+// observable: the dTLB-miss and walk-cycle explosions in the paper's
+// Figures 2, 5 and 8 are emergent behaviour of this component.
+package tlb
+
+// DTLB is a set-associative translation lookaside buffer over virtual
+// page numbers, with round-robin replacement within a set. It is not
+// safe for concurrent use; each simulated hardware thread owns one.
+type DTLB struct {
+	sets    int
+	ways    int
+	setMask uint64
+	tags    []uint64 // sets*ways; 0 = invalid (tags biased by 1)
+	next    []uint8
+	flushes uint64
+}
+
+// New builds a TLB with the given number of entries and associativity.
+// entries is rounded down so that sets is a power of two.
+func New(entries, ways int) *DTLB {
+	if ways < 1 {
+		ways = 1
+	}
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &DTLB{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		next:    make([]uint8, sets),
+	}
+}
+
+// Entries returns the total number of TLB entries modeled.
+func (t *DTLB) Entries() int { return t.sets * t.ways }
+
+// Lookup reports whether the translation for virtual page number vpn
+// is present. It does not modify the TLB.
+func (t *DTLB) Lookup(vpn uint64) bool {
+	tag := vpn + 1
+	base := int(vpn&t.setMask) * t.ways
+	for i := 0; i < t.ways; i++ {
+		if t.tags[base+i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs the translation for vpn, evicting the round-robin
+// victim of its set.
+func (t *DTLB) Insert(vpn uint64) {
+	tag := vpn + 1
+	set := int(vpn & t.setMask)
+	base := set * t.ways
+	for i := 0; i < t.ways; i++ {
+		if t.tags[base+i] == tag {
+			return
+		}
+	}
+	v := int(t.next[set])
+	t.tags[base+v] = tag
+	t.next[set] = uint8((v + 1) % t.ways)
+}
+
+// Evict removes the translation for vpn if present (used when a page
+// is paged out of the EPC).
+func (t *DTLB) Evict(vpn uint64) {
+	tag := vpn + 1
+	base := int(vpn&t.setMask) * t.ways
+	for i := 0; i < t.ways; i++ {
+		if t.tags[base+i] == tag {
+			t.tags[base+i] = 0
+			return
+		}
+	}
+}
+
+// Flush invalidates every entry, as happens on each enclave
+// transition.
+func (t *DTLB) Flush() {
+	for i := range t.tags {
+		t.tags[i] = 0
+	}
+	for i := range t.next {
+		t.next[i] = 0
+	}
+	t.flushes++
+}
+
+// Flushes returns the number of Flush calls since construction.
+func (t *DTLB) Flushes() uint64 { return t.flushes }

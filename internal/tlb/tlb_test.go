@@ -1,0 +1,96 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	d := New(64, 4)
+	if d.Lookup(0x123) {
+		t.Fatal("empty TLB hit")
+	}
+	d.Insert(0x123)
+	if !d.Lookup(0x123) {
+		t.Fatal("inserted vpn missed")
+	}
+	// Lookup must not modify state for other entries.
+	if d.Lookup(0x124) {
+		t.Fatal("phantom entry")
+	}
+}
+
+func TestDoubleInsertKeepsOneEntry(t *testing.T) {
+	d := New(8, 2)
+	d.Insert(5)
+	d.Insert(5)
+	// Filling the rest of set 5's ways must not evict vpn 5 twice:
+	// inserting one conflicting vpn should leave 5 resident.
+	sets := uint64(d.Entries() / 2)
+	d.Insert(5 + sets)
+	if !d.Lookup(5) {
+		t.Error("duplicate insert consumed both ways")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	d := New(64, 4)
+	d.Insert(7)
+	d.Evict(7)
+	if d.Lookup(7) {
+		t.Error("evicted vpn still present")
+	}
+	d.Evict(7) // idempotent
+}
+
+func TestFlushAndCount(t *testing.T) {
+	d := New(64, 4)
+	for vpn := uint64(0); vpn < 32; vpn++ {
+		d.Insert(vpn)
+	}
+	d.Flush()
+	for vpn := uint64(0); vpn < 32; vpn++ {
+		if d.Lookup(vpn) {
+			t.Fatalf("vpn %d survived flush", vpn)
+		}
+	}
+	if d.Flushes() != 1 {
+		t.Errorf("Flushes = %d, want 1", d.Flushes())
+	}
+}
+
+func TestSetConflictRoundRobin(t *testing.T) {
+	d := New(8, 2) // 4 sets x 2 ways
+	sets := uint64(4)
+	d.Insert(0)
+	d.Insert(sets)
+	d.Insert(2 * sets) // evicts vpn 0
+	if d.Lookup(0) {
+		t.Error("round-robin victim survived")
+	}
+	if !d.Lookup(sets) || !d.Lookup(2*sets) {
+		t.Error("newer entries were evicted instead")
+	}
+}
+
+func TestEntriesGeometry(t *testing.T) {
+	d := New(100, 4) // rounds down to 16 sets x 4 ways
+	if d.Entries() != 64 {
+		t.Errorf("Entries = %d, want 64", d.Entries())
+	}
+	d = New(0, 0) // degenerate input yields a minimal TLB
+	if d.Entries() < 1 {
+		t.Errorf("Entries = %d, want >= 1", d.Entries())
+	}
+}
+
+func TestInsertLookupProperty(t *testing.T) {
+	d := New(512, 4)
+	f := func(vpn uint64) bool {
+		d.Insert(vpn)
+		return d.Lookup(vpn) // insert-then-lookup always hits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace implements an sgx-perf/TEEMon-style event collector
+// for the simulated machine (the enclave-profiling tools the paper
+// surveys in §3.1.2): it records SGX events (transitions, faults,
+// paging) as they happen, summarizes them per kind, and exports the
+// raw stream as CSV for offline analysis.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/sgx"
+)
+
+// Collector accumulates trace events. Attach with Attach; it is not
+// safe for concurrent use (the machine serializes simulated threads).
+type Collector struct {
+	// Keep bounds the number of retained raw events (0 = unlimited).
+	Keep int
+
+	events  []sgx.TraceEvent
+	dropped uint64
+	counts  [sgx.NumTraceKinds]uint64
+	last    [sgx.NumTraceKinds]uint64
+	gapSum  [sgx.NumTraceKinds]uint64
+	gapN    [sgx.NumTraceKinds]uint64
+}
+
+// New returns a collector retaining up to keep raw events.
+func New(keep int) *Collector {
+	return &Collector{Keep: keep}
+}
+
+// Attach registers the collector on the machine, replacing any
+// previous tracer.
+func (c *Collector) Attach(m *sgx.Machine) {
+	m.SetTracer(c.record)
+}
+
+func (c *Collector) record(ev sgx.TraceEvent) {
+	k := ev.Kind
+	c.counts[k]++
+	if ev.Thread >= 0 { // events with a meaningful clock
+		if c.last[k] != 0 && ev.Cycle >= c.last[k] {
+			c.gapSum[k] += ev.Cycle - c.last[k]
+			c.gapN[k]++
+		}
+		c.last[k] = ev.Cycle
+	}
+	if c.Keep > 0 && len(c.events) >= c.Keep {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// Count returns how many events of kind k were observed (including
+// any whose raw records were dropped).
+func (c *Collector) Count(k sgx.TraceKind) uint64 { return c.counts[k] }
+
+// Events returns the retained raw events in arrival order.
+func (c *Collector) Events() []sgx.TraceEvent { return c.events }
+
+// Dropped returns how many raw events were discarded due to Keep.
+func (c *Collector) Dropped() uint64 { return c.dropped }
+
+// MeanGap returns the mean inter-arrival time (in cycles) between
+// consecutive events of kind k, or 0 with fewer than two events.
+func (c *Collector) MeanGap(k sgx.TraceKind) float64 {
+	if c.gapN[k] == 0 {
+		return 0
+	}
+	return float64(c.gapSum[k]) / float64(c.gapN[k])
+}
+
+// Summary renders a per-kind count/inter-arrival table, the view an
+// enclave developer uses to find transition-heavy phases.
+func (c *Collector) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %16s\n", "event", "count", "mean gap (us)")
+	kinds := make([]sgx.TraceKind, 0, sgx.NumTraceKinds)
+	for k := sgx.TraceKind(0); int(k) < sgx.NumTraceKinds; k++ {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return c.counts[kinds[i]] > c.counts[kinds[j]] })
+	for _, k := range kinds {
+		if c.counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %10d %16.2f\n", k, c.counts[k], cycles.Micros(uint64(c.MeanGap(k))))
+	}
+	if c.dropped > 0 {
+		fmt.Fprintf(&b, "(%d raw events dropped beyond Keep=%d)\n", c.dropped, c.Keep)
+	}
+	return b.String()
+}
+
+// CSV renders the retained raw events as "cycle,kind,thread,addr"
+// rows with a header, for offline tooling.
+func (c *Collector) CSV() string {
+	var b strings.Builder
+	b.WriteString("cycle,kind,thread,addr\n")
+	for _, ev := range c.events {
+		fmt.Fprintf(&b, "%d,%s,%d,%#x\n", ev.Cycle, ev.Kind, ev.Thread, ev.Addr)
+	}
+	return b.String()
+}
+
+// Reset clears all state.
+func (c *Collector) Reset() {
+	c.events = c.events[:0]
+	c.dropped = 0
+	for i := range c.counts {
+		c.counts[i] = 0
+		c.last[i] = 0
+		c.gapSum[i] = 0
+		c.gapN[i] = 0
+	}
+}

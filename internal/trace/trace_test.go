@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/sgx"
+)
+
+// driveActivity produces a deterministic mix of SGX events.
+func driveActivity(t *testing.T, m *sgx.Machine) {
+	t.Helper()
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 96); err != nil {
+		t.Fatal(err)
+	}
+	tr := env.Main
+	heap := env.MustAlloc(48*mem.PageSize, mem.PageSize)
+	for i := 0; i < 4; i++ {
+		tr.ECall(func() {
+			for p := uint64(0); p < 48; p++ {
+				tr.WriteU64(heap+p*mem.PageSize, p)
+			}
+			tr.Syscall(100)
+		})
+	}
+}
+
+func TestCollectorCountsAndEvents(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 32})
+	c := New(0)
+	c.Attach(m)
+	driveActivity(t, m)
+
+	if c.Count(sgx.TraceECall) != 4 {
+		t.Errorf("ecalls = %d, want 4", c.Count(sgx.TraceECall))
+	}
+	if c.Count(sgx.TraceOCall) != 4 { // one syscall OCALL per ECALL
+		t.Errorf("ocalls = %d, want 4", c.Count(sgx.TraceOCall))
+	}
+	if c.Count(sgx.TraceFault) == 0 || c.Count(sgx.TraceEvict) == 0 {
+		t.Error("no paging events recorded under thrash")
+	}
+	if c.Count(sgx.TraceAEX) != c.Count(sgx.TraceFault) {
+		t.Errorf("AEX (%d) != in-enclave faults (%d)", c.Count(sgx.TraceAEX), c.Count(sgx.TraceFault))
+	}
+	// Raw events arrive in causal order with monotone cycles per
+	// thread.
+	var lastCycle uint64
+	for _, ev := range c.Events() {
+		if ev.Thread < 0 {
+			continue
+		}
+		if ev.Cycle < lastCycle {
+			t.Fatal("trace cycles not monotone")
+		}
+		lastCycle = ev.Cycle
+	}
+}
+
+func TestFaultAddressesArePageAligned(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 32})
+	c := New(0)
+	c.Attach(m)
+	driveActivity(t, m)
+	for _, ev := range c.Events() {
+		if ev.Kind == sgx.TraceFault && ev.Addr%mem.PageSize != 0 {
+			t.Fatalf("fault address %#x not page aligned", ev.Addr)
+		}
+	}
+}
+
+func TestKeepBoundsMemory(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 32})
+	c := New(10)
+	c.Attach(m)
+	driveActivity(t, m)
+	if len(c.Events()) != 10 {
+		t.Errorf("retained %d events, want 10", len(c.Events()))
+	}
+	if c.Dropped() == 0 {
+		t.Error("no drops recorded despite Keep bound")
+	}
+	// Counts still cover everything.
+	if c.Count(sgx.TraceECall) != 4 {
+		t.Error("counts lost under Keep bound")
+	}
+}
+
+func TestSummaryAndCSV(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 32})
+	c := New(0)
+	c.Attach(m)
+	driveActivity(t, m)
+
+	sum := c.Summary()
+	for _, want := range []string{"ecall", "fault", "count"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	csv := c.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "cycle,kind,thread,addr" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines)-1 != len(c.Events()) {
+		t.Errorf("csv rows = %d, events = %d", len(lines)-1, len(c.Events()))
+	}
+}
+
+func TestMeanGapAndReset(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 32})
+	c := New(0)
+	c.Attach(m)
+	driveActivity(t, m)
+	if c.MeanGap(sgx.TraceECall) <= 0 {
+		t.Error("no inter-arrival gap for repeated ECALLs")
+	}
+	c.Reset()
+	if c.Count(sgx.TraceECall) != 0 || len(c.Events()) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestUntracedMachineHasNoOverhead(t *testing.T) {
+	// A machine without a tracer must behave identically (tracing
+	// costs nothing in simulated time either way).
+	run := func(attach bool) uint64 {
+		m := sgx.NewMachine(sgx.Config{EPCPages: 32})
+		if attach {
+			New(0).Attach(m)
+		}
+		env := m.NewEnv(sgx.Native)
+		if _, err := env.LaunchEnclave(2, 96); err != nil {
+			t.Fatal(err)
+		}
+		tr := env.Main
+		heap := env.MustAlloc(48*mem.PageSize, mem.PageSize)
+		tr.ECall(func() {
+			for p := uint64(0); p < 48; p++ {
+				tr.WriteU64(heap+p*mem.PageSize, p)
+			}
+		})
+		return tr.Clock.Cycles()
+	}
+	if run(true) != run(false) {
+		t.Error("tracing changed simulated time")
+	}
+}

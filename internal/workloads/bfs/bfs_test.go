@@ -1,0 +1,80 @@
+package bfs
+
+import (
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "BFS" || !w.NativePort() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestDegreeAtLeastThree(t *testing.T) {
+	// "The degree is at least 3" (paper §4.2.5): edges >= 3*nodes in
+	// every setting.
+	w := New()
+	for _, s := range workloads.Sizes() {
+		p := w.DefaultParams(96, s)
+		if p.Knob("edges") < 3*p.Knob("nodes") {
+			t.Errorf("%v: %d edges for %d nodes (degree < 3)", s, p.Knob("edges"), p.Knob("nodes"))
+		}
+	}
+}
+
+func TestVisitsEveryNode(t *testing.T) {
+	// The ring edge makes the graph one connected component, and the
+	// traversal covers all components regardless — so visited must
+	// equal the node count exactly.
+	params := workloads.Params{
+		Size:    workloads.Low,
+		Threads: 1,
+		Knobs:   map[string]int64{"nodes": 2000, "edges": 9000},
+	}
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla, params, 96)
+	out, err := New().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ops != 2000 {
+		t.Errorf("visited %d nodes, want 2000", out.Ops)
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	out := wltest.RunAllModes(t, New(), workloads.Low)
+	van := out[sgx.Vanilla]
+	p := New().DefaultParams(wltest.DefaultEPCPages, workloads.Low)
+	if van.Ops != p.Knob("nodes") {
+		t.Errorf("visited %d, want all %d nodes", van.Ops, p.Knob("nodes"))
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"nodes": 0, "edges": 0}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestDeterministicChecksum(t *testing.T) {
+	a := wltest.NewCtx(t, New(), sgx.Vanilla, workloads.Low)
+	b := wltest.NewCtx(t, New(), sgx.Vanilla, workloads.Low)
+	ra, err := New().Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := New().Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Checksum != rb.Checksum {
+		t.Error("same seed, different BFS checksum")
+	}
+}

@@ -1,0 +1,145 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "BTree" || !w.NativePort() {
+		t.Error("metadata wrong")
+	}
+	if w.Property() != "Data/CPU-intensive" {
+		t.Errorf("property = %q", w.Property())
+	}
+}
+
+func TestParamsScaleWithEPC(t *testing.T) {
+	w := New()
+	small := w.DefaultParams(96, workloads.Medium)
+	big := w.DefaultParams(192, workloads.Medium)
+	if big.Knob("elements") <= small.Knob("elements") {
+		t.Error("elements do not scale with the EPC")
+	}
+	low := w.DefaultParams(96, workloads.Low)
+	high := w.DefaultParams(96, workloads.High)
+	if !(low.Knob("elements") < small.Knob("elements") && small.Knob("elements") < high.Knob("elements")) {
+		t.Error("Low < Medium < High ordering violated")
+	}
+	// The touched working set (not the slack-padded region) must
+	// straddle the EPC: Low below, High above.
+	if touched := low.Knob("elements") * bytesPerElement / mem.PageSize; touched >= 96 {
+		t.Errorf("Low working set %d pages >= EPC", touched)
+	}
+	if touched := high.Knob("elements") * bytesPerElement / mem.PageSize; touched <= 96 {
+		t.Errorf("High working set %d pages <= EPC", touched)
+	}
+}
+
+// TestTreeAgainstMapModel is the model-based property test: the
+// in-space B-tree must agree with a Go map on membership for inserted
+// and absent keys.
+func TestTreeAgainstMapModel(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 128})
+	env := m.NewEnv(sgx.Vanilla)
+	region := m.AllocUntrusted(512*mem.PageSize, mem.PageSize)
+	tr := newTree(env.Main, region, 512*mem.PageSize)
+
+	rng := rand.New(rand.NewSource(1))
+	model := map[uint64]bool{}
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Int63n(1 << 40))
+		tr.Insert(k)
+		model[k] = true
+	}
+	for k := range model {
+		if !tr.Contains(k) {
+			t.Fatalf("inserted key %d missing", k)
+		}
+	}
+	misses := 0
+	for i := 0; i < 10000; i++ {
+		k := uint64(rng.Int63n(1<<40)) | (1 << 62) // disjoint range
+		if tr.Contains(k) {
+			t.Fatalf("phantom key %d found", k)
+		}
+		misses++
+	}
+	if misses != 10000 {
+		t.Fatal("miss loop broken")
+	}
+}
+
+func TestTreeOrderedInsert(t *testing.T) {
+	// Sorted insertion exercises the rightmost-split path.
+	m := sgx.NewMachine(sgx.Config{EPCPages: 128})
+	env := m.NewEnv(sgx.Vanilla)
+	region := m.AllocUntrusted(256*mem.PageSize, mem.PageSize)
+	tr := newTree(env.Main, region, 256*mem.PageSize)
+	for i := uint64(0); i < 20000; i++ {
+		tr.Insert(i)
+	}
+	for i := uint64(0); i < 20000; i++ {
+		if !tr.Contains(i) {
+			t.Fatalf("key %d missing after ordered insert", i)
+		}
+	}
+	if tr.Contains(20001) {
+		t.Fatal("phantom key after ordered insert")
+	}
+}
+
+func TestRegionExhaustionPanics(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 128})
+	env := m.NewEnv(sgx.Vanilla)
+	region := m.AllocUntrusted(2*mem.PageSize, mem.PageSize)
+	tr := newTree(env.Main, region, 2*mem.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("node-region exhaustion did not panic")
+		}
+	}()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i)
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	out := wltest.RunAllModes(t, New(), workloads.Low)
+	van := out[sgx.Vanilla]
+	if van.Ops == 0 || van.Checksum == 0 {
+		t.Error("empty output")
+	}
+	// Roughly half the probes hit by construction.
+	found := van.Extra["found"]
+	if found < float64(van.Ops)*3/10 || found > float64(van.Ops)*7/10 {
+		t.Errorf("found = %v of %d probes, want ~half", found, van.Ops)
+	}
+}
+
+func TestNativeMediumThrashesEPC(t *testing.T) {
+	ctx := wltest.NewCtx(t, New(), sgx.Native, workloads.Medium)
+	before := ctx.Env.Snapshot()
+	if _, err := New().Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	delta := ctx.Env.Snapshot().Sub(before)
+	if delta.Get(perf.EPCEvictions) == 0 {
+		t.Error("Medium (~EPC-sized) B-Tree caused no evictions")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"elements": 0, "finds": 0}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("zero elements accepted")
+	}
+}

@@ -1,0 +1,40 @@
+// Package empty implements the "empty" (return 0;) workload the paper
+// uses to characterize pure GrapheneSGX overhead (§5.4.1, Figure 6a):
+// the measured portion does nothing, so everything observed is the
+// runtime's own activity.
+package empty
+
+import "sgxgauge/internal/workloads"
+
+// Workload is the empty benchmark.
+type Workload struct{}
+
+// New returns the workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements workloads.Workload.
+func (*Workload) Name() string { return "Empty" }
+
+// Property implements workloads.Workload.
+func (*Workload) Property() string { return "Runtime-overhead probe" }
+
+// NativePort implements workloads.Workload.
+func (*Workload) NativePort() bool { return true }
+
+// DefaultParams implements workloads.Workload.
+func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	return workloads.Params{Size: s, Threads: 1, Knobs: map[string]int64{}}
+}
+
+// FootprintPages implements workloads.Workload.
+func (*Workload) FootprintPages(p workloads.Params) int { return 1 }
+
+// Setup implements workloads.Workload.
+func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
+
+// Run implements workloads.Workload: return 0.
+func (*Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	return workloads.Output{Checksum: 0, Ops: 0}, nil
+}
+
+var _ workloads.Workload = (*Workload)(nil)

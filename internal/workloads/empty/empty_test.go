@@ -1,0 +1,36 @@
+package empty
+
+import (
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestRunDoesNothing(t *testing.T) {
+	for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.Native, sgx.LibOS} {
+		ctx := wltest.NewCtx(t, New(), mode, workloads.Low)
+		before := ctx.Env.Elapsed()
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if out.Ops != 0 || out.Checksum != 0 {
+			t.Errorf("%v: empty workload produced output %+v", mode, out)
+		}
+		if ctx.Env.Elapsed() != before {
+			t.Errorf("%v: empty workload consumed cycles", mode)
+		}
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "Empty" || w.FootprintPages(w.DefaultParams(96, workloads.Low)) != 1 {
+		t.Error("metadata wrong")
+	}
+	if err := w.Setup(nil); err != nil {
+		t.Error("setup failed")
+	}
+}

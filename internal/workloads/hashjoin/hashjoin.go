@@ -1,0 +1,222 @@
+// Package hashjoin implements the HashJoin workload of SGXGauge
+// (§4.2.4): the classic two-phase equi-join. The build phase hashes
+// every row of the (size-varied) first table into an open-addressing
+// table in the simulated enclave address space; the probe phase scans
+// the second table and looks each row up. The random probing is what
+// gives the workload its many cache misses and stall cycles (paper
+// Appendix B.4).
+package hashjoin
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/workloads"
+)
+
+// Row layout in both tables: (key u64, payload u64) = 16 bytes.
+// Hash-table slot layout: (key u64, rowIndex u64) = 16 bytes; key 0
+// means empty (generated keys are never 0).
+const (
+	rowBytes  = 16
+	slotBytes = 16
+)
+
+// Workload is the HashJoin benchmark.
+type Workload struct{}
+
+// New returns the workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements workloads.Workload.
+func (*Workload) Name() string { return "HashJoin" }
+
+// Property implements workloads.Workload.
+func (*Workload) Property() string { return "Data/CPU-intensive" }
+
+// NativePort implements workloads.Workload.
+func (*Workload) NativePort() bool { return true }
+
+// footprintRatios mirrors Table 2's 61/91/122 MB build table against
+// the 92 MB EPC.
+var footprintRatios = map[workloads.Size]float64{
+	workloads.Low:    0.66,
+	workloads.Medium: 0.99,
+	workloads.High:   1.33,
+}
+
+// DefaultParams implements workloads.Workload. The build-table row
+// count is derived so that rows + hash table (whose slot count rounds
+// up to a power of two) + probe table together hit the Table 2
+// footprint ratio; the probe table is a fixed quarter of the build
+// table, as only the first table's size is varied in the paper.
+func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	target := workloads.BytesForRatio(epcPages, footprintRatios[s])
+	// Binary-search the largest row count whose true footprint fits.
+	lo, hi := int64(1), target/rowBytes
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if footprintBytes(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return workloads.Params{
+		Size:    s,
+		Threads: 1,
+		Knobs: map[string]int64{
+			"build_rows": lo,
+			"probe_rows": lo / 4,
+		},
+	}
+}
+
+// footprintBytes is the true memory footprint for a build-table row
+// count, including the power-of-two hash table and the probe table.
+func footprintBytes(buildRows int64) int64 {
+	slots := int64(1)
+	for slots < 2*buildRows {
+		slots *= 2
+	}
+	return buildRows*rowBytes + slots*slotBytes + (buildRows/4)*rowBytes
+}
+
+// FootprintPages implements workloads.Workload.
+func (*Workload) FootprintPages(p workloads.Params) int {
+	r := p.Knob("build_rows")
+	s := p.Knob("probe_rows")
+	slots := int64(1)
+	for slots < 2*r {
+		slots *= 2
+	}
+	bytes := r*rowBytes + slots*slotBytes + s*rowBytes
+	return int(bytes/mem.PageSize) + 4
+}
+
+// Setup implements workloads.Workload.
+func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
+
+// hashKey mixes a key into the slot space.
+func hashKey(k uint64, mask uint64) uint64 {
+	return workloads.Mix64(k) & mask
+}
+
+// Run implements workloads.Workload.
+func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	p := ctx.Params
+	buildRows := p.Knob("build_rows")
+	probeRows := p.Knob("probe_rows")
+	if buildRows <= 0 || probeRows < 0 {
+		return workloads.Output{}, fmt.Errorf("hashjoin: invalid rows build=%d probe=%d", buildRows, probeRows)
+	}
+
+	// Slot count: next power of two >= 2*buildRows.
+	slots := uint64(1)
+	for slots < uint64(2*buildRows) {
+		slots *= 2
+	}
+	mask := slots - 1
+
+	env := ctx.Env
+	buildTab, err := env.Alloc(uint64(buildRows)*rowBytes, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("hashjoin: alloc build table: %w", err)
+	}
+	probeTab, err := env.Alloc(uint64(probeRows)*rowBytes, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("hashjoin: alloc probe table: %w", err)
+	}
+	ht, err := env.Alloc(slots*slotBytes, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("hashjoin: alloc hash table: %w", err)
+	}
+	t := env.Main
+
+	// Materialize both tables. Build keys are unique; probe keys are
+	// drawn so ~half match.
+	t.ECall(func() {
+		for i := int64(0); i < buildRows; i++ {
+			key := workloads.Mix64(uint64(i)) | 1 // never zero
+			t.WriteU64(buildTab+uint64(i)*rowBytes, key)
+			t.WriteU64(buildTab+uint64(i)*rowBytes+8, uint64(i))
+		}
+		for i := int64(0); i < probeRows; i++ {
+			r := workloads.Mix64(0xabcd ^ uint64(i))
+			var key uint64
+			if r&1 == 0 {
+				key = workloads.Mix64(r%uint64(buildRows)) | 1 // hit
+			} else {
+				key = workloads.Mix64(uint64(buildRows)+r%uint64(buildRows)) | 1 // likely miss
+			}
+			t.WriteU64(probeTab+uint64(i)*rowBytes, key)
+			t.WriteU64(probeTab+uint64(i)*rowBytes+8, r)
+		}
+	})
+
+	insert := func(key, rowIdx uint64) {
+		h := hashKey(key, mask)
+		for {
+			slot := ht + h*slotBytes
+			if t.ReadU64(slot) == 0 {
+				t.WriteU64(slot, key)
+				t.WriteU64(slot+8, rowIdx)
+				return
+			}
+			h = (h + 1) & mask
+		}
+	}
+	lookup := func(key uint64) (uint64, bool) {
+		h := hashKey(key, mask)
+		for {
+			slot := ht + h*slotBytes
+			k := t.ReadU64(slot)
+			if k == 0 {
+				return 0, false
+			}
+			if k == key {
+				return t.ReadU64(slot + 8), true
+			}
+			h = (h + 1) & mask
+		}
+	}
+
+	// Build phase.
+	t.ECall(func() {
+		for i := int64(0); i < buildRows; i++ {
+			key := t.ReadU64(buildTab + uint64(i)*rowBytes)
+			insert(key, uint64(i))
+		}
+	})
+
+	// Probe phase, batched per ECALL like a ported row iterator.
+	var matches int64
+	var checksum uint64
+	const batch = 4096
+	for done := int64(0); done < probeRows; done += batch {
+		n := batch
+		if probeRows-done < int64(batch) {
+			n = int(probeRows - done)
+		}
+		start := done
+		t.ECall(func() {
+			for i := 0; i < n; i++ {
+				key := t.ReadU64(probeTab + uint64(start+int64(i))*rowBytes)
+				if rowIdx, ok := lookup(key); ok {
+					matches++
+					// Join output: fold the matched build payload.
+					payload := t.ReadU64(buildTab + rowIdx*rowBytes + 8)
+					checksum = workloads.FoldChecksum(checksum, payload)
+				}
+			}
+		})
+	}
+
+	return workloads.Output{
+		Checksum: checksum,
+		Ops:      probeRows,
+		Extra:    map[string]float64{"matches": float64(matches)},
+	}, nil
+}
+
+var _ workloads.Workload = (*Workload)(nil)

@@ -1,0 +1,113 @@
+package hashjoin
+
+import (
+	"testing"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "HashJoin" || !w.NativePort() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestFootprintRespectsTarget(t *testing.T) {
+	w := New()
+	for _, s := range workloads.Sizes() {
+		p := w.DefaultParams(96, s)
+		foot := w.FootprintPages(p)
+		target := workloads.PagesForRatio(96, footprintRatios[s])
+		// Sizing accounts for the power-of-two table: the footprint
+		// must sit at or below the target, and within 40% of it
+		// (pow2 rounding costs at most ~2x on the table component).
+		if foot > target+4 {
+			t.Errorf("%v: footprint %d pages exceeds target %d", s, foot, target)
+		}
+		if foot < target*6/10 {
+			t.Errorf("%v: footprint %d pages far below target %d", s, foot, target)
+		}
+	}
+}
+
+func TestMatchesAgainstNestedLoopModel(t *testing.T) {
+	// Small instance: compare the join's match count with a
+	// host-side nested-loop join over the same generated keys.
+	params := workloads.Params{
+		Size:    workloads.Low,
+		Threads: 1,
+		Knobs:   map[string]int64{"build_rows": 500, "probe_rows": 300},
+	}
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla, params, 96)
+	out, err := New().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct both tables exactly as Run generates them.
+	buildKeys := map[uint64]bool{}
+	for i := int64(0); i < 500; i++ {
+		buildKeys[workloads.Mix64(uint64(i))|1] = true
+	}
+	want := 0
+	for i := int64(0); i < 300; i++ {
+		r := workloads.Mix64(0xabcd ^ uint64(i))
+		var key uint64
+		if r&1 == 0 {
+			key = workloads.Mix64(r%500) | 1
+		} else {
+			key = workloads.Mix64(500+r%500) | 1
+		}
+		if buildKeys[key] {
+			want++
+		}
+	}
+	if got := int(out.Extra["matches"]); got != want {
+		t.Errorf("matches = %d, nested-loop model says %d", got, want)
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	out := wltest.RunAllModes(t, New(), workloads.Low)
+	van := out[sgx.Vanilla]
+	if van.Ops == 0 {
+		t.Error("no probes")
+	}
+	// ~half of the probes hit by construction.
+	if m := van.Extra["matches"]; m < float64(van.Ops)*3/10 || m > float64(van.Ops)*7/10 {
+		t.Errorf("matches = %v of %d probes", m, van.Ops)
+	}
+}
+
+func TestHighDoesNotExhaustNativeEnclave(t *testing.T) {
+	// Regression test: the pow2 hash table once blew past the
+	// enclave size at High.
+	ctx := wltest.NewCtx(t, New(), sgx.Native, workloads.High)
+	if _, err := New().Run(ctx); err != nil {
+		t.Fatalf("High Native run failed: %v", err)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"build_rows": 0, "probe_rows": 1}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("zero build rows accepted")
+	}
+}
+
+func TestFootprintBytesMonotone(t *testing.T) {
+	prev := int64(0)
+	for rows := int64(1); rows < 100000; rows *= 3 {
+		fb := footprintBytes(rows)
+		if fb <= prev {
+			t.Fatalf("footprintBytes(%d) = %d not increasing", rows, fb)
+		}
+		prev = fb
+	}
+	_ = mem.PageSize
+}

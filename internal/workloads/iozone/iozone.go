@@ -1,0 +1,188 @@
+// Package iozone implements the Iozone-style filesystem benchmark of
+// the paper's Appendix E (Figure 10): sequential write, rewrite,
+// sequential read and reread of a large file in fixed-size blocks,
+// through whatever filesystem view the mode provides — the plain
+// untrusted FS in Vanilla mode, the LibOS shim in LibOS mode, or the
+// protected file system when PF is enabled.
+package iozone
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/osal"
+	"sgxgauge/internal/workloads"
+)
+
+const (
+	fileName = "iozone.dat"
+	// blocksPerPhase fixes the file:block ratio. The paper reads and
+	// writes "1 GB of data with 4 M blocks"; what matters for the
+	// overhead balance is that per-block syscall costs amortize over
+	// the block bytes (the byte-dominated regime), so the scaled
+	// block count is kept low enough that blocks stay tens of KB.
+	blocksPerPhase = 24
+)
+
+// Workload is the Iozone benchmark.
+type Workload struct{}
+
+// New returns the workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements workloads.Workload.
+func (*Workload) Name() string { return "Iozone" }
+
+// Property implements workloads.Workload.
+func (*Workload) Property() string { return "IO-intensive" }
+
+// NativePort implements workloads.Workload; Iozone is a LibOS-mode
+// appendix workload.
+func (*Workload) NativePort() bool { return false }
+
+// fileRatios: the paper uses a 1 GB file against a 92 MB EPC (~11x);
+// that is expensive at simulation scale, so the suite uses 4x the EPC,
+// still far past it — the file never fits.
+var fileRatios = map[workloads.Size]float64{
+	workloads.Low:    2.0,
+	workloads.Medium: 3.0,
+	workloads.High:   4.0,
+}
+
+// DefaultParams implements workloads.Workload.
+func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	fileBytes := workloads.BytesForRatio(epcPages, fileRatios[s])
+	block := fileBytes / blocksPerPhase
+	block = block &^ 4095 // whole pages, matching PF chunking
+	if block < 4096 {
+		block = 4096
+	}
+	return workloads.Params{
+		Size:    s,
+		Threads: 1,
+		Knobs: map[string]int64{
+			"file_bytes":  fileBytes / block * block,
+			"block_bytes": block,
+		},
+	}
+}
+
+// FootprintPages implements workloads.Workload; only one block is
+// buffered in memory at a time.
+func (*Workload) FootprintPages(p workloads.Params) int {
+	return int(p.Knob("block_bytes")/mem.PageSize) + 4
+}
+
+// Setup implements workloads.Workload.
+func (*Workload) Setup(ctx *workloads.Ctx) error {
+	ctx.RawFS.Remove(fileName)
+	ctx.RawFS.Remove(fileName + ".pfmeta")
+	return nil
+}
+
+// PhaseCycles records the per-phase cost, keyed by phase name
+// ("write", "rewrite", "read", "reread").
+type PhaseCycles map[string]uint64
+
+// Run implements workloads.Workload.
+func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	p := ctx.Params
+	fileBytes := p.Knob("file_bytes")
+	blockBytes := p.Knob("block_bytes")
+	if fileBytes <= 0 || blockBytes <= 0 || fileBytes%blockBytes != 0 {
+		return workloads.Output{}, fmt.Errorf("iozone: invalid file_bytes=%d block_bytes=%d", fileBytes, blockBytes)
+	}
+	blocks := fileBytes / blockBytes
+
+	env := ctx.Env
+	buf, err := env.Alloc(uint64(blockBytes), mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("iozone: alloc block buffer: %w", err)
+	}
+	t := env.Main
+	phases := PhaseCycles{}
+
+	// Fill the buffer once with deterministic content.
+	var chunk [256]byte
+	seed := workloads.Mix64(uint64(ctx.Seed))
+	for off := int64(0); off < blockBytes; off += int64(len(chunk)) {
+		for i := 0; i < len(chunk); i += 8 {
+			seed = workloads.Mix64(seed)
+			chunk[i] = byte(seed)
+		}
+		t.Write(buf+uint64(off), chunk[:])
+	}
+
+	writePass := func(name string) error {
+		start := t.Clock.Cycles()
+		var f osal.Handle
+		var err error
+		if name == "rewrite" {
+			f, err = ctx.FS.Open(t, fileName)
+		} else {
+			f, err = ctx.FS.CreateFile(t, fileName)
+		}
+		if err != nil {
+			return fmt.Errorf("iozone: %s: %w", name, err)
+		}
+		for b := int64(0); b < blocks; b++ {
+			if _, err := f.WriteAt(t, buf, int(b*blockBytes), int(blockBytes)); err != nil {
+				return fmt.Errorf("iozone: %s block %d: %w", name, b, err)
+			}
+		}
+		if err := f.Close(t); err != nil {
+			return err
+		}
+		phases[name] = t.Clock.Cycles() - start
+		return nil
+	}
+	readPass := func(name string) (uint64, error) {
+		start := t.Clock.Cycles()
+		f, err := ctx.FS.Open(t, fileName)
+		if err != nil {
+			return 0, fmt.Errorf("iozone: %s: %w", name, err)
+		}
+		var acc uint64
+		for b := int64(0); b < blocks; b++ {
+			if _, err := f.ReadAt(t, buf, int(b*blockBytes), int(blockBytes)); err != nil {
+				return 0, fmt.Errorf("iozone: %s block %d: %w", name, b, err)
+			}
+			acc = workloads.FoldChecksum(acc, t.ReadU64(buf))
+		}
+		if err := f.Close(t); err != nil {
+			return 0, err
+		}
+		phases[name] = t.Clock.Cycles() - start
+		return acc, nil
+	}
+
+	if err := writePass("write"); err != nil {
+		return workloads.Output{}, err
+	}
+	if err := writePass("rewrite"); err != nil {
+		return workloads.Output{}, err
+	}
+	sum1, err := readPass("read")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	sum2, err := readPass("reread")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	if sum1 != sum2 {
+		return workloads.Output{}, fmt.Errorf("iozone: read/reread checksum mismatch: %#x != %#x", sum1, sum2)
+	}
+
+	extra := map[string]float64{}
+	for name, cyc := range phases {
+		extra[name+"_cycles"] = float64(cyc)
+	}
+	return workloads.Output{
+		Checksum: sum1,
+		Ops:      blocks * 4,
+		Extra:    extra,
+	}, nil
+}
+
+var _ workloads.Workload = (*Workload)(nil)

@@ -1,0 +1,111 @@
+package iozone
+
+import (
+	"testing"
+
+	"sgxgauge/internal/libos"
+	"sgxgauge/internal/osal"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "Iozone" || w.NativePort() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestFileAlwaysExceedsEPC(t *testing.T) {
+	// The paper reads/writes 1 GB against a 92 MB EPC; scaled, the
+	// file must always be a multiple of the EPC.
+	w := New()
+	for _, s := range workloads.Sizes() {
+		p := w.DefaultParams(96, s)
+		if p.Knob("file_bytes") < 2*96*4096 {
+			t.Errorf("%v: file %d bytes not >> EPC", s, p.Knob("file_bytes"))
+		}
+		if p.Knob("file_bytes")%p.Knob("block_bytes") != 0 {
+			t.Errorf("%v: file not a whole number of blocks", s)
+		}
+	}
+}
+
+func TestAllPhasesRun(t *testing.T) {
+	ctx := wltest.NewCtx(t, New(), sgx.Vanilla, workloads.Low)
+	out, err := New().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"write", "rewrite", "read", "reread"} {
+		if out.Extra[phase+"_cycles"] <= 0 {
+			t.Errorf("phase %q consumed no cycles", phase)
+		}
+	}
+	p := New().DefaultParams(wltest.DefaultEPCPages, workloads.Low)
+	if out.Ops != 4*p.Knob("file_bytes")/p.Knob("block_bytes") {
+		t.Errorf("Ops = %d", out.Ops)
+	}
+}
+
+func TestChecksumAgreesAcrossModes(t *testing.T) {
+	var sums []uint64
+	for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.LibOS} {
+		ctx := wltest.NewCtx(t, New(), mode, workloads.Low)
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		sums = append(sums, out.Checksum)
+	}
+	if sums[0] != sums[1] {
+		t.Error("modes produced different file contents")
+	}
+}
+
+// TestFigure10Ordering is the Appendix E shape: Vanilla < LibOS <
+// LibOS+PF for every phase.
+func TestFigure10Ordering(t *testing.T) {
+	phase := func(mode sgx.Mode, pf bool, name string) float64 {
+		var ctx *workloads.Ctx
+		if pf {
+			m := sgx.NewMachine(sgx.Config{EPCPages: 96})
+			fs := osal.NewFS()
+			ctx = &workloads.Ctx{RawFS: fs, Params: New().DefaultParams(96, workloads.Low), Seed: 42}
+			if err := New().Setup(ctx); err != nil {
+				t.Fatal(err)
+			}
+			inst, err := libos.Start(m, fs, libos.Manifest{Binary: "iozone", ProtectedFiles: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx.Env = inst.Env
+			ctx.LibOS = inst
+			ctx.FS = inst.FS()
+		} else {
+			ctx = wltest.NewCtx(t, New(), mode, workloads.Low)
+		}
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Extra[name+"_cycles"]
+	}
+	for _, name := range []string{"write", "read"} {
+		van := phase(sgx.Vanilla, false, name)
+		lib := phase(sgx.LibOS, false, name)
+		pf := phase(sgx.LibOS, true, name)
+		if !(van < lib && lib < pf) {
+			t.Errorf("%s phase ordering broken: vanilla=%v libos=%v pf=%v", name, van, lib, pf)
+		}
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"file_bytes": 100, "block_bytes": 64}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("non-divisible file/block accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Package lighttpd implements the Lighttpd workload of SGXGauge
+// (§4.2.9): a single-threaded web server hosting a 20 KB page, driven
+// by an ab-style closed-loop client pool with configurable
+// concurrency. Each request costs receive/send system calls plus a
+// scan of the page — in SGX modes every syscall is an enclave
+// transition, so latency balloons with concurrency (paper Figure 3).
+package lighttpd
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/netsim"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+const (
+	// pageBytes is the hosted page size ("a web-page of size 20 KB,
+	// similar to [HotCalls]").
+	pageBytes = 20 * 1024
+	// requestHeaderBytes is the HTTP request size.
+	requestHeaderBytes = 512
+	// defaultThreads matches Table 2 (16 concurrent ab threads).
+	defaultThreads = 16
+)
+
+// Workload is the Lighttpd benchmark.
+type Workload struct{}
+
+// New returns the workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements workloads.Workload.
+func (*Workload) Name() string { return "Lighttpd" }
+
+// Property implements workloads.Workload.
+func (*Workload) Property() string { return "ECALL-intensive" }
+
+// NativePort implements workloads.Workload; Lighttpd runs only in
+// Vanilla and LibOS modes (§4.3).
+func (*Workload) NativePort() bool { return false }
+
+// requestScale: Table 2 issues 50K/60K/70K requests; scale them with
+// the EPC so run times stay proportional.
+var requestScale = map[workloads.Size]int64{
+	workloads.Low:    50,
+	workloads.Medium: 60,
+	workloads.High:   70,
+}
+
+// DefaultParams implements workloads.Workload.
+func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	return workloads.Params{
+		Size:    s,
+		Threads: defaultThreads,
+		Knobs: map[string]int64{
+			"requests": requestScale[s] * int64(epcPages) / 10,
+		},
+	}
+}
+
+// FootprintPages implements workloads.Workload.
+func (*Workload) FootprintPages(p workloads.Params) int {
+	return pageBytes/mem.PageSize + 8
+}
+
+// Setup implements workloads.Workload.
+func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
+
+// Run implements workloads.Workload.
+func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	p := ctx.Params
+	requests := p.Knob("requests")
+	threads := p.Threads
+	if requests < 0 || threads <= 0 {
+		return workloads.Output{}, fmt.Errorf("lighttpd: invalid requests=%d threads=%d", requests, threads)
+	}
+
+	env := ctx.Env
+	page, err := env.Alloc(pageBytes, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("lighttpd: alloc page: %w", err)
+	}
+	t := env.Main
+
+	// Install the hosted page.
+	var buf [256]byte
+	seed := workloads.Mix64(uint64(ctx.Seed))
+	for off := 0; off < pageBytes; off += len(buf) {
+		for i := 0; i < len(buf); i += 8 {
+			seed = workloads.Mix64(seed)
+			buf[i] = byte(seed)
+		}
+		t.Write(page+uint64(off), buf[:])
+	}
+
+	// Serve: each request receives the header, scans the page (the
+	// server's sendfile-style copy), and sends the response.
+	var served int64
+	var checksum uint64
+	scratch := make([]byte, 1024)
+	res, err := netsim.Run(env, netsim.Load{Clients: threads, Requests: int(requests)}, func(t *sgx.Thread, reqID int) {
+		t.Syscall(requestHeaderBytes) // recv request
+		var acc uint64
+		for off := 0; off < pageBytes; off += len(scratch) {
+			t.Read(page+uint64(off), scratch)
+			acc ^= uint64(scratch[0])
+		}
+		t.Syscall(pageBytes) // send response body
+		served++
+		checksum = workloads.FoldChecksum(checksum, acc^uint64(reqID))
+	})
+	if err != nil {
+		return workloads.Output{}, err
+	}
+
+	return workloads.Output{
+		Checksum:    checksum,
+		Ops:         served,
+		MeanLatency: res.MeanLatency,
+		Extra: map[string]float64{
+			"mean_latency": res.MeanLatency,
+			"max_latency":  float64(res.MaxLatency),
+		},
+	}, nil
+}
+
+var _ workloads.Workload = (*Workload)(nil)

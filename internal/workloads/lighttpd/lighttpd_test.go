@@ -1,0 +1,120 @@
+package lighttpd
+
+import (
+	"testing"
+
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "Lighttpd" {
+		t.Error("name wrong")
+	}
+	if w.NativePort() {
+		t.Error("Lighttpd must be LibOS-only (paper §4.3)")
+	}
+	if w.Property() != "ECALL-intensive" {
+		t.Errorf("property = %q", w.Property())
+	}
+	if w.DefaultParams(96, workloads.Low).Threads != 16 {
+		t.Error("default concurrency != 16 (Table 2)")
+	}
+}
+
+func TestRequestCountsScale(t *testing.T) {
+	w := New()
+	low := w.DefaultParams(96, workloads.Low).Knob("requests")
+	high := w.DefaultParams(96, workloads.High).Knob("requests")
+	// Table 2 issues 50K/60K/70K requests: the 7:5 High:Low ratio
+	// must survive scaling.
+	if high*5 != low*7 {
+		t.Errorf("requests %d/%d do not preserve the 70:50 ratio", low, high)
+	}
+}
+
+func smallParams(threads int) workloads.Params {
+	return workloads.Params{
+		Size:    workloads.Medium,
+		Threads: threads,
+		Knobs:   map[string]int64{"requests": 300},
+	}
+}
+
+func TestServesAllRequests(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla, smallParams(4), 96)
+	out, err := New().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ops != 300 {
+		t.Errorf("served %d of 300 requests", out.Ops)
+	}
+	if out.MeanLatency <= 0 {
+		t.Error("no latency measured")
+	}
+}
+
+func TestChecksumAgreesAcrossModes(t *testing.T) {
+	var sums []uint64
+	for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.LibOS} {
+		ctx := wltest.NewCtxParams(t, New(), mode, smallParams(4), 96)
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		sums = append(sums, out.Checksum)
+	}
+	if sums[0] != sums[1] {
+		t.Error("modes served different content")
+	}
+}
+
+// TestLatencyGrowsWithConcurrency is the Figure 3 shape: the
+// SGX-to-Vanilla latency ratio must grow with the number of
+// concurrent clients.
+func TestLatencyGrowsWithConcurrency(t *testing.T) {
+	ratio := func(threads int) float64 {
+		lat := map[sgx.Mode]float64{}
+		for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.LibOS} {
+			ctx := wltest.NewCtxParams(t, New(), mode, smallParams(threads), 96)
+			out, err := New().Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lat[mode] = out.MeanLatency
+		}
+		return lat[sgx.LibOS] / lat[sgx.Vanilla]
+	}
+	r1, r16 := ratio(1), ratio(16)
+	if r16 <= r1 {
+		t.Errorf("latency ratio does not grow with concurrency: 1 thread %.2fx, 16 threads %.2fx", r1, r16)
+	}
+	if r16 < 3 || r16 > 12 {
+		t.Errorf("16-thread ratio = %.2fx, paper reports ~7x", r16)
+	}
+}
+
+func TestSyscallsPerRequest(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla, smallParams(2), 96)
+	before := ctx.Env.Snapshot()
+	if _, err := New().Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	delta := ctx.Env.Snapshot().Sub(before)
+	// recv + send per request.
+	if got := delta.Get(perf.Syscalls); got != 600 {
+		t.Errorf("syscalls = %d, want 600 (2 per request)", got)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Threads: 0, Knobs: map[string]int64{"requests": 10}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("zero threads accepted")
+	}
+}

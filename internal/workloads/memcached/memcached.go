@@ -1,0 +1,205 @@
+// Package memcached implements the Memcached workload of SGXGauge
+// (§4.2.7): an in-memory key-value store driven by a YCSB-style
+// client. The load phase populates the store with a configured number
+// of records; the run phase issues a fixed number of read/update
+// operations over zipfian-distributed keys through a closed-loop
+// request/response layer, so every operation pays the mode's
+// network-syscall costs (Data/ECALL-intensive).
+package memcached
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/netsim"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/ycsb"
+)
+
+const (
+	// valueBytes is the record payload size (1 KiB records, so the
+	// paper's 50K/100K/200K records bracket the EPC).
+	valueBytes = 1024
+	// entryHeader: key, chain next, LRU prev, LRU next (u64 each).
+	entryHeader = 32
+	entryBytes  = entryHeader + valueBytes
+	// clients is the YCSB client concurrency.
+	clients = 8
+	// requestBytes/ackBytes are the wire sizes of one operation.
+	requestBytes = 64
+	ackBytes     = 16
+	// parseCycles is the per-operation protocol work (command
+	// parsing, key hashing, slab bookkeeping) Memcached performs
+	// regardless of mode — a couple of microseconds per operation.
+	parseCycles = 6000
+)
+
+// Workload is the Memcached benchmark.
+type Workload struct{}
+
+// New returns the workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements workloads.Workload.
+func (*Workload) Name() string { return "Memcached" }
+
+// Property implements workloads.Workload.
+func (*Workload) Property() string { return "Data/ECALL-intensive" }
+
+// NativePort implements workloads.Workload; Memcached is one of the
+// four real-world workloads evaluated only in LibOS mode (§4.3).
+func (*Workload) NativePort() bool { return false }
+
+// recordRatios mirrors Table 2's 50K/100K/200K 1-KiB records against
+// the 92 MB EPC.
+var recordRatios = map[workloads.Size]float64{
+	workloads.Low:    0.55,
+	workloads.Medium: 1.10,
+	workloads.High:   2.20,
+}
+
+// DefaultParams implements workloads.Workload. The operation count is
+// fixed across sizes, like the paper's constant 800K operations.
+func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	records := workloads.BytesForRatio(epcPages, recordRatios[s]) / entryBytes
+	ops := workloads.BytesForRatio(epcPages, 1.0) / entryBytes * 8
+	return workloads.Params{
+		Size:    s,
+		Threads: clients,
+		Knobs: map[string]int64{
+			"records":    records,
+			"operations": ops,
+		},
+	}
+}
+
+// FootprintPages implements workloads.Workload.
+func (*Workload) FootprintPages(p workloads.Params) int {
+	r := p.Knob("records")
+	buckets := bucketCount(r)
+	bytes := r*entryBytes + int64(buckets)*8
+	return int(bytes/mem.PageSize) + 4
+}
+
+func bucketCount(records int64) uint64 {
+	b := uint64(1)
+	for int64(b) < records {
+		b *= 2
+	}
+	return b
+}
+
+// Setup implements workloads.Workload.
+func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
+
+// Run implements workloads.Workload.
+func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	p := ctx.Params
+	records := p.Knob("records")
+	operations := p.Knob("operations")
+	if records <= 0 || operations < 0 {
+		return workloads.Output{}, fmt.Errorf("memcached: invalid records=%d operations=%d", records, operations)
+	}
+
+	gen := ycsb.NewGenerator(ycsb.Workload{
+		Records:          int(records),
+		Operations:       int(operations),
+		ReadProportion:   0.45,
+		InsertProportion: 0.10,
+		Dist:             ycsb.Zipfian,
+		ValueSize:        valueBytes,
+		Seed:             ctx.Seed,
+	})
+
+	env := ctx.Env
+	buckets := bucketCount(records)
+	bucketAddr, err := env.Alloc(buckets*8, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("memcached: alloc buckets: %w", err)
+	}
+	entryRegion, err := env.Alloc(uint64(records)*entryBytes+mem.PageSize, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("memcached: alloc entries: %w", err)
+	}
+	t := env.Main
+	s := &store{
+		t:       t,
+		buckets: bucketAddr,
+		mask:    buckets - 1,
+		base:    entryRegion,
+		next:    entryRegion,
+		limit:   entryRegion + uint64(records)*entryBytes + mem.PageSize,
+	}
+
+	// Load phase: YCSB populates the store.
+	value := make([]byte, valueBytes)
+	var loadErr error
+	t.ECall(func() {
+		for i := int64(0); i < records; i++ {
+			binary.LittleEndian.PutUint64(value, workloads.Mix64(uint64(i)))
+			if err := s.insert(uint64(i), value); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	if loadErr != nil {
+		return workloads.Output{}, loadErr
+	}
+
+	// Run phase: closed-loop request/response service.
+	var checksum uint64
+	var hits int64
+	scratch := make([]byte, valueBytes)
+	res, err := netsim.Run(env, netsim.Load{Clients: clients, Requests: int(operations)}, func(t *sgx.Thread, reqID int) {
+		op := gen.Next()
+		t.Syscall(requestBytes) // recv
+		t.Compute(parseCycles)
+		t.ECall(func() {
+			switch op.Kind {
+			case ycsb.OpInsert:
+				binary.LittleEndian.PutUint64(scratch, workloads.Mix64(op.Key))
+				if err := s.insert(op.Key, scratch); err != nil {
+					return
+				}
+				hits++
+			case ycsb.OpRead:
+				if e := s.get(op.Key); e != 0 {
+					t.Read(e+entryHeader, scratch)
+					hits++
+					checksum = workloads.FoldChecksum(checksum, binary.LittleEndian.Uint64(scratch))
+				}
+			default: // update
+				if e := s.get(op.Key); e != 0 {
+					binary.LittleEndian.PutUint64(scratch, workloads.Mix64(op.Key^uint64(reqID)))
+					t.Write(e+entryHeader, scratch)
+					hits++
+				}
+			}
+		})
+		if op.Kind == ycsb.OpRead {
+			t.Syscall(valueBytes) // send value
+		} else {
+			t.Syscall(ackBytes) // send ack
+		}
+	})
+	if err != nil {
+		return workloads.Output{}, err
+	}
+
+	return workloads.Output{
+		Checksum:    checksum,
+		Ops:         operations,
+		MeanLatency: res.MeanLatency,
+		Extra: map[string]float64{
+			"hits":          float64(hits),
+			"mean_latency":  res.MeanLatency,
+			"lru_evictions": float64(s.evictions),
+			"live_entries":  float64(s.live()),
+		},
+	}, nil
+}
+
+var _ workloads.Workload = (*Workload)(nil)

@@ -1,0 +1,196 @@
+package memcached
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "Memcached" {
+		t.Error("name wrong")
+	}
+	if w.NativePort() {
+		t.Error("Memcached must be LibOS-only (paper §4.3)")
+	}
+}
+
+func TestRecordScalingBracketsEPC(t *testing.T) {
+	// Table 2: 50K/100K/200K records bracket the EPC (ratios
+	// 0.55/1.1/2.2).
+	w := New()
+	low := w.FootprintPages(w.DefaultParams(96, workloads.Low))
+	med := w.FootprintPages(w.DefaultParams(96, workloads.Medium))
+	high := w.FootprintPages(w.DefaultParams(96, workloads.High))
+	if !(low < 96 && med > 96 && high > 2*96-20) {
+		t.Errorf("footprints %d/%d/%d do not bracket the 96-page EPC", low, med, high)
+	}
+}
+
+func TestOperationsConstantAcrossSizes(t *testing.T) {
+	// The paper fixes 800K operations for all record counts.
+	w := New()
+	ops := w.DefaultParams(96, workloads.Low).Knob("operations")
+	for _, s := range workloads.Sizes() {
+		if got := w.DefaultParams(96, s).Knob("operations"); got != ops {
+			t.Errorf("%v: operations = %d, want constant %d", s, got, ops)
+		}
+	}
+}
+
+func TestStoreReadYourWrites(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 96})
+	env := m.NewEnv(sgx.Vanilla)
+	tr := env.Main
+	buckets := m.AllocUntrusted(64*8, mem.PageSize)
+	entries := m.AllocUntrusted(100*entryBytes, mem.PageSize)
+	s := &store{
+		t: tr, buckets: buckets, mask: 63,
+		base: entries, next: entries, limit: entries + 100*entryBytes,
+	}
+	val := make([]byte, valueBytes)
+	for k := uint64(0); k < 50; k++ {
+		binary.LittleEndian.PutUint64(val, k*7)
+		if err := s.insert(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 50; k++ {
+		e := s.find(k)
+		if e == 0 {
+			t.Fatalf("key %d missing", k)
+		}
+		if got := tr.ReadU64(e + entryHeader); got != k*7 {
+			t.Fatalf("key %d value = %d, want %d", k, got, k*7)
+		}
+	}
+	if s.find(999) != 0 {
+		t.Error("phantom key found")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 96})
+	env := m.NewEnv(sgx.Vanilla)
+	tr := env.Main
+	buckets := m.AllocUntrusted(8*8, mem.PageSize)
+	entries := m.AllocUntrusted(2*entryBytes, mem.PageSize)
+	s := &store{t: tr, buckets: buckets, mask: 7, base: entries, next: entries, limit: entries + 2*entryBytes}
+	val := make([]byte, valueBytes)
+	if err := s.insert(1, val); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.insert(2, val); err != nil {
+		t.Fatal(err)
+	}
+	// Touch key 1 so key 2 becomes the LRU victim.
+	if s.get(1) == 0 {
+		t.Fatal("key 1 missing")
+	}
+	if err := s.insert(3, val); err != nil {
+		t.Fatal(err)
+	}
+	if s.evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.evictions)
+	}
+	if s.get(2) != 0 {
+		t.Error("LRU victim (key 2) survived")
+	}
+	if s.get(1) == 0 || s.get(3) == 0 {
+		t.Error("recently-used keys were evicted")
+	}
+	if s.live() != 2 {
+		t.Errorf("live = %d, want 2", s.live())
+	}
+}
+
+func TestStoreLRUChurnKeepsChainsConsistent(t *testing.T) {
+	// Heavy insert churn through a small region: every lookup after
+	// the churn must be consistent with a host-side model.
+	m := sgx.NewMachine(sgx.Config{EPCPages: 96})
+	env := m.NewEnv(sgx.Vanilla)
+	tr := env.Main
+	buckets := m.AllocUntrusted(16*8, mem.PageSize)
+	entries := m.AllocUntrusted(8*entryBytes, mem.PageSize)
+	s := &store{t: tr, buckets: buckets, mask: 15, base: entries, next: entries, limit: entries + 8*entryBytes}
+	val := make([]byte, valueBytes)
+	for k := uint64(0); k < 100; k++ {
+		if err := s.insert(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 8 most recently inserted keys are resident; older ones are
+	// gone.
+	for k := uint64(92); k < 100; k++ {
+		if s.get(k) == 0 {
+			t.Errorf("recent key %d missing", k)
+		}
+	}
+	for k := uint64(0); k < 92; k++ {
+		if s.get(k) != 0 {
+			t.Errorf("stale key %d resident", k)
+		}
+	}
+	if s.evictions != 92 {
+		t.Errorf("evictions = %d, want 92", s.evictions)
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	params := workloads.Params{
+		Size:    workloads.Low,
+		Threads: 4,
+		Knobs:   map[string]int64{"records": 200, "operations": 1000},
+	}
+	var sums []uint64
+	for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.LibOS} {
+		ctx := wltest.NewCtxParams(t, New(), mode, params, 96)
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if out.Extra["hits"] < 800 {
+			t.Errorf("%v: hits = %v of 1000 ops over loaded keys", mode, out.Extra["hits"])
+		}
+		if out.MeanLatency <= 0 {
+			t.Errorf("%v: no latency recorded", mode)
+		}
+		sums = append(sums, out.Checksum)
+	}
+	if sums[0] != sums[1] {
+		t.Error("modes served different values")
+	}
+}
+
+func TestLatencyHigherUnderLibOS(t *testing.T) {
+	params := workloads.Params{
+		Size:    workloads.Low,
+		Threads: 4,
+		Knobs:   map[string]int64{"records": 200, "operations": 500},
+	}
+	lat := map[sgx.Mode]float64{}
+	for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.LibOS} {
+		ctx := wltest.NewCtxParams(t, New(), mode, params, 96)
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[mode] = out.MeanLatency
+	}
+	if lat[sgx.LibOS] <= lat[sgx.Vanilla] {
+		t.Errorf("LibOS latency (%v) not above Vanilla (%v)", lat[sgx.LibOS], lat[sgx.Vanilla])
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"records": 0, "operations": 10}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("zero records accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package memcached
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+// store is the in-space key-value store: a chained hash table whose
+// entries are threaded onto a doubly-linked LRU list, like real
+// memcached's slab LRU. When the entry region is exhausted, the least
+// recently used entry is evicted to make room — so insert-heavy
+// traffic continuously recycles memory, churning the EPC.
+//
+// Entry layout (entryHeader bytes of metadata, then the value):
+//
+//	offset 0:  key u64
+//	offset 8:  chain next (0 = end)
+//	offset 16: LRU prev   (0 = none)
+//	offset 24: LRU next   (0 = none)
+//	offset 32: value [valueBytes]
+type store struct {
+	t       *sgx.Thread
+	buckets uint64
+	mask    uint64
+	base    uint64 // start of the entry region
+	next    uint64 // bump pointer
+	limit   uint64
+
+	lruHead uint64
+	lruTail uint64
+	free    []uint64 // recycled entry addresses
+
+	evictions int64
+}
+
+const (
+	offKey     = 0
+	offChain   = 8
+	offLRUPrev = 16
+	offLRUNext = 24
+)
+
+func (s *store) bucketAddr(key uint64) uint64 {
+	return s.buckets + (workloads.Mix64(key)&s.mask)*8
+}
+
+// lruUnlink removes e from the LRU list.
+func (s *store) lruUnlink(e uint64) {
+	prev := s.t.ReadU64(e + offLRUPrev)
+	next := s.t.ReadU64(e + offLRUNext)
+	if prev != 0 {
+		s.t.WriteU64(prev+offLRUNext, next)
+	} else {
+		s.lruHead = next
+	}
+	if next != 0 {
+		s.t.WriteU64(next+offLRUPrev, prev)
+	} else {
+		s.lruTail = prev
+	}
+}
+
+// lruPush puts e at the head (most recently used).
+func (s *store) lruPush(e uint64) {
+	s.t.WriteU64(e+offLRUPrev, 0)
+	s.t.WriteU64(e+offLRUNext, s.lruHead)
+	if s.lruHead != 0 {
+		s.t.WriteU64(s.lruHead+offLRUPrev, e)
+	}
+	s.lruHead = e
+	if s.lruTail == 0 {
+		s.lruTail = e
+	}
+}
+
+// touch marks e most recently used.
+func (s *store) touch(e uint64) {
+	if s.lruHead == e {
+		return
+	}
+	s.lruUnlink(e)
+	s.lruPush(e)
+}
+
+// chainUnlink removes e from its bucket chain.
+func (s *store) chainUnlink(e uint64) {
+	key := s.t.ReadU64(e + offKey)
+	b := s.bucketAddr(key)
+	cur := s.t.ReadU64(b)
+	if cur == e {
+		s.t.WriteU64(b, s.t.ReadU64(e+offChain))
+		return
+	}
+	for cur != 0 {
+		next := s.t.ReadU64(cur + offChain)
+		if next == e {
+			s.t.WriteU64(cur+offChain, s.t.ReadU64(e+offChain))
+			return
+		}
+		cur = next
+	}
+	panic(fmt.Sprintf("memcached: entry %#x missing from its chain", e))
+}
+
+// evictLRU reclaims the least recently used entry.
+func (s *store) evictLRU() {
+	victim := s.lruTail
+	if victim == 0 {
+		panic("memcached: evictLRU on empty store")
+	}
+	s.chainUnlink(victim)
+	s.lruUnlink(victim)
+	s.free = append(s.free, victim)
+	s.evictions++
+}
+
+// allocEntry returns space for one entry, evicting if needed.
+func (s *store) allocEntry() uint64 {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		return e
+	}
+	if s.next+entryBytes <= s.limit {
+		e := s.next
+		s.next += entryBytes
+		return e
+	}
+	s.evictLRU()
+	return s.allocEntry()
+}
+
+// insert adds (or replaces) key with the given value.
+func (s *store) insert(key uint64, value []byte) error {
+	if e := s.find(key); e != 0 {
+		s.t.Write(e+entryHeader, value)
+		s.touch(e)
+		return nil
+	}
+	e := s.allocEntry()
+	b := s.bucketAddr(key)
+	s.t.WriteU64(e+offKey, key)
+	s.t.WriteU64(e+offChain, s.t.ReadU64(b))
+	s.t.Write(e+entryHeader, value)
+	s.t.WriteU64(b, e)
+	s.lruPush(e)
+	return nil
+}
+
+// find returns the entry address for key (0 if absent), without
+// touching the LRU.
+func (s *store) find(key uint64) uint64 {
+	e := s.t.ReadU64(s.bucketAddr(key))
+	for e != 0 {
+		if s.t.ReadU64(e+offKey) == key {
+			return e
+		}
+		e = s.t.ReadU64(e + offChain)
+	}
+	return 0
+}
+
+// get returns the entry for key, marking it recently used.
+func (s *store) get(key uint64) uint64 {
+	e := s.find(key)
+	if e != 0 {
+		s.touch(e)
+	}
+	return e
+}
+
+// live returns how many entries are currently stored.
+func (s *store) live() int64 {
+	allocated := int64((s.next - s.base) / entryBytes)
+	return allocated - int64(len(s.free))
+}

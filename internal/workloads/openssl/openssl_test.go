@@ -1,0 +1,86 @@
+package openssl
+
+import (
+	"bytes"
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "OpenSSL" || !w.NativePort() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestFileSizesMatchTable2Ratios(t *testing.T) {
+	// Table 2: 76/88/151 MB against a 92 MB EPC. The scaled files
+	// must keep those proportions: Low and Medium below the EPC,
+	// High well above.
+	w := New()
+	epcBytes := int64(96) * 4096
+	low := w.DefaultParams(96, workloads.Low).Knob("file_bytes")
+	med := w.DefaultParams(96, workloads.Medium).Knob("file_bytes")
+	high := w.DefaultParams(96, workloads.High).Knob("file_bytes")
+	if !(low < med && med < epcBytes && high > epcBytes*3/2) {
+		t.Errorf("file sizes %d/%d/%d vs EPC %d break Table 2 shape", low, med, high, epcBytes)
+	}
+}
+
+func TestSetupCreatesCiphertext(t *testing.T) {
+	ctx := wltest.NewCtx(t, New(), sgx.Vanilla, workloads.Low)
+	raw := ctx.RawFS.Raw(inputFile)
+	if raw == nil {
+		t.Fatal("setup created no input file")
+	}
+	// The input must be encrypted: decrypting it with the workload
+	// key yields the generated plaintext, and the raw bytes differ
+	// from it.
+	plain := make([]byte, len(raw))
+	ctr(key(ctx.Seed), 1).XORKeyStream(plain, raw)
+	if bytes.Equal(plain[:256], raw[:256]) {
+		t.Error("input file appears to be plaintext")
+	}
+}
+
+func TestOutputDecryptsToTransformedInput(t *testing.T) {
+	ctx := wltest.NewCtx(t, New(), sgx.Vanilla, workloads.Low)
+	if _, err := New().Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	in := ctx.RawFS.Raw(inputFile)
+	out := ctx.RawFS.Raw(outputFile)
+	if out == nil || len(out) != len(in) {
+		t.Fatalf("output file missing or wrong size: %d vs %d", len(out), len(in))
+	}
+	// Decrypt both with their respective nonces: the workload
+	// re-encrypts the same plaintext, so the decryptions must match.
+	k := key(ctx.Seed)
+	plainIn := make([]byte, len(in))
+	ctr(k, 1).XORKeyStream(plainIn, in)
+	plainOut := make([]byte, len(out))
+	ctr(k, 2).XORKeyStream(plainOut, out)
+	if !bytes.Equal(plainIn, plainOut) {
+		t.Fatal("output does not decrypt to the input plaintext")
+	}
+	if bytes.Equal(in, out) {
+		t.Fatal("output bytes identical to input (nonce reuse)")
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	wltest.RunAllModes(t, New(), workloads.Low)
+}
+
+func TestInvalidParams(t *testing.T) {
+	w := New()
+	ctx := &workloads.Ctx{
+		Params: workloads.Params{Knobs: map[string]int64{"file_bytes": 0}},
+	}
+	if err := w.Setup(ctx); err == nil {
+		t.Error("zero-byte file accepted")
+	}
+}

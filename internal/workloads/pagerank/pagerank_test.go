@@ -1,0 +1,73 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "PageRank" || !w.NativePort() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestOutDegreeAtLeastOne(t *testing.T) {
+	// "a connected directed graph ... with an out-degree of at least
+	// 1" (paper §4.2.6).
+	w := New()
+	for _, s := range workloads.Sizes() {
+		p := w.DefaultParams(96, s)
+		if p.Knob("edges") < p.Knob("nodes") {
+			t.Errorf("%v: %d edges < %d nodes", s, p.Knob("edges"), p.Knob("nodes"))
+		}
+	}
+}
+
+func TestRankMassConserved(t *testing.T) {
+	// With every node having out-degree >= 1 there are no dangling
+	// nodes, so total rank mass stays 1 under power iteration.
+	ctx := wltest.NewCtx(t, New(), sgx.Vanilla, workloads.Low)
+	out, err := New().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mass := out.Extra["rank_mass"]; math.Abs(mass-1.0) > 1e-6 {
+		t.Errorf("rank mass = %v, want 1.0", mass)
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	out := wltest.RunAllModes(t, New(), workloads.Low)
+	if out[sgx.Vanilla].Ops == 0 {
+		t.Error("no edge relaxations")
+	}
+}
+
+func TestSizesNearEPCBoundary(t *testing.T) {
+	// Table 2's PageRank inputs bracket the EPC tightly (10.1M to
+	// 12.5M edges against 92 MB); the ratios must stay ordered and
+	// close together.
+	w := New()
+	low := w.FootprintPages(w.DefaultParams(960, workloads.Low))
+	med := w.FootprintPages(w.DefaultParams(960, workloads.Medium))
+	high := w.FootprintPages(w.DefaultParams(960, workloads.High))
+	if !(low < med && med < high) {
+		t.Errorf("footprints not ordered: %d/%d/%d", low, med, high)
+	}
+	if float64(high)/float64(low) > 1.5 {
+		t.Errorf("High/Low footprint ratio %v too wide for PageRank", float64(high)/float64(low))
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"nodes": 10, "edges": 5}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("graph with out-degree < 1 accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Package suite assembles the SGXGauge workloads into the benchmark
+// suite: the ten Table 2 workloads in paper order, plus the auxiliary
+// empty and iozone workloads used by Figures 6a and 10.
+package suite
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/bfs"
+	"sgxgauge/internal/workloads/blockchain"
+	"sgxgauge/internal/workloads/btree"
+	"sgxgauge/internal/workloads/empty"
+	"sgxgauge/internal/workloads/hashjoin"
+	"sgxgauge/internal/workloads/iozone"
+	"sgxgauge/internal/workloads/lighttpd"
+	"sgxgauge/internal/workloads/memcached"
+	"sgxgauge/internal/workloads/openssl"
+	"sgxgauge/internal/workloads/pagerank"
+	"sgxgauge/internal/workloads/svm"
+	"sgxgauge/internal/workloads/xsbench"
+)
+
+// All returns the ten suite workloads in Table 2 order.
+func All() []workloads.Workload {
+	return []workloads.Workload{
+		blockchain.New(),
+		openssl.New(),
+		btree.New(),
+		hashjoin.New(),
+		bfs.New(),
+		pagerank.New(),
+		memcached.New(),
+		xsbench.New(),
+		lighttpd.New(),
+		svm.New(),
+	}
+}
+
+// Native returns the six workloads with Native-mode ports.
+func Native() []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range All() {
+		if w.NativePort() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Empty returns the runtime-overhead probe of Figure 6a.
+func Empty() workloads.Workload { return empty.New() }
+
+// Iozone returns the filesystem benchmark of Figure 10.
+func Iozone() workloads.Workload { return iozone.New() }
+
+// ByName resolves a workload by its Table 2 name (case-sensitive),
+// including the auxiliary Empty and Iozone workloads.
+func ByName(name string) (workloads.Workload, error) {
+	for _, w := range append(All(), Empty(), Iozone()) {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("suite: unknown workload %q", name)
+}
+
+// Names returns the names of the ten suite workloads in order.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name())
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package suite
+
+import (
+	"testing"
+
+	"sgxgauge/internal/workloads"
+)
+
+func TestTenWorkloadsInTable2Order(t *testing.T) {
+	want := []string{
+		"Blockchain", "OpenSSL", "BTree", "HashJoin", "BFS",
+		"PageRank", "Memcached", "XSBench", "Lighttpd", "SVM",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d workloads, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("workload %d = %s, want %s (Table 2 order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSixNativePorts(t *testing.T) {
+	native := Native()
+	if len(native) != 6 {
+		t.Fatalf("%d native ports, want 6 (paper §4.3)", len(native))
+	}
+	ported := map[string]bool{
+		"Blockchain": true, "OpenSSL": true, "BTree": true,
+		"HashJoin": true, "BFS": true, "PageRank": true,
+	}
+	for _, w := range native {
+		if !ported[w.Name()] {
+			t.Errorf("%s should not have a native port", w.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range append(Names(), "Empty", "Iozone") {
+		w, err := ByName(name)
+		if err != nil || w.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, w, err)
+		}
+	}
+	if _, err := ByName("Redis"); err == nil {
+		t.Error("ByName accepted a discarded workload")
+	}
+}
+
+func TestEveryWorkloadHasSaneDefaults(t *testing.T) {
+	const epcPages = 96
+	for _, w := range All() {
+		for _, s := range workloads.Sizes() {
+			p := w.DefaultParams(epcPages, s)
+			if p.Size != s {
+				t.Errorf("%s/%v: params carry size %v", w.Name(), s, p.Size)
+			}
+			if p.Threads < 0 {
+				t.Errorf("%s/%v: negative threads", w.Name(), s)
+			}
+			for name, v := range p.Knobs {
+				if v < 0 {
+					t.Errorf("%s/%v: knob %s = %d", w.Name(), s, name, v)
+				}
+			}
+			if w.FootprintPages(p) < 1 {
+				t.Errorf("%s/%v: zero footprint", w.Name(), s)
+			}
+		}
+	}
+}
+
+func TestFootprintsGrowWithSize(t *testing.T) {
+	const epcPages = 96
+	for _, w := range All() {
+		if w.Name() == "Blockchain" || w.Name() == "Lighttpd" {
+			continue // footprint fixed by design; size varies work
+		}
+		low := w.FootprintPages(w.DefaultParams(epcPages, workloads.Low))
+		med := w.FootprintPages(w.DefaultParams(epcPages, workloads.Medium))
+		high := w.FootprintPages(w.DefaultParams(epcPages, workloads.High))
+		if !(low <= med && med <= high) {
+			t.Errorf("%s: footprints %d/%d/%d not monotone", w.Name(), low, med, high)
+		}
+	}
+}
+
+func TestPropertiesCoverSGXComponents(t *testing.T) {
+	// §4: the suite must cover all three overhead sources. At least
+	// one ECALL-intensive, one CPU-intensive and several
+	// data-intensive workloads.
+	var ecall, cpu, data int
+	for _, w := range All() {
+		p := w.Property()
+		if contains(p, "ECALL") {
+			ecall++
+		}
+		if contains(p, "CPU") {
+			cpu++
+		}
+		if contains(p, "Data") {
+			data++
+		}
+	}
+	if ecall < 2 || cpu < 3 || data < 4 {
+		t.Errorf("coverage: ecall=%d cpu=%d data=%d", ecall, cpu, data)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

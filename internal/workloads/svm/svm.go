@@ -1,0 +1,186 @@
+// Package svm implements the SVM workload of SGXGauge (§4.2.10),
+// modeled on libSVM usage: a linear support-vector machine trained on
+// a synthetic separable dataset of configurable rows x 128 features.
+// Training runs several full passes over the same input data — "a
+// typical pattern of ML workloads" — making it Data/CPU-intensive.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/workloads"
+)
+
+const (
+	// features matches Table 2 (128 features per row).
+	features = 128
+	// epochs is the number of passes over the training data.
+	epochs = 5
+	// lambda is the regularization strength of the Pegasos-style
+	// sub-gradient trainer.
+	lambda = 1e-4
+	// rowBytes: features f64 + 1 label f64.
+	rowBytes = (features + 1) * 8
+)
+
+// Workload is the SVM benchmark.
+type Workload struct{}
+
+// New returns the workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements workloads.Workload.
+func (*Workload) Name() string { return "SVM" }
+
+// Property implements workloads.Workload.
+func (*Workload) Property() string { return "Data/CPU-intensive" }
+
+// NativePort implements workloads.Workload; SVM runs only in Vanilla
+// and LibOS modes (§4.3).
+func (*Workload) NativePort() bool { return false }
+
+// footprintRatios reflects Table 2's 4000/6000/10000 rows (1:1.5:2.5).
+var footprintRatios = map[workloads.Size]float64{
+	workloads.Low:    0.50,
+	workloads.Medium: 0.75,
+	workloads.High:   1.25,
+}
+
+// DefaultParams implements workloads.Workload.
+func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	rows := workloads.BytesForRatio(epcPages, footprintRatios[s]) / rowBytes
+	return workloads.Params{
+		Size:    s,
+		Threads: 1,
+		Knobs: map[string]int64{
+			"rows":     rows,
+			"features": features,
+		},
+	}
+}
+
+// FootprintPages implements workloads.Workload.
+func (*Workload) FootprintPages(p workloads.Params) int {
+	bytes := p.Knob("rows")*rowBytes + features*8
+	return int(bytes/mem.PageSize) + 4
+}
+
+// Setup implements workloads.Workload.
+func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
+
+// Run implements workloads.Workload.
+func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	p := ctx.Params
+	rows := p.Knob("rows")
+	if rows <= 0 {
+		return workloads.Output{}, fmt.Errorf("svm: rows must be positive, got %d", rows)
+	}
+
+	env := ctx.Env
+	data, err := env.Alloc(uint64(rows)*rowBytes, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("svm: alloc data: %w", err)
+	}
+	weights, err := env.Alloc(features*8, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("svm: alloc weights: %w", err)
+	}
+	t := env.Main
+	rng := rand.New(rand.NewSource(ctx.Seed))
+
+	// Generate a separable dataset: labels come from a hidden
+	// weight vector.
+	wTrue := make([]float64, features)
+	for i := range wTrue {
+		wTrue[i] = rng.NormFloat64()
+	}
+	t.ECall(func() {
+		row := make([]float64, features)
+		for r := int64(0); r < rows; r++ {
+			dot := 0.0
+			base := data + uint64(r)*rowBytes
+			for f := 0; f < features; f++ {
+				row[f] = rng.NormFloat64()
+				dot += row[f] * wTrue[f]
+				t.WriteF64(base+uint64(f)*8, row[f])
+			}
+			label := 1.0
+			if dot < 0 {
+				label = -1.0
+			}
+			t.WriteF64(base+features*8, label)
+		}
+		for f := 0; f < features; f++ {
+			t.WriteF64(weights+uint64(f)*8, 0)
+		}
+	})
+
+	// Pegasos-style training: epochs full passes, sub-gradient step
+	// per sample.
+	var step int64 = 1
+	t.ECall(func() {
+		for e := 0; e < epochs; e++ {
+			for r := int64(0); r < rows; r++ {
+				base := data + uint64(r)*rowBytes
+				label := t.ReadF64(base + features*8)
+				margin := 0.0
+				for f := 0; f < features; f++ {
+					margin += t.ReadF64(base+uint64(f)*8) * t.ReadF64(weights+uint64(f)*8)
+					t.Compute(4)
+				}
+				eta := 1.0 / (lambda * float64(step))
+				step++
+				if label*margin < 1 {
+					for f := 0; f < features; f++ {
+						wf := t.ReadF64(weights + uint64(f)*8)
+						xf := t.ReadF64(base + uint64(f)*8)
+						t.WriteF64(weights+uint64(f)*8, (1-eta*lambda)*wf+eta*label*xf/float64(rows))
+						t.Compute(6)
+					}
+				} else {
+					for f := 0; f < features; f++ {
+						wf := t.ReadF64(weights + uint64(f)*8)
+						t.WriteF64(weights+uint64(f)*8, (1-eta*lambda)*wf)
+						t.Compute(4)
+					}
+				}
+			}
+		}
+	})
+
+	// Evaluate training accuracy and fold the model into a checksum.
+	var correct int64
+	var checksum uint64
+	t.ECall(func() {
+		for r := int64(0); r < rows; r++ {
+			base := data + uint64(r)*rowBytes
+			margin := 0.0
+			for f := 0; f < features; f++ {
+				margin += t.ReadF64(base+uint64(f)*8) * t.ReadF64(weights+uint64(f)*8)
+			}
+			label := t.ReadF64(base + features*8)
+			if margin*label > 0 {
+				correct++
+			}
+		}
+		for f := 0; f < features; f++ {
+			wf := t.ReadF64(weights + uint64(f)*8)
+			if math.IsNaN(wf) {
+				checksum = 0xbad
+				return
+			}
+			checksum = workloads.FoldChecksum(checksum, uint64(int64(wf*1e6)))
+		}
+	})
+
+	return workloads.Output{
+		Checksum: checksum,
+		Ops:      rows * epochs,
+		Extra:    map[string]float64{"train_accuracy": float64(correct) / float64(rows)},
+	}, nil
+}
+
+var _ workloads.Workload = (*Workload)(nil)

@@ -1,0 +1,92 @@
+package svm
+
+import (
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "SVM" {
+		t.Error("name wrong")
+	}
+	if w.NativePort() {
+		t.Error("SVM must be LibOS-only (paper §4.3)")
+	}
+}
+
+func TestFeatureCountMatchesTable2(t *testing.T) {
+	w := New()
+	for _, s := range workloads.Sizes() {
+		if got := w.DefaultParams(96, s).Knob("features"); got != 128 {
+			t.Errorf("%v: features = %d, want 128 (Table 2)", s, got)
+		}
+	}
+}
+
+func TestRowRatiosFollowTable2(t *testing.T) {
+	// Table 2 rows are 4000/6000/10000 = 1 : 1.5 : 2.5.
+	w := New()
+	low := w.DefaultParams(960, workloads.Low).Knob("rows")
+	med := w.DefaultParams(960, workloads.Medium).Knob("rows")
+	high := w.DefaultParams(960, workloads.High).Knob("rows")
+	if r := float64(med) / float64(low); r < 1.4 || r > 1.6 {
+		t.Errorf("Medium/Low rows = %.2f, want ~1.5", r)
+	}
+	if r := float64(high) / float64(low); r < 2.3 || r > 2.7 {
+		t.Errorf("High/Low rows = %.2f, want ~2.5", r)
+	}
+}
+
+func TestTrainsSeparableData(t *testing.T) {
+	// The dataset is linearly separable by construction, so the
+	// trained model must fit it well.
+	params := workloads.Params{
+		Size:  workloads.Low,
+		Knobs: map[string]int64{"rows": 300, "features": 128},
+	}
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla, params, 96)
+	out, err := New().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := out.Extra["train_accuracy"]; acc < 0.9 {
+		t.Errorf("training accuracy = %v on separable data, want > 0.9", acc)
+	}
+	if out.Checksum == 0xbad {
+		t.Error("training produced NaN weights")
+	}
+	if out.Ops != 300*epochs {
+		t.Errorf("Ops = %d, want rows*epochs", out.Ops)
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	params := workloads.Params{
+		Size:  workloads.Low,
+		Knobs: map[string]int64{"rows": 200, "features": 128},
+	}
+	var sums []uint64
+	for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.LibOS} {
+		ctx := wltest.NewCtxParams(t, New(), mode, params, 96)
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		sums = append(sums, out.Checksum)
+	}
+	if sums[0] != sums[1] {
+		t.Error("modes trained different models")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"rows": 0, "features": 128}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("zero rows accepted")
+	}
+}

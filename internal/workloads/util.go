@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"sgxgauge/internal/mem"
+)
+
+// PagesForRatio returns the page count whose size is ratio x the EPC
+// capacity — the suite expresses every Table 2 footprint relative to
+// the EPC so the Low/Medium/High phenomena survive EPC scaling.
+func PagesForRatio(epcPages int, ratio float64) int {
+	n := int(float64(epcPages) * ratio)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BytesForRatio returns PagesForRatio in bytes.
+func BytesForRatio(epcPages int, ratio float64) int64 {
+	return int64(PagesForRatio(epcPages, ratio)) * mem.PageSize
+}
+
+// Mix64 is a splitmix64 step, used for cheap deterministic data
+// generation and checksum folding.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// FoldChecksum accumulates v into sum order-dependently.
+func FoldChecksum(sum, v uint64) uint64 {
+	return Mix64(sum ^ v)
+}

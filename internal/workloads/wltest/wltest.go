@@ -1,0 +1,96 @@
+// Package wltest provides helpers for workload tests: it assembles a
+// machine, environment, filesystem and (for LibOS mode) a library-OS
+// instance the way the harness does, at test-friendly scale.
+package wltest
+
+import (
+	"testing"
+
+	"sgxgauge/internal/libos"
+	"sgxgauge/internal/osal"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+// DefaultEPCPages is the test-scale EPC size.
+const DefaultEPCPages = 96
+
+// NewCtx builds a ready-to-run context for the workload in the given
+// mode at test scale. Setup is executed; a Native enclave (sized like
+// the harness does) or a LibOS instance is prepared as needed.
+func NewCtx(t *testing.T, w workloads.Workload, mode sgx.Mode, size workloads.Size) *workloads.Ctx {
+	t.Helper()
+	return NewCtxEPC(t, w, mode, size, DefaultEPCPages)
+}
+
+// NewCtxEPC is NewCtx with an explicit EPC size.
+func NewCtxEPC(t *testing.T, w workloads.Workload, mode sgx.Mode, size workloads.Size, epcPages int) *workloads.Ctx {
+	t.Helper()
+	params := w.DefaultParams(epcPages, size)
+	return NewCtxParams(t, w, mode, params, epcPages)
+}
+
+// NewCtxParams is NewCtx with explicit parameters.
+func NewCtxParams(t *testing.T, w workloads.Workload, mode sgx.Mode, params workloads.Params, epcPages int) *workloads.Ctx {
+	t.Helper()
+	m := sgx.NewMachine(sgx.Config{EPCPages: epcPages})
+	fs := osal.NewFS()
+	ctx := &workloads.Ctx{RawFS: fs, Params: params, Seed: 42}
+	if err := w.Setup(ctx); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	switch mode {
+	case sgx.Vanilla:
+		ctx.Env = m.NewEnv(sgx.Vanilla)
+		ctx.FS = fs
+	case sgx.Native:
+		env := m.NewEnv(sgx.Native)
+		foot := w.FootprintPages(params)
+		sz := workloads.NativeEnclaveSize(foot)
+		if _, err := env.LaunchEnclaveReserve(sz, workloads.NativeImagePages, sz); err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		ctx.Env = env
+		ctx.FS = fs
+	case sgx.LibOS:
+		inst, err := libos.Start(m, fs, libos.Manifest{Binary: w.Name(), Files: fs.List()})
+		if err != nil {
+			t.Fatalf("libos start: %v", err)
+		}
+		ctx.Env = inst.Env
+		ctx.LibOS = inst
+		ctx.FS = inst.FS()
+	}
+	return ctx
+}
+
+// Modes returns the execution modes a workload supports.
+func Modes(w workloads.Workload) []sgx.Mode {
+	if w.NativePort() {
+		return []sgx.Mode{sgx.Vanilla, sgx.Native, sgx.LibOS}
+	}
+	return []sgx.Mode{sgx.Vanilla, sgx.LibOS}
+}
+
+// RunAllModes runs the workload at the given size in every supported
+// mode and asserts the functional checksums agree, returning the
+// per-mode outputs.
+func RunAllModes(t *testing.T, w workloads.Workload, size workloads.Size) map[sgx.Mode]workloads.Output {
+	t.Helper()
+	out := map[sgx.Mode]workloads.Output{}
+	for _, mode := range Modes(w) {
+		ctx := NewCtx(t, w, mode, size)
+		res, err := w.Run(ctx)
+		if err != nil {
+			t.Fatalf("%v mode: %v", mode, err)
+		}
+		out[mode] = res
+	}
+	want := out[sgx.Vanilla].Checksum
+	for mode, res := range out {
+		if res.Checksum != want {
+			t.Errorf("%v-mode checksum %#x differs from Vanilla %#x — modes computed different results", mode, res.Checksum, want)
+		}
+	}
+	return out
+}

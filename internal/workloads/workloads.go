@@ -1,0 +1,151 @@
+// Package workloads defines the SGXGauge benchmark interface and the
+// shared plumbing every suite workload uses. The ten workloads of the
+// paper's Table 2 live in subpackages (blockchain, openssl, btree,
+// hashjoin, bfs, pagerank, memcached, xsbench, lighttpd, svm), plus
+// the "empty" workload of Figure 6a and the iozone workload of
+// Figure 10; package suite assembles them.
+package workloads
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/libos"
+	"sgxgauge/internal/osal"
+	"sgxgauge/internal/sgx"
+)
+
+// Size is the input setting of Table 1: memory footprint below (Low),
+// near (Medium), or above (High) the EPC size.
+type Size int
+
+const (
+	// Low keeps the footprint under the EPC size.
+	Low Size = iota
+	// Medium sets the footprint near the EPC size.
+	Medium
+	// High pushes the footprint past the EPC size.
+	High
+)
+
+// Sizes lists all input settings in order.
+func Sizes() []Size { return []Size{Low, Medium, High} }
+
+// String returns the paper's name for the setting.
+func (s Size) String() string {
+	switch s {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	}
+	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// Params carries one workload configuration: the input setting plus
+// named numeric knobs (element counts, file sizes, request counts...)
+// whose meaning is workload-specific, mirroring the knob columns of
+// Table 2.
+type Params struct {
+	Size    Size
+	Threads int
+	Knobs   map[string]int64
+}
+
+// Knob returns the named knob, panicking when the workload was
+// configured without it (a harness bug, not an input error).
+func (p Params) Knob(name string) int64 {
+	v, ok := p.Knobs[name]
+	if !ok {
+		panic(fmt.Sprintf("workloads: missing knob %q", name))
+	}
+	return v
+}
+
+// WithKnob returns a copy of p with one knob overridden.
+func (p Params) WithKnob(name string, v int64) Params {
+	k := make(map[string]int64, len(p.Knobs)+1)
+	for n, x := range p.Knobs {
+		k[n] = x
+	}
+	k[name] = v
+	return Params{Size: p.Size, Threads: p.Threads, Knobs: k}
+}
+
+// Ctx is everything a workload may touch during a run.
+type Ctx struct {
+	// Env is the execution environment (mode, enclave, threads).
+	Env *sgx.Env
+	// FS is the filesystem view appropriate for the mode: the plain
+	// untrusted FS in Vanilla/Native mode, the LibOS shim (or
+	// protected FS) in LibOS mode.
+	FS osal.FileSystem
+	// RawFS is the host-side filesystem, for free setup work.
+	RawFS *osal.FS
+	// LibOS is the library-OS instance in LibOS mode, nil otherwise.
+	LibOS *libos.Instance
+	// Params is the workload configuration.
+	Params Params
+	// Seed drives all workload-internal randomness.
+	Seed int64
+}
+
+// Output is a workload's functional result; the harness layers timing
+// and counters on top.
+type Output struct {
+	// Checksum is a deterministic digest of the computation's
+	// result, used by tests to prove the three modes compute the
+	// same thing.
+	Checksum uint64
+	// Ops is the number of completed work units (finds, requests,
+	// lookups...).
+	Ops int64
+	// MeanLatency is the mean per-request latency in cycles, for
+	// server-style workloads; zero otherwise.
+	MeanLatency float64
+	// Extra carries workload-specific measurements.
+	Extra map[string]float64
+}
+
+// Workload is one SGXGauge benchmark.
+type Workload interface {
+	// Name is the suite name from Table 2 ("BTree", "Lighttpd"...).
+	Name() string
+	// Property is the Table 2 characterization ("Data/CPU-intensive").
+	Property() string
+	// NativePort reports whether the workload has a Native-mode port
+	// (6 of the 10 do; the other 4 run only in Vanilla and LibOS
+	// modes, §4.3).
+	NativePort() bool
+	// DefaultParams derives the Table 2 input settings for a machine
+	// with the given EPC size, preserving the paper's
+	// footprint-to-EPC ratios.
+	DefaultParams(epcPages int, s Size) Params
+	// FootprintPages estimates the data footprint, used to size
+	// Native-mode enclaves.
+	FootprintPages(p Params) int
+	// Setup performs host-side preparation (input files, request
+	// streams); it is not measured.
+	Setup(ctx *Ctx) error
+	// Run executes the measured portion.
+	Run(ctx *Ctx) (Output, error)
+}
+
+// NativeImagePages is the image size of a Native-mode enclave: the
+// ported binary plus SDK runtime. It is deliberately small so it stays
+// negligible against scaled-down EPC sizes, as a real ~hundreds-of-KB
+// image is against the real 92 MB EPC.
+const NativeImagePages = 16
+
+// EnclaveSlackFactor oversizes Native enclaves relative to the
+// estimated footprint, covering allocator and stack slack ("Intel SGX
+// recommends setting the enclave size as per the maximum requirement
+// of the application", Appendix D).
+const EnclaveSlackFactor = 1.3
+
+// NativeEnclaveSize returns the declared enclave size in pages for a
+// Native-mode run of a workload with the given footprint.
+func NativeEnclaveSize(footprintPages int) int {
+	return NativeImagePages + int(float64(footprintPages)*EnclaveSlackFactor) + 16
+}

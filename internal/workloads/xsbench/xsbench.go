@@ -1,0 +1,144 @@
+// Package xsbench implements the XSBench workload of SGXGauge
+// (§4.2.8): the macroscopic-cross-section lookup kernel of Monte Carlo
+// neutron transport. A unionized energy grid of configurable size is
+// built in the simulated address space; each lookup binary-searches
+// the grid for a random energy and accumulates the micro cross
+// sections of every nuclide at that grid point. The random grid hits
+// make it CPU-intensive with a tunable memory footprint.
+package xsbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/workloads"
+)
+
+const (
+	// nuclides is the number of nuclides in the material, each
+	// contributing one (index, cross-section) pair per grid point.
+	nuclides = 32
+	// bytesPerPoint: one f64 energy plus nuclides f64 cross
+	// sections.
+	bytesPerPoint = 8 + nuclides*8
+	// lookupsPerPointNum/Den scale lookups with grid size so the
+	// run phase does meaningful work at any scale.
+	lookupsPerPointNum = 1
+	lookupsPerPointDen = 4
+)
+
+// Workload is the XSBench benchmark.
+type Workload struct{}
+
+// New returns the workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements workloads.Workload.
+func (*Workload) Name() string { return "XSBench" }
+
+// Property implements workloads.Workload.
+func (*Workload) Property() string { return "CPU-intensive" }
+
+// NativePort implements workloads.Workload; XSBench runs only in
+// Vanilla and LibOS modes (§4.3).
+func (*Workload) NativePort() bool { return false }
+
+// footprintRatios reflects Table 2's 53K/88K/768K grid points: Low and
+// Medium sit below/near the EPC while High jumps far past it.
+var footprintRatios = map[workloads.Size]float64{
+	workloads.Low:    0.60,
+	workloads.Medium: 1.00,
+	workloads.High:   3.00,
+}
+
+// DefaultParams implements workloads.Workload.
+func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	points := workloads.BytesForRatio(epcPages, footprintRatios[s]) / bytesPerPoint
+	return workloads.Params{
+		Size:    s,
+		Threads: 1,
+		Knobs: map[string]int64{
+			"gridpoints": points,
+			"lookups":    points * lookupsPerPointNum / lookupsPerPointDen,
+		},
+	}
+}
+
+// FootprintPages implements workloads.Workload.
+func (*Workload) FootprintPages(p workloads.Params) int {
+	return int(p.Knob("gridpoints")*bytesPerPoint/mem.PageSize) + 4
+}
+
+// Setup implements workloads.Workload.
+func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
+
+// Run implements workloads.Workload.
+func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	p := ctx.Params
+	points := p.Knob("gridpoints")
+	lookups := p.Knob("lookups")
+	if points <= 1 || lookups < 0 {
+		return workloads.Output{}, fmt.Errorf("xsbench: invalid gridpoints=%d lookups=%d", points, lookups)
+	}
+
+	env := ctx.Env
+	energies, err := env.Alloc(uint64(points)*8, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("xsbench: alloc energy grid: %w", err)
+	}
+	xs, err := env.Alloc(uint64(points)*nuclides*8, mem.PageSize)
+	if err != nil {
+		return workloads.Output{}, fmt.Errorf("xsbench: alloc cross sections: %w", err)
+	}
+	t := env.Main
+	rng := rand.New(rand.NewSource(ctx.Seed))
+
+	// Build the unionized grid: sorted energies (uniform spacing
+	// with jitter keeps them sorted without an explicit sort) and
+	// per-nuclide cross sections.
+	t.ECall(func() {
+		for i := int64(0); i < points; i++ {
+			e := (float64(i) + 0.5*float64(workloads.Mix64(uint64(i))%1000)/1000.0) / float64(points)
+			t.WriteF64(energies+uint64(i)*8, e)
+			for nuc := int64(0); nuc < nuclides; nuc++ {
+				v := float64(workloads.Mix64(uint64(i*nuclides+nuc))%100000) / 100000.0
+				t.WriteF64(xs+uint64(i*nuclides+nuc)*8, v)
+			}
+		}
+	})
+
+	// Lookup kernel: binary search the energy grid, then accumulate
+	// all nuclide cross sections at the bracketing grid point.
+	var macroSum float64
+	var checksum uint64
+	t.ECall(func() {
+		for l := int64(0); l < lookups; l++ {
+			target := rng.Float64()
+			lo, hi := int64(0), points-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if t.ReadF64(energies+uint64(mid)*8) < target {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			var macro float64
+			for nuc := int64(0); nuc < nuclides; nuc++ {
+				macro += t.ReadF64(xs + uint64(lo*nuclides+nuc)*8)
+				t.Compute(8) // FLOPs of the interpolation
+			}
+			macroSum += macro
+			checksum = workloads.FoldChecksum(checksum, uint64(macro*1e9))
+		}
+	})
+
+	return workloads.Output{
+		Checksum: checksum,
+		Ops:      lookups,
+		Extra:    map[string]float64{"macro_sum": macroSum},
+	}, nil
+}
+
+var _ workloads.Workload = (*Workload)(nil)

@@ -1,0 +1,70 @@
+package xsbench
+
+import (
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/wltest"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "XSBench" {
+		t.Error("name wrong")
+	}
+	if w.NativePort() {
+		t.Error("XSBench must be LibOS-only (paper §4.3)")
+	}
+	if w.Property() != "CPU-intensive" {
+		t.Errorf("property = %q", w.Property())
+	}
+}
+
+func TestHighFarExceedsEPC(t *testing.T) {
+	// Table 2: 53K/88K/768K grid points — High jumps far past the
+	// EPC while Low/Medium sit below/near it.
+	w := New()
+	low := w.FootprintPages(w.DefaultParams(96, workloads.Low))
+	med := w.FootprintPages(w.DefaultParams(96, workloads.Medium))
+	high := w.FootprintPages(w.DefaultParams(96, workloads.High))
+	if !(low < 96 && med <= 96+8 && high >= 2*96) {
+		t.Errorf("footprints %d/%d/%d break the Table 2 shape", low, med, high)
+	}
+}
+
+func TestMacroXSPositiveAndDeterministic(t *testing.T) {
+	run := func() workloads.Output {
+		ctx := wltest.NewCtx(t, New(), sgx.Vanilla, workloads.Low)
+		out, err := New().Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.Extra["macro_sum"] <= 0 {
+		t.Error("macroscopic cross sections sum to zero")
+	}
+	if a.Checksum != b.Checksum {
+		t.Error("lookups not deterministic")
+	}
+	// Mean macro XS per lookup is an average of `nuclides` values in
+	// [0,1); it must land in (0, nuclides).
+	mean := a.Extra["macro_sum"] / float64(a.Ops)
+	if mean <= 0 || mean >= nuclides {
+		t.Errorf("mean macro XS = %v out of range", mean)
+	}
+}
+
+func TestRunAcrossModes(t *testing.T) {
+	wltest.RunAllModes(t, New(), workloads.Low)
+}
+
+func TestInvalidParams(t *testing.T) {
+	ctx := wltest.NewCtxParams(t, New(), sgx.Vanilla,
+		workloads.Params{Knobs: map[string]int64{"gridpoints": 1, "lookups": 5}}, 96)
+	if _, err := New().Run(ctx); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
