@@ -7,15 +7,19 @@
 //	sgxgauge run -workload BTree [-mode Native] [-size Medium]
 //	              [-epc pages] [-seed n] [-switchless] [-pf] [-counters]
 //	sgxgauge ops [-epc pages]
+//	sgxgauge matrix [-epc pages] [-j workers]
 //
 // "list" prints the suite; "run" executes one workload; "ops" reports
-// the latencies of the core SGX driver operations (Figure 7).
+// the latencies of the core SGX driver operations (Figure 7);
+// "matrix" regenerates the full (workload x mode x size) grid on the
+// parallel engine.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sgxgauge/internal/cycles"
 	"sgxgauge/internal/harness"
@@ -41,6 +45,8 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "matrix":
+		cmdMatrix(os.Args[2:])
 	case "recommend":
 		cmdRecommend(os.Args[2:])
 	default:
@@ -56,8 +62,22 @@ func usage() {
                  [-epc pages] [-seed n] [-switchless] [-pf] [-counters]
   sgxgauge ops   [-epc pages]
   sgxgauge trace -workload <name> [-mode ...] [-size ...] [-epc pages] [-csv]
-  sgxgauge sweep [-epc list] [-workloads list] [-mode ...] [-size ...]
-  sgxgauge recommend -component epc|transitions|mee|syscalls [-epc pages]`)
+  sgxgauge sweep [-epc list] [-workloads list] [-mode ...] [-size ...] [-j workers] [-progress]
+  sgxgauge matrix [-epc pages] [-seed n] [-j workers] [-progress]
+  sgxgauge recommend -component epc|transitions|mee|syscalls [-epc pages] [-j workers]`)
+}
+
+// progressPrinter returns a harness progress callback reporting
+// completed/total and per-spec wall time on stderr.
+func progressPrinter() func(harness.Progress) {
+	return func(p harness.Progress) {
+		status := ""
+		if p.Err != nil {
+			status = "  FAILED: " + p.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s/%v %v%s\n",
+			p.Completed, p.Total, p.Name, p.Mode, p.Wall.Round(time.Millisecond), status)
+	}
 }
 
 func cmdList() {

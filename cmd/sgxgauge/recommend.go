@@ -17,6 +17,7 @@ func cmdRecommend(args []string) {
 	component := fs.String("component", "", "SGX component to stress (epc, transitions, mee, syscalls)")
 	epcPages := fs.Int("epc", sgx.DefaultEPCPages, "EPC size in pages")
 	seed := fs.Int64("seed", 1, "random seed")
+	jobs := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	if *component == "" {
@@ -29,6 +30,7 @@ func cmdRecommend(args []string) {
 	}
 	r := harness.NewRunner(*epcPages)
 	r.Seed = *seed
+	r.Jobs = *jobs
 	recs, err := r.Recommend(c)
 	if err != nil {
 		fatal(err)

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	sgxreport [-epc pages] [-exp id[,id...]]
+//	sgxreport [-epc pages] [-exp id[,id...]] [-j workers] [-progress]
 //
 // Experiment ids: fig2 fig3 fig4 tab2 tab4 fig5 fig6a fig6bc fig6d
-// fig7 fig8 tab5 fig9 fig10, or "all" (default).
+// fig7 fig8 tab5 fig9 fig10, or "all" (default). Runs within an
+// experiment execute on a parallel worker pool (-j); results are
+// identical to a serial run.
 package main
 
 import (
@@ -24,10 +26,23 @@ func main() {
 	epcPages := flag.Int("epc", sgx.DefaultEPCPages, "simulated EPC size in 4 KiB pages (paper hardware: 23552)")
 	exps := flag.String("exp", "all", "comma-separated experiment ids (fig2,fig3,fig4,tab2,tab4,fig5,fig6a,fig6bc,fig6d,fig7,fig8,tab5,fig9,fig10,multi) or 'all'")
 	seed := flag.Int64("seed", 1, "base random seed")
+	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report per-run progress to stderr")
 	flag.Parse()
 
 	r := harness.NewRunner(*epcPages)
 	r.Seed = *seed
+	r.Jobs = *jobs
+	if *progress {
+		r.Progress = func(p harness.Progress) {
+			status := ""
+			if p.Err != nil {
+				status = "  FAILED: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%v %v%s\n",
+				p.Completed, p.Total, p.Name, p.Mode, p.Wall.Round(time.Millisecond), status)
+		}
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {

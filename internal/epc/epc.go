@@ -137,6 +137,12 @@ type EPC struct {
 	// the EPC so the machine can shoot down their TLB entries.
 	onEvict func(id mem.PageID)
 
+	// onRemove, when set, is called for each resident page discarded
+	// without write-back (enclave teardown); like onEvict it lets the
+	// machine invalidate stale TLB entries and cache lines, but no
+	// EWB is charged.
+	onRemove func(id mem.PageID)
+
 	// tree, when set, is the Merkle integrity tree maintained over
 	// evicted-page MACs: EWB updates a path, ELDU verifies one, and
 	// each uncached level costs TreeLevel cycles (the VAULT-style
@@ -184,6 +190,11 @@ func (e *EPC) Resident() int { return len(e.resident) }
 // SetEvictHook registers fn to be invoked for each page evicted from
 // the EPC (the machine uses this to invalidate TLB entries).
 func (e *EPC) SetEvictHook(fn func(id mem.PageID)) { e.onEvict = fn }
+
+// SetRemoveHook registers fn to be invoked for each resident page
+// discarded by Remove/RemoveEnclave (the machine uses this to shoot
+// down TLB entries and cache lines at enclave teardown).
+func (e *EPC) SetRemoveHook(fn func(id mem.PageID)) { e.onRemove = fn }
 
 // SetIntegrityTree attaches a Merkle integrity tree; subsequent
 // evictions update it and load-backs verify against it.
@@ -414,20 +425,27 @@ func (e *EPC) Fault(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (
 }
 
 // Remove discards the page for id from the EPC and the backing store
-// without writing it back (enclave teardown).
+// without writing it back (enclave teardown). Resident pages are
+// reported through the remove hook so stale TLB entries and cache
+// lines are invalidated — pages already evicted had theirs shot down
+// on the way out.
 func (e *EPC) Remove(id mem.PageID) {
 	if idx, ok := e.resident[id]; ok {
 		e.pool.Put(e.slots[idx].frame)
 		e.slots[idx] = slot{}
 		delete(e.resident, id)
 		e.free = append(e.free, idx)
+		if e.onRemove != nil {
+			e.onRemove(id)
+		}
 	}
 	e.backing.Delete(id)
 	delete(e.versions, id)
 }
 
 // RemoveEnclave discards every page (resident or sealed) belonging to
-// the enclave.
+// the enclave, invalidating residual TLB entries and cache lines for
+// the resident ones.
 func (e *EPC) RemoveEnclave(enclave uint32) {
 	for id, idx := range e.resident {
 		if id.Enclave != enclave {
@@ -437,6 +455,9 @@ func (e *EPC) RemoveEnclave(enclave uint32) {
 		e.slots[idx] = slot{}
 		delete(e.resident, id)
 		e.free = append(e.free, idx)
+		if e.onRemove != nil {
+			e.onRemove(id)
+		}
 	}
 	e.backing.DropEnclave(enclave)
 	for id := range e.versions {

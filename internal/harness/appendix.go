@@ -33,14 +33,14 @@ func (r *Runner) Figure9() (*Figure9Data, error) {
 	}
 	// Sampling cadence: roughly every 64 EPC ops keeps the trace
 	// small while resolving the startup storm.
-	nat, err := r.Run(Spec{Workload: w, Mode: sgx.Native, Size: workloads.Medium, Timeline: 64})
+	results, err := r.RunAll([]Spec{
+		{Workload: w, Mode: sgx.Native, Size: workloads.Medium, Timeline: 64},
+		{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Timeline: 64},
+	})
 	if err != nil {
 		return nil, err
 	}
-	lib, err := r.Run(Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Timeline: 64})
-	if err != nil {
-		return nil, err
-	}
+	nat, lib := results[0], results[1]
 	return &Figure9Data{
 		Native:        nat.Timeline,
 		LibOS:         lib.Timeline,
@@ -106,12 +106,17 @@ func (r *Runner) Figure10() ([]Figure10Row, error) {
 		{"LibOS (S-G)", sgx.LibOS, false},
 		{"LibOS+PF (S-P)", sgx.LibOS, true},
 	}
+	specs := make([]Spec, len(configs))
+	for i, c := range configs {
+		specs[i] = Spec{Workload: w, Mode: c.mode, Size: workloads.Medium, ProtectedFiles: c.pf}
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Figure10Row
-	for _, c := range configs {
-		res, err := r.Run(Spec{Workload: w, Mode: c.mode, Size: workloads.Medium, ProtectedFiles: c.pf})
-		if err != nil {
-			return nil, err
-		}
+	for i, c := range configs {
+		res := results[i]
 		row := Figure10Row{
 			Config:      c.name,
 			PhaseCycles: map[string]float64{},

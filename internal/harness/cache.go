@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/workloads"
@@ -9,14 +10,23 @@ import (
 
 // Runner caches Results so the report generators can share runs
 // between tables and figures (every figure of the paper draws from the
-// same experiment grid).
+// same experiment grid). The generators batch their grids through
+// RunAll, so independent cells run concurrently on the worker pool;
+// the cache itself is safe for concurrent use.
 type Runner struct {
 	// EPCPages is the simulated EPC size used for all runs
 	// (0 = machine default).
 	EPCPages int
 	// Seed is the base seed.
 	Seed int64
+	// Jobs is the worker-pool size used when a generator batches
+	// specs through RunAll (0 = GOMAXPROCS).
+	Jobs int
+	// Progress, when non-nil, receives one event per spec completed
+	// by a RunAll batch (completed/total and per-spec wall time).
+	Progress func(Progress)
 
+	mu    sync.Mutex
 	cache map[string]*Result
 }
 
@@ -39,25 +49,115 @@ func specKey(spec Spec) string {
 		spec.Seed, spec.Switchless, spec.ProtectedFiles, spec.Timeline, pf, mc)
 }
 
-// Run executes (or returns the cached result of) a spec, forcing the
-// runner's EPC size and seed when the spec leaves them zero.
-func (r *Runner) Run(spec Spec) (*Result, error) {
+// normalize forces the runner's EPC size and seed onto a spec that
+// leaves them zero.
+func (r *Runner) normalize(spec Spec) Spec {
 	if spec.EPCPages == 0 {
 		spec.EPCPages = r.EPCPages
 	}
 	if spec.Seed == 0 {
 		spec.Seed = r.Seed
 	}
+	return spec
+}
+
+// Run executes (or returns the cached result of) a spec, forcing the
+// runner's EPC size and seed when the spec leaves them zero.
+func (r *Runner) Run(spec Spec) (*Result, error) {
+	spec = r.normalize(spec)
 	key := specKey(spec)
-	if res, ok := r.cache[key]; ok {
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
 		return res, nil
 	}
 	res, err := Run(spec)
 	if err != nil {
 		return nil, err
 	}
-	r.cache[key] = res
+	r.mu.Lock()
+	// A concurrent miss may have stored the same key; determinism
+	// makes the results identical, but keep the first pointer so
+	// callers comparing identities still see one entry.
+	if prev, ok := r.cache[key]; ok {
+		res = prev
+	} else {
+		r.cache[key] = res
+	}
+	r.mu.Unlock()
 	return res, nil
+}
+
+// RunAll executes the specs through the parallel engine, sharing the
+// runner's cache: already-cached cells are not re-run, duplicate
+// specs within the batch run once, and fresh results are cached for
+// later Run/Get calls. Results keep input order. All specs complete
+// even when some fail; the first failure (in input order) is returned
+// as the error, matching the serial generators' abort-on-error
+// contract.
+func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
+	out := make([]*Result, len(specs))
+	keys := make([]string, len(specs))
+	var missSpecs []Spec
+	missPos := map[string]int{} // key -> index in missSpecs
+
+	r.mu.Lock()
+	for i, spec := range specs {
+		spec = r.normalize(spec)
+		keys[i] = specKey(spec)
+		if res, ok := r.cache[keys[i]]; ok {
+			out[i] = res
+			continue
+		}
+		if _, dup := missPos[keys[i]]; !dup {
+			missPos[keys[i]] = len(missSpecs)
+			missSpecs = append(missSpecs, spec)
+		}
+	}
+	r.mu.Unlock()
+
+	if len(missSpecs) > 0 {
+		opts := []Option{Workers(r.Jobs)}
+		if r.Progress != nil {
+			opts = append(opts, OnProgress(r.Progress))
+		}
+		batch := RunAll(missSpecs, opts...)
+		r.mu.Lock()
+		for j := range batch {
+			if batch[j].Err != nil {
+				continue // failures are not cached, so a retry re-runs
+			}
+			key := specKey(missSpecs[j])
+			if _, ok := r.cache[key]; !ok {
+				r.cache[key] = &batch[j]
+			}
+		}
+		r.mu.Unlock()
+		var firstErr error
+		for i := range out {
+			if out[i] != nil {
+				continue
+			}
+			res := &batch[missPos[keys[i]]]
+			out[i] = res
+			if res.Err != nil && firstErr == nil {
+				firstErr = res.Err
+			}
+		}
+		if firstErr != nil {
+			return out, firstErr
+		}
+	}
+	return out, nil
+}
+
+// prefetch batches the specs through RunAll so the generator's
+// subsequent Get/Run calls are cache hits; the serial part of a
+// generator is then only table assembly.
+func (r *Runner) prefetch(specs []Spec) error {
+	_, err := r.RunAll(specs)
+	return err
 }
 
 // Get runs workload w in the given mode and size with default

@@ -39,6 +39,10 @@ func (r *Runner) Figure2() (*Figure2Data, error) {
 		WalkRatio:  map[workloads.Size]float64{},
 		EvictRatio: map[workloads.Size]float64{},
 	}
+	if err := r.prefetch(GridSpecs([]workloads.Workload{w},
+		[]sgx.Mode{sgx.Native, sgx.Vanilla}, workloads.Sizes())); err != nil {
+		return nil, err
+	}
 	low, err := r.Get(w, sgx.Native, workloads.Low)
 	if err != nil {
 		return nil, err
@@ -91,22 +95,28 @@ func (r *Runner) Figure3() ([]Figure3Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Figure3Point
-	for _, threads := range []int{1, 2, 4, 8, 16} {
-		epcPages := r.EPCPages
-		if epcPages == 0 {
-			epcPages = sgx.DefaultEPCPages
-		}
+	threadCounts := []int{1, 2, 4, 8, 16}
+	epcPages := r.EPCPages
+	if epcPages == 0 {
+		epcPages = sgx.DefaultEPCPages
+	}
+	// One Vanilla/LibOS spec pair per concurrency level; the whole
+	// sweep runs as one parallel batch.
+	specs := make([]Spec, 0, 2*len(threadCounts))
+	for _, threads := range threadCounts {
 		params := w.DefaultParams(epcPages, workloads.Medium)
 		params.Threads = threads
-		van, err := r.Run(Spec{Workload: w, Mode: sgx.Vanilla, Params: &params})
-		if err != nil {
-			return nil, err
-		}
-		lib, err := r.Run(Spec{Workload: w, Mode: sgx.LibOS, Params: &params})
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			Spec{Workload: w, Mode: sgx.Vanilla, Params: &params},
+			Spec{Workload: w, Mode: sgx.LibOS, Params: &params})
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure3Point
+	for i, threads := range threadCounts {
+		van, lib := results[2*i], results[2*i+1]
 		p := Figure3Point{
 			Threads:        threads,
 			VanillaLatency: van.Output.MeanLatency,
@@ -146,6 +156,10 @@ type Figure4Row struct {
 // Figure4 regenerates §3.2.3: the library OS can help or hurt
 // depending on the workload.
 func (r *Runner) Figure4() ([]Figure4Row, error) {
+	if err := r.prefetch(GridSpecs(suite.Native(),
+		[]sgx.Mode{sgx.LibOS, sgx.Native}, workloads.Sizes())); err != nil {
+		return nil, err
+	}
 	var out []Figure4Row
 	for _, w := range suite.Native() {
 		row := Figure4Row{Name: w.Name(), Ratio: map[workloads.Size]float64{}}
@@ -189,6 +203,10 @@ type Figure5Row struct {
 // Figure5 regenerates Figures 5a and 5b over the six ported
 // workloads.
 func (r *Runner) Figure5() ([]Figure5Row, error) {
+	if err := r.prefetch(GridSpecs(suite.Native(),
+		[]sgx.Mode{sgx.Native, sgx.Vanilla}, workloads.Sizes())); err != nil {
+		return nil, err
+	}
 	var out []Figure5Row
 	for _, w := range suite.Native() {
 		row := Figure5Row{
@@ -292,6 +310,10 @@ type Figure6bcRow struct {
 
 // Figure6bc regenerates Figures 6b and 6c over the full suite.
 func (r *Runner) Figure6bc() ([]Figure6bcRow, error) {
+	if err := r.prefetch(GridSpecs(suite.All(),
+		[]sgx.Mode{sgx.LibOS, sgx.Vanilla}, workloads.Sizes())); err != nil {
+		return nil, err
+	}
 	var out []Figure6bcRow
 	for _, w := range suite.All() {
 		row := Figure6bcRow{
@@ -348,14 +370,14 @@ func (r *Runner) Figure6d() (*Figure6dData, error) {
 	if err != nil {
 		return nil, err
 	}
-	def, err := r.Run(Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium})
+	results, err := r.RunAll([]Spec{
+		{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium},
+		{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Switchless: true},
+	})
 	if err != nil {
 		return nil, err
 	}
-	sw, err := r.Run(Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Switchless: true})
-	if err != nil {
-		return nil, err
-	}
+	def, sw := results[0], results[1]
 	return &Figure6dData{
 		DefaultLatency:    def.Output.MeanLatency,
 		SwitchlessLatency: sw.Output.MeanLatency,
@@ -451,6 +473,10 @@ func (r *Runner) Figure8() (*Figure8Data, error) {
 	d := &Figure8Data{
 		Events: figure8Events,
 		Ratio:  map[string]map[workloads.Size]map[perf.Event]float64{},
+	}
+	if err := r.prefetch(GridSpecs(suite.Native(),
+		[]sgx.Mode{sgx.Native, sgx.Vanilla}, workloads.Sizes())); err != nil {
+		return nil, err
 	}
 	for _, w := range suite.Native() {
 		d.Workloads = append(d.Workloads, w.Name())

@@ -30,20 +30,29 @@ type MultiEnclavePoint struct {
 
 // MultiEnclave runs the interference sweep on one machine per point.
 // Each instance's footprint is fixed at ~35% of the EPC, so one or two
-// instances fit while four or more thrash.
+// instances fit while four or more thrash. The points are independent
+// machines, so they run concurrently on the runner's worker pool;
+// results keep the input order.
 func (r *Runner) MultiEnclave(counts []int) ([]MultiEnclavePoint, error) {
 	epcPages := r.EPCPages
 	if epcPages == 0 {
 		epcPages = sgx.DefaultEPCPages
 	}
 	footprint := epcPages * 35 / 100
-	var out []MultiEnclavePoint
-	for _, k := range counts {
-		p, err := runMultiEnclave(epcPages, footprint, k)
+	out := make([]MultiEnclavePoint, len(counts))
+	errs := make([]error, len(counts))
+	forEach(len(counts), r.Jobs, func(i int) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				errs[i] = fmt.Errorf("harness: %d-enclave point panicked: %v", counts[i], rec)
+			}
+		}()
+		out[i], errs[i] = runMultiEnclave(epcPages, footprint, counts[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
 	}
 	return out, nil
 }

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// Progress reports one completed spec to a RunAll progress callback.
+// Callbacks are serialized (never invoked concurrently), so they may
+// write to a terminal without their own locking.
+type Progress struct {
+	// Completed is the number of specs finished so far, including
+	// this one; Total is the batch size.
+	Completed int
+	Total     int
+	// Index is this spec's position in the input slice.
+	Index int
+	// Name and Mode identify the spec.
+	Name string
+	Mode sgx.Mode
+	// Wall is the host wall-clock time this spec took. It is
+	// reporting-only and never part of a Result, so results stay
+	// bit-for-bit deterministic.
+	Wall time.Duration
+	// Err is non-nil when the spec failed or panicked.
+	Err error
+}
+
+type engineOpts struct {
+	workers  int
+	progress func(Progress)
+}
+
+// Option configures RunAll.
+type Option func(*engineOpts)
+
+// Workers sets the worker-pool size; n <= 0 selects GOMAXPROCS.
+func Workers(n int) Option {
+	return func(o *engineOpts) { o.workers = n }
+}
+
+// OnProgress registers fn to be called after each spec completes.
+func OnProgress(fn func(Progress)) Option {
+	return func(o *engineOpts) { o.progress = fn }
+}
+
+// RunAll executes every spec on the worker pool, booting one
+// independent simulated machine per spec in its own goroutine.
+// Results are returned in input order regardless of completion order,
+// and each spec's deterministic seeding is untouched, so a RunAll
+// batch is bit-for-bit identical to running the same specs serially
+// through Run. A spec that errors or panics yields a Result with Err
+// set instead of aborting its siblings.
+func RunAll(specs []Spec, opts ...Option) []Result {
+	var o engineOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	results := make([]Result, len(specs))
+	var mu sync.Mutex
+	completed := 0
+	forEach(len(specs), o.workers, func(i int) {
+		start := time.Now()
+		res, err := runSafe(specs[i])
+		wall := time.Since(start)
+		if err != nil {
+			results[i] = failedResult(specs[i], err)
+		} else {
+			results[i] = *res
+		}
+		if o.progress != nil {
+			mu.Lock()
+			completed++
+			o.progress(Progress{
+				Completed: completed,
+				Total:     len(specs),
+				Index:     i,
+				Name:      results[i].Name,
+				Mode:      specs[i].Mode,
+				Wall:      wall,
+				Err:       results[i].Err,
+			})
+			mu.Unlock()
+		}
+	})
+	return results
+}
+
+// runSafe is Run with panic containment: one bad config surfaces as
+// an error instead of killing the whole sweep.
+func runSafe(spec Spec) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: run panicked: %v", r)
+		}
+	}()
+	return Run(spec)
+}
+
+// failedResult echoes what identification the spec offers alongside
+// the error.
+func failedResult(spec Spec, err error) Result {
+	name := "<nil>"
+	if spec.Workload != nil {
+		name = spec.Workload.Name()
+	}
+	return Result{Name: name, Mode: spec.Mode, Err: err}
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to workers
+// goroutines (workers <= 0 selects GOMAXPROCS). It returns once all
+// calls complete.
+func forEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// MatrixSpecs returns the paper's main experiment grid — every suite
+// workload in every supported mode at every input setting — as one
+// RunAll batch. Native-mode cells are skipped for the four workloads
+// without a Native port.
+func MatrixSpecs() []Spec {
+	return GridSpecs(suite.All(), []sgx.Mode{sgx.Vanilla, sgx.Native, sgx.LibOS}, workloads.Sizes())
+}
+
+// GridSpecs returns one Spec per (workload, mode, size) cell, in
+// workload-major order, skipping Native cells for workloads without a
+// Native port.
+func GridSpecs(ws []workloads.Workload, modes []sgx.Mode, sizes []workloads.Size) []Spec {
+	specs := make([]Spec, 0, len(ws)*len(modes)*len(sizes))
+	for _, w := range ws {
+		for _, mode := range modes {
+			if mode == sgx.Native && !w.NativePort() {
+				continue
+			}
+			for _, size := range sizes {
+				specs = append(specs, Spec{Workload: w, Mode: mode, Size: size})
+			}
+		}
+	}
+	return specs
+}

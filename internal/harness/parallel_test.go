@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// testGrid is a small but mixed batch: two workloads across three
+// modes and two sizes, at the test EPC so paging paths are exercised.
+func testGrid(t *testing.T) []Spec {
+	t.Helper()
+	btree, err := suite.ByName("BTree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memcached, err := suite.ByName("Memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := GridSpecs(
+		[]workloads.Workload{btree, memcached},
+		[]sgx.Mode{sgx.Vanilla, sgx.Native, sgx.LibOS},
+		[]workloads.Size{workloads.Low, workloads.Medium},
+	)
+	for i := range specs {
+		specs[i].EPCPages = testEPC
+		specs[i].Seed = 7
+	}
+	return specs
+}
+
+// TestParallelMatchesSerial is the determinism contract: a parallel
+// RunAll batch must be byte-identical to running the same specs
+// serially, in input order.
+func TestParallelMatchesSerial(t *testing.T) {
+	specs := testGrid(t)
+	serial := RunAll(specs, Workers(1))
+	parallel := RunAll(specs, Workers(4))
+	if len(serial) != len(specs) || len(parallel) != len(specs) {
+		t.Fatalf("lengths: serial %d, parallel %d, want %d", len(serial), len(parallel), len(specs))
+	}
+	for i := range specs {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("spec %d: unexpected errors %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("spec %d (%s/%v/%v): parallel result differs from serial",
+				i, serial[i].Name, specs[i].Mode, specs[i].Size)
+		}
+	}
+}
+
+// panicWorkload satisfies workloads.Workload but panics when run.
+type panicWorkload struct{}
+
+func (panicWorkload) Name() string     { return "PanicStub" }
+func (panicWorkload) Property() string { return "always panics" }
+func (panicWorkload) NativePort() bool { return true }
+func (panicWorkload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
+	return workloads.Params{Knobs: map[string]int64{}}
+}
+func (panicWorkload) FootprintPages(p workloads.Params) int { return 8 }
+func (panicWorkload) Setup(ctx *workloads.Ctx) error        { return nil }
+func (panicWorkload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
+	panic("injected failure")
+}
+
+// TestPanicIsolation: a panicking spec must surface as a failed Result
+// with Err set, without aborting or corrupting its siblings.
+func TestPanicIsolation(t *testing.T) {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Spec{Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC, Seed: 7}
+	bad := Spec{Workload: panicWorkload{}, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC, Seed: 7}
+	results := RunAll([]Spec{good, bad, good}, Workers(3))
+
+	if results[1].Err == nil {
+		t.Fatal("panicking spec: want Err set, got nil")
+	}
+	if !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Errorf("Err = %v, want mention of the panic", results[1].Err)
+	}
+	if results[1].Name != "PanicStub" {
+		t.Errorf("failed result Name = %q, want PanicStub", results[1].Name)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Fatalf("sibling %d aborted: %v", i, results[i].Err)
+		}
+		if results[i].Name != "BTree" || results[i].Cycles == 0 {
+			t.Errorf("sibling %d: got %q/%d cycles, want a complete BTree run",
+				i, results[i].Name, results[i].Cycles)
+		}
+	}
+	if !reflect.DeepEqual(results[0], results[2]) {
+		t.Error("identical sibling specs produced different results alongside a panic")
+	}
+}
+
+// TestProgressEvents: the callback sees every spec exactly once, with
+// Completed counting 1..Total and Index covering the input positions.
+func TestProgressEvents(t *testing.T) {
+	specs := testGrid(t)
+	var events []Progress
+	RunAll(specs, Workers(4), OnProgress(func(p Progress) {
+		events = append(events, p) // serialized by RunAll, no lock needed
+	}))
+	if len(events) != len(specs) {
+		t.Fatalf("got %d progress events, want %d", len(events), len(specs))
+	}
+	seen := make([]bool, len(specs))
+	for i, ev := range events {
+		if ev.Completed != i+1 || ev.Total != len(specs) {
+			t.Errorf("event %d: Completed/Total = %d/%d, want %d/%d",
+				i, ev.Completed, ev.Total, i+1, len(specs))
+		}
+		if ev.Index < 0 || ev.Index >= len(specs) || seen[ev.Index] {
+			t.Fatalf("event %d: bad or repeated Index %d", i, ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Err != nil {
+			t.Errorf("event %d: unexpected Err %v", i, ev.Err)
+		}
+	}
+}
+
+// TestRunnerRunAllCacheAndDedup: duplicate specs in a batch run once,
+// batches populate the cache for later Get calls, and input order is
+// preserved.
+func TestRunnerRunAllCacheAndDedup(t *testing.T) {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(testEPC)
+	r.Seed = 7
+	r.Jobs = 4
+	var runs atomic.Int64
+	r.Progress = func(Progress) { runs.Add(1) } // one event per actual run
+
+	spec := Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Low}
+	other := Spec{Workload: w, Mode: sgx.Vanilla, Size: workloads.Low}
+	results, err := r.RunAll([]Spec{spec, other, spec, spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("batch ran %d specs, want 2 (duplicates deduped)", got)
+	}
+	if results[0] != results[2] || results[0] != results[3] {
+		t.Error("duplicate specs did not share one cached Result")
+	}
+	if results[1].Mode != sgx.Vanilla || results[0].Mode != sgx.LibOS {
+		t.Errorf("input order lost: got modes %v, %v", results[0].Mode, results[1].Mode)
+	}
+
+	cached, err := r.Get(w, sgx.LibOS, workloads.Low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != results[0] {
+		t.Error("Get after RunAll re-ran instead of hitting the cache")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("Get re-ran a cached spec (%d runs total)", got)
+	}
+}
+
+// TestRunnerRunAllErrorContract: failures surface as the first
+// input-order error, siblings still complete, and failed cells are not
+// cached (a retry re-runs them).
+func TestRunnerRunAllErrorContract(t *testing.T) {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(testEPC)
+	r.Seed = 7
+	r.Jobs = 2
+	good := Spec{Workload: w, Mode: sgx.Vanilla, Size: workloads.Low}
+	bad := Spec{Workload: panicWorkload{}, Mode: sgx.Native, Size: workloads.Low}
+	results, err := r.RunAll([]Spec{good, bad})
+	if err == nil {
+		t.Fatal("want the batch to report the panicked spec's error")
+	}
+	if results[0] == nil || results[0].Err != nil {
+		t.Fatalf("sibling did not complete cleanly: %+v", results[0])
+	}
+	if results[1] == nil || !errors.Is(err, results[1].Err) {
+		t.Errorf("returned error %v does not match the failed result's Err", err)
+	}
+
+	// The failure must not be cached: a second batch re-runs it.
+	var runs atomic.Int64
+	r.Progress = func(Progress) { runs.Add(1) }
+	if _, err := r.RunAll([]Spec{bad}); err == nil {
+		t.Fatal("retry of the failed spec should fail again")
+	}
+	if runs.Load() != 1 {
+		t.Error("failed spec was cached instead of re-run")
+	}
+}

@@ -56,6 +56,10 @@ type Recommendation struct {
 // Medium runs: a researcher optimizing that component should evaluate
 // with the top-ranked workloads.
 func (r *Runner) Recommend(c Component) ([]Recommendation, error) {
+	if err := r.prefetch(GridSpecs(suite.All(),
+		[]sgx.Mode{sgx.LibOS}, []workloads.Size{workloads.Medium})); err != nil {
+		return nil, err
+	}
 	var out []Recommendation
 	for _, w := range suite.All() {
 		res, err := r.Get(w, sgx.LibOS, workloads.Medium)

@@ -7,6 +7,11 @@
 // mode, booting the library OS for LibOS mode), and measures only the
 // workload's run portion — GrapheneSGX-style startup is recorded
 // separately and excluded, exactly as the paper does (Appendix D).
+//
+// Each run's machine is fully independent, so batches of specs run
+// concurrently through RunAll on a worker pool; all simulated time
+// comes from per-run seeded state, so a parallel batch is bit-for-bit
+// identical to running the same specs serially.
 package harness
 
 import (
@@ -83,6 +88,11 @@ type Result struct {
 	// OpStats reports the EPC driver-operation latencies observed
 	// over the whole machine lifetime (Figure 7).
 	OpStats map[epc.Op]epc.OpStats
+
+	// Err is set by RunAll when the spec failed or its run panicked;
+	// only Name and Mode are meaningful alongside it. Run reports
+	// errors through its error return instead.
+	Err error
 }
 
 // Run executes one spec on a fresh machine.

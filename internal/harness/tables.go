@@ -40,6 +40,11 @@ type Table4Data struct {
 // Table4 reproduces Table 4: geometric-mean overheads and counter
 // ratios across the suite for the three mode comparisons.
 func (r *Runner) Table4() (*Table4Data, error) {
+	// All three mode comparisons draw from the same grid; one
+	// parallel batch fills the cache for every block.
+	if err := r.prefetch(MatrixSpecs()); err != nil {
+		return nil, err
+	}
 	d := &Table4Data{}
 	var err error
 	d.NativeVsVanilla, err = r.table4Block("Native Mode w.r.t Vanilla (6 workloads)", suite.Native(), sgx.Native, sgx.Vanilla)
@@ -212,6 +217,21 @@ var table5Events = []perf.Event{
 // time on the six counters over a grid of runs (sizes x modes x
 // seeds); coefficient magnitude ranks counter importance.
 func (r *Runner) Table5() ([]Table5Row, error) {
+	var specs []Spec
+	for _, w := range suite.All() {
+		mode := sgx.LibOS
+		if w.NativePort() {
+			mode = sgx.Native
+		}
+		for _, size := range workloads.Sizes() {
+			for _, seed := range []int64{1, 2, 3} {
+				specs = append(specs, Spec{Workload: w, Mode: mode, Size: size, Seed: seed})
+			}
+		}
+	}
+	if err := r.prefetch(specs); err != nil {
+		return nil, err
+	}
 	var rows []Table5Row
 	for _, w := range suite.All() {
 		mode := sgx.LibOS

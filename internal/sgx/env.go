@@ -131,6 +131,18 @@ func (e *Env) LaunchEnclaveReserve(imagePages, reservePages, sizePages int) (*en
 	return enc, nil
 }
 
+// DestroyEnclave tears down the environment's enclave, releasing its
+// EPC and backing pages and invalidating stale TLB entries and cache
+// lines, after which the environment may launch a fresh enclave (a
+// create→destroy→create service lifecycle). No-op without an enclave.
+func (e *Env) DestroyEnclave() {
+	if e.Enclave == nil {
+		return
+	}
+	e.M.DestroyEnclave(e.Enclave)
+	e.Enclave = nil
+}
+
 // fillImagePage writes deterministic pseudo-content so measurements
 // are stable and non-trivial.
 func fillImagePage(f *mem.Frame, idx uint64) {

@@ -1,0 +1,145 @@
+package sgx
+
+import (
+	"testing"
+
+	"sgxgauge/internal/mem"
+)
+
+// TestEnclaveRangesDisjoint is the regression test for the VA-overlap
+// bug: newEnclave used to place enclave i at
+// enclaveRegion + (i-1)*stride*need with the *current* enclave's
+// stride count, so an enclave spanning several 1 GiB slots overlapped
+// its successor's range. Two large enclaves must get disjoint
+// [Base, Limit()) ranges.
+func TestEnclaveRangesDisjoint(t *testing.T) {
+	m := NewMachine(Config{EPCPages: 64})
+	// Each enclave spans ~2.5 stride slots (1 GiB = 262144 pages).
+	big := int(2*enclaveStride/mem.PageSize) + 1000
+	a := m.newEnclave(big)
+	b := m.newEnclave(big)
+	c := m.newEnclave(16) // small enclave after the large ones
+	encs := []struct {
+		name string
+		base uint64
+		lim  uint64
+	}{
+		{"a", a.Base, a.Limit()},
+		{"b", b.Base, b.Limit()},
+		{"c", c.Base, c.Limit()},
+	}
+	for i := range encs {
+		for j := i + 1; j < len(encs); j++ {
+			x, y := encs[i], encs[j]
+			if x.base < y.lim && y.base < x.lim {
+				t.Errorf("enclaves %s [%#x,%#x) and %s [%#x,%#x) overlap",
+					x.name, x.base, x.lim, y.name, y.base, y.lim)
+			}
+		}
+	}
+	// The machine must still attribute addresses to the right owner.
+	if got := m.enclaveFor(b.Base); got != b {
+		t.Errorf("enclaveFor(b.Base) = %v, want enclave %d", got, b.ID)
+	}
+	if got := m.enclaveFor(b.Limit() - 1); got != b {
+		t.Errorf("enclaveFor(b.Limit()-1) = %v, want enclave %d", got, b.ID)
+	}
+}
+
+// TestCreateDestroyCreate is the regression test for the teardown
+// shootdown bug: DestroyEnclave used to discard EPC pages without
+// invalidating dTLB entries or cache lines, so relaunching an enclave
+// over the reused VA range panicked with "TLB hit for non-resident
+// enclave page" on the first heap touch.
+func TestCreateDestroyCreate(t *testing.T) {
+	m := NewMachine(Config{EPCPages: 64})
+	env := m.NewEnv(Native)
+	tr := env.Main
+
+	launchAndTouch := func(pattern uint64) uint64 {
+		enc, err := env.LaunchEnclave(4, 32)
+		if err != nil {
+			t.Fatalf("LaunchEnclave: %v", err)
+		}
+		heap, err := env.Alloc(16*mem.PageSize, mem.PageSize)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		tr.ECall(func() {
+			for p := uint64(0); p < 16; p++ {
+				tr.WriteU64(heap+p*mem.PageSize, pattern+p)
+			}
+		})
+		if enc.Base == 0 {
+			t.Fatal("enclave has zero base")
+		}
+		return heap
+	}
+
+	firstHeap := launchAndTouch(0x1111)
+	firstBase := env.Enclave.Base
+	env.DestroyEnclave()
+	if env.Enclave != nil {
+		t.Fatal("DestroyEnclave left the env's enclave set")
+	}
+
+	// The relaunch reuses the VA slot (topmost allocation rollback);
+	// without the shootdown the stale TLB entries panic on first use.
+	secondHeap := launchAndTouch(0x2222)
+	if env.Enclave.Base != firstBase {
+		t.Fatalf("relaunch base %#x, want reused slot %#x", env.Enclave.Base, firstBase)
+	}
+	if secondHeap != firstHeap {
+		t.Fatalf("relaunch heap %#x, want reused %#x", secondHeap, firstHeap)
+	}
+	// Fresh incarnation: the old contents are gone, the new ones read
+	// back.
+	var got uint64
+	tr.ECall(func() { got = tr.ReadU64(secondHeap) })
+	if got != 0x2222 {
+		t.Fatalf("heap after relaunch = %#x, want %#x", got, 0x2222)
+	}
+}
+
+// TestDestroyEvictedEnclave covers teardown of an enclave with pages
+// already sealed in the backing store: the versions and sealed pages
+// must be dropped, and relaunching must demand-allocate fresh zero
+// pages rather than load back the dead incarnation's contents.
+func TestDestroyEvictedEnclave(t *testing.T) {
+	m := NewMachine(Config{EPCPages: 48}) // small EPC forces eviction
+	env := m.NewEnv(Native)
+	tr := env.Main
+
+	if _, err := env.LaunchEnclave(2, 128); err != nil {
+		t.Fatalf("LaunchEnclave: %v", err)
+	}
+	heap, err := env.Alloc(100*mem.PageSize, mem.PageSize)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	tr.ECall(func() {
+		for p := uint64(0); p < 100; p++ {
+			tr.WriteU64(heap+p*mem.PageSize, 0xAA00+p)
+		}
+	})
+	if m.EPC.Resident() == 0 {
+		t.Fatal("nothing resident after touching the heap")
+	}
+	env.DestroyEnclave()
+	if m.EPC.Resident() != 0 {
+		t.Fatalf("%d pages still resident after teardown", m.EPC.Resident())
+	}
+
+	if _, err := env.LaunchEnclave(2, 128); err != nil {
+		t.Fatalf("relaunch: %v", err)
+	}
+	heap2, err := env.Alloc(100*mem.PageSize, mem.PageSize)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	var got uint64
+	tr.ECall(func() { got = tr.ReadU64(heap2) })
+	if got != 0 {
+		t.Fatalf("relaunched heap reads %#x, want zero page", got)
+	}
+}

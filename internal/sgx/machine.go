@@ -165,6 +165,7 @@ type Machine struct {
 
 	enclaves    []*enclave.Enclave
 	nextEnclave uint32
+	enclaveNext uint64 // next free enclave VA (stride-aligned cursor)
 
 	threads        []*Thread
 	pollutionPhase uint64
@@ -203,6 +204,7 @@ func NewMachine(cfg Config) *Machine {
 		untrusted:     make(map[uint64]*mem.Frame),
 		untrustedNext: untrustedBase,
 		nextEnclave:   1, // enclave 0 is reserved for untrusted memory
+		enclaveNext:   enclaveRegion,
 	}
 	if cfg.IntegrityTree {
 		cached := cfg.TreeCachedLevels
@@ -219,21 +221,33 @@ func NewMachine(cfg Config) *Machine {
 			// thread is attributed.
 			m.tracer(TraceEvent{Kind: TraceEvict, Thread: -1, Addr: id.VPN * mem.PageSize})
 		}
-		// TLB shootdown: translations for the evicted page vanish.
-		for _, t := range m.threads {
-			t.tlb.Evict(id.VPN)
-		}
-		// The page's cache lines leave the LLC (and any L1s) as the
-		// MEE encrypts the page out to untrusted memory; re-touching
-		// it after a load-back misses again.
-		m.LLC.InvalidateRange(id.VPN*mem.PageSize/mem.LineSize, mem.PageSize/mem.LineSize)
-		for _, t := range m.threads {
-			if t.l1 != nil {
-				t.l1.InvalidateRange(id.VPN*mem.PageSize/mem.LineSize, mem.PageSize/mem.LineSize)
-			}
-		}
+		m.shootdown(id)
 	})
+	// Teardown discards pages without an EWB, but the stale
+	// translations and cache lines must go the same way.
+	m.EPC.SetRemoveHook(m.shootdown)
 	return m
+}
+
+// shootdown invalidates every trace a page leaves in the translation
+// and cache hierarchy: its dTLB entries in all threads and its lines
+// in the LLC and any L1s. Called when a page leaves the EPC, whether
+// evicted by the driver or discarded at enclave teardown — a later
+// reuse of the VA range must start cold, not hit stale state.
+func (m *Machine) shootdown(id mem.PageID) {
+	// TLB shootdown: translations for the departed page vanish.
+	for _, t := range m.threads {
+		t.tlb.Evict(id.VPN)
+	}
+	// The page's cache lines leave the LLC (and any L1s) as the
+	// MEE encrypts the page out to untrusted memory; re-touching
+	// it after a load-back misses again.
+	m.LLC.InvalidateRange(id.VPN*mem.PageSize/mem.LineSize, mem.PageSize/mem.LineSize)
+	for _, t := range m.threads {
+		if t.l1 != nil {
+			t.l1.InvalidateRange(id.VPN*mem.PageSize/mem.LineSize, mem.PageSize/mem.LineSize)
+		}
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -255,13 +269,26 @@ func (m *Machine) AllocUntrusted(n, align uint64) uint64 {
 	return addr
 }
 
+// enclaveSpan returns the stride-aligned VA footprint of an enclave
+// of sizePages pages.
+func enclaveSpan(sizePages int) uint64 {
+	need := (uint64(sizePages)*mem.PageSize + enclaveStride - 1) / enclaveStride
+	if need == 0 {
+		need = 1
+	}
+	return need * enclaveStride
+}
+
 // newEnclave reserves an ID and address range for an enclave of
-// sizePages pages.
+// sizePages pages. Ranges come from a cumulative cursor, not a
+// per-enclave stride multiple: an enclave spanning several stride
+// slots (a LibOS enclave is ~44x the EPC) must push the next
+// enclave's base past its whole range, or the ranges overlap.
 func (m *Machine) newEnclave(sizePages int) *enclave.Enclave {
 	id := m.nextEnclave
 	m.nextEnclave++
-	need := (uint64(sizePages)*mem.PageSize + enclaveStride - 1) / enclaveStride
-	base := enclaveRegion + uint64(id-1)*enclaveStride*need
+	base := m.enclaveNext
+	m.enclaveNext = base + enclaveSpan(sizePages)
 	e := enclave.New(id, base, sizePages)
 	m.enclaves = append(m.enclaves, e)
 	return e
@@ -282,6 +309,9 @@ func (m *Machine) enclaveFor(addr uint64) *enclave.Enclave {
 }
 
 // DestroyEnclave releases every EPC and backing page of the enclave.
+// The EPC's remove hook shoots down the pages' TLB entries and cache
+// lines, so a later enclave reusing the VA range starts cold instead
+// of panicking on a stale TLB hit.
 func (m *Machine) DestroyEnclave(e *enclave.Enclave) {
 	m.EPC.RemoveEnclave(e.ID)
 	for i, cur := range m.enclaves {
@@ -289,6 +319,12 @@ func (m *Machine) DestroyEnclave(e *enclave.Enclave) {
 			m.enclaves = append(m.enclaves[:i], m.enclaves[i+1:]...)
 			break
 		}
+	}
+	// Reclaim the VA slot when the destroyed enclave was the topmost
+	// allocation (the common create→destroy→create service pattern);
+	// the teardown shootdown above makes the reuse safe.
+	if e.Base+enclaveSpan(e.SizePages) == m.enclaveNext {
+		m.enclaveNext = e.Base
 	}
 }
 

@@ -16,22 +16,24 @@ type DTLB struct {
 	ways    int
 	setMask uint64
 	tags    []uint64 // sets*ways; 0 = invalid (tags biased by 1)
-	next    []uint8
+	next    []uint32
 	flushes uint64
 }
 
 // New builds a TLB with the given number of entries and associativity.
-// entries is rounded down so that sets is a power of two.
+// sets must be a power of two for the index mask, so entries is
+// rounded up to the next power-of-two set count — a configured
+// geometry never models a *smaller* TLB than asked for.
 func New(entries, ways int) *DTLB {
 	if ways < 1 {
 		ways = 1
 	}
-	sets := entries / ways
+	sets := (entries + ways - 1) / ways
 	if sets < 1 {
 		sets = 1
 	}
 	p := 1
-	for p*2 <= sets {
+	for p < sets {
 		p *= 2
 	}
 	sets = p
@@ -40,7 +42,7 @@ func New(entries, ways int) *DTLB {
 		ways:    ways,
 		setMask: uint64(sets - 1),
 		tags:    make([]uint64, sets*ways),
-		next:    make([]uint8, sets),
+		next:    make([]uint32, sets),
 	}
 }
 
@@ -71,9 +73,9 @@ func (t *DTLB) Insert(vpn uint64) {
 			return
 		}
 	}
-	v := int(t.next[set])
+	v := int(t.next[set]) % t.ways // guard against ways beyond the index range
 	t.tags[base+v] = tag
-	t.next[set] = uint8((v + 1) % t.ways)
+	t.next[set] = uint32((v + 1) % t.ways)
 }
 
 // Evict removes the translation for vpn if present (used when a page

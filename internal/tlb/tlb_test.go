@@ -74,13 +74,63 @@ func TestSetConflictRoundRobin(t *testing.T) {
 }
 
 func TestEntriesGeometry(t *testing.T) {
-	d := New(100, 4) // rounds down to 16 sets x 4 ways
+	// Non-power-of-two set counts round *up*: a configured geometry
+	// never models a smaller TLB than asked for. 100/4 = 25 sets →
+	// 32 sets x 4 ways.
+	d := New(100, 4)
+	if d.Entries() != 128 {
+		t.Errorf("Entries = %d, want 128", d.Entries())
+	}
+	// The regression case from the harness default path: 48 entries
+	// 4-way used to round down to 32 entries (a 33% smaller TLB than
+	// configured); it must now model at least the configured reach.
+	d = New(48, 4)
+	if d.Entries() != 64 {
+		t.Errorf("Entries = %d, want 64", d.Entries())
+	}
+	// Exact powers of two are untouched.
+	d = New(64, 4)
 	if d.Entries() != 64 {
 		t.Errorf("Entries = %d, want 64", d.Entries())
 	}
 	d = New(0, 0) // degenerate input yields a minimal TLB
 	if d.Entries() < 1 {
 		t.Errorf("Entries = %d, want >= 1", d.Entries())
+	}
+}
+
+func TestNeverSmallerThanConfigured(t *testing.T) {
+	for _, entries := range []int{1, 7, 48, 100, 192, 1536} {
+		for _, ways := range []int{1, 2, 3, 4, 7, 16} {
+			d := New(entries, ways)
+			if d.Entries() < entries {
+				t.Errorf("New(%d, %d).Entries() = %d < configured", entries, ways, d.Entries())
+			}
+		}
+	}
+}
+
+func TestHighAssociativityRoundRobin(t *testing.T) {
+	// ways > 255 used to overflow the uint8 round-robin index. With a
+	// 300-way single-set TLB, 300 inserts must all stay resident and
+	// the 301st must evict exactly the oldest entry.
+	const ways = 300
+	d := New(ways, ways)
+	sets := uint64(d.Entries() / ways)
+	for i := uint64(0); i < ways; i++ {
+		d.Insert(i * sets) // all land in set 0
+	}
+	for i := uint64(0); i < ways; i++ {
+		if !d.Lookup(i * sets) {
+			t.Fatalf("entry %d missing after filling %d ways", i, ways)
+		}
+	}
+	d.Insert(ways * sets)
+	if d.Lookup(0) {
+		t.Error("round-robin did not evict the oldest entry")
+	}
+	if !d.Lookup(1*sets) || !d.Lookup(ways*sets) {
+		t.Error("wrong victim chosen past the uint8 range")
 	}
 }
 
