@@ -8,11 +8,13 @@
 //	              [-epc pages] [-seed n] [-switchless] [-pf] [-counters]
 //	sgxgauge ops [-epc pages]
 //	sgxgauge matrix [-epc pages] [-j workers]
+//	sgxgauge chaos [-workload BTree] [-chaos-seed n] [-fault-rate 0,0.01,...]
 //
 // "list" prints the suite; "run" executes one workload; "ops" reports
 // the latencies of the core SGX driver operations (Figure 7);
 // "matrix" regenerates the full (workload x mode x size) grid on the
-// parallel engine.
+// parallel engine; "chaos" sweeps a workload across adversarial-OS
+// fault-injection intensities and prints the degradation table.
 package main
 
 import (
@@ -47,6 +49,8 @@ func main() {
 		cmdSweep(os.Args[2:])
 	case "matrix":
 		cmdMatrix(os.Args[2:])
+	case "chaos":
+		cmdChaos(os.Args[2:])
 	case "recommend":
 		cmdRecommend(os.Args[2:])
 	default:
@@ -64,6 +68,8 @@ func usage() {
   sgxgauge trace -workload <name> [-mode ...] [-size ...] [-epc pages] [-csv]
   sgxgauge sweep [-epc list] [-workloads list] [-mode ...] [-size ...] [-j workers] [-progress]
   sgxgauge matrix [-epc pages] [-seed n] [-j workers] [-progress]
+  sgxgauge chaos [-workload <name>] [-mode ...] [-size ...] [-chaos-seed n] [-fault-rate list]
+                 [-aex] [-balloon] [-tamper] [-transition] [-retries n] [-j workers] [-progress]
   sgxgauge recommend -component epc|transitions|mee|syscalls [-epc pages] [-j workers]`)
 }
 

@@ -1,0 +1,308 @@
+// Package chaos implements a deterministic, seed-driven fault
+// injector for the simulated SGX machine: the "adversarial OS" the
+// paper's threat model assumes but the happy-path suite never
+// exercises. Stress-SGX (Vaucher et al.) motivates deliberately
+// stressing enclaves; the SGX attack surveys catalog the concrete
+// vectors injected here.
+//
+// Four fault classes are supported:
+//
+//   - AEXStorm: forced asynchronous exits on enclave accesses, the
+//     interrupt storms an OS can mount to flush enclave TLB state at
+//     will (§2.3: every AEX flushes the TLB).
+//   - EPCBalloon: the OS dynamically shrinking or growing the EPC
+//     mid-run, turning a comfortable working set into a thrashing one.
+//   - MemTamper: attacks on evicted (sealed) pages parked in untrusted
+//     memory — bit flips, MAC corruption, version rollback (replay),
+//     and dropped pages.
+//   - TransitionFault: transient ECALL/OCALL transition failures,
+//     modelling interrupted or resource-starved enclave entries that a
+//     runtime would retry.
+//
+// The injector is purely decision logic: it owns a seeded xorshift
+// PRNG and per-class bookkeeping, while the machine (package sgx)
+// applies the effects. Two injectors built from the same Config make
+// byte-identical decisions, so chaos runs are exactly reproducible.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class identifies one injectable fault class.
+type Class int
+
+// The fault classes.
+const (
+	AEXStorm Class = iota
+	EPCBalloon
+	MemTamper
+	TransitionFault
+	NumClasses
+)
+
+// String returns the class name used in reports and CLI flags.
+func (c Class) String() string {
+	switch c {
+	case AEXStorm:
+		return "aex-storm"
+	case EPCBalloon:
+		return "epc-balloon"
+	case MemTamper:
+		return "mem-tamper"
+	case TransitionFault:
+		return "transition-fault"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ErrTransition is the cause recorded for an injected transient
+// ECALL/OCALL transition failure. It marks the fault as retryable:
+// the harness re-runs specs whose error wraps it.
+var ErrTransition = errors.New("chaos: injected transient transition failure")
+
+// TamperKind selects one untrusted-memory attack on a sealed page.
+type TamperKind int
+
+// The tamper variants, cycled deterministically by the injector.
+const (
+	// TamperBitFlip flips one ciphertext bit (detected as a MAC
+	// mismatch on load-back).
+	TamperBitFlip TamperKind = iota
+	// TamperMAC corrupts the stored MAC itself.
+	TamperMAC
+	// TamperDrop deletes the sealed page from the backing store (the
+	// OS "loses" the page; detected as a lost page on fault-in).
+	TamperDrop
+	// TamperRollback replays a stale earlier version of the page
+	// (detected as a freshness violation on load-back).
+	TamperRollback
+	numTamperKinds
+)
+
+// String returns the tamper variant name.
+func (k TamperKind) String() string {
+	switch k {
+	case TamperBitFlip:
+		return "bit-flip"
+	case TamperMAC:
+		return "mac-corrupt"
+	case TamperDrop:
+		return "drop"
+	case TamperRollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("tamper(%d)", int(k))
+}
+
+// Config parameterizes an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives every injection decision; equal seeds (with equal
+	// settings) yield byte-identical runs.
+	Seed uint64
+	// Rate is the base fault probability per opportunity (one enclave
+	// access, eviction, or transition), applied to every enabled class
+	// without its own override. Values are clamped to [0, 1].
+	Rate float64
+
+	// Per-class enables.
+	AEXStorm        bool
+	EPCBalloon      bool
+	MemTamper       bool
+	TransitionFault bool
+
+	// Per-class rate overrides; 0 means "use Rate".
+	AEXRate        float64
+	BalloonRate    float64
+	TamperRate     float64
+	TransitionRate float64
+
+	// BalloonMinFrac and BalloonMaxFrac bound the ballooned EPC
+	// capacity as fractions of the configured capacity (defaults 0.4
+	// and 1.0: the OS steals up to 60% of the EPC and gives it back).
+	BalloonMinFrac float64
+	BalloonMaxFrac float64
+}
+
+// EnableAll turns on every fault class.
+func (c Config) EnableAll() Config {
+	c.AEXStorm = true
+	c.EPCBalloon = true
+	c.MemTamper = true
+	c.TransitionFault = true
+	return c
+}
+
+// Enabled reports whether the configuration can inject anything.
+func (c Config) Enabled() bool {
+	if !(c.AEXStorm || c.EPCBalloon || c.MemTamper || c.TransitionFault) {
+		return false
+	}
+	for cl := Class(0); cl < NumClasses; cl++ {
+		if c.classEnabled(cl) && c.rateFor(cl) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) classEnabled(cl Class) bool {
+	switch cl {
+	case AEXStorm:
+		return c.AEXStorm
+	case EPCBalloon:
+		return c.EPCBalloon
+	case MemTamper:
+		return c.MemTamper
+	case TransitionFault:
+		return c.TransitionFault
+	}
+	return false
+}
+
+func (c Config) rateFor(cl Class) float64 {
+	r := c.Rate
+	switch cl {
+	case AEXStorm:
+		if c.AEXRate > 0 {
+			r = c.AEXRate
+		}
+	case EPCBalloon:
+		if c.BalloonRate > 0 {
+			r = c.BalloonRate
+		}
+	case MemTamper:
+		if c.TamperRate > 0 {
+			r = c.TamperRate
+		}
+	case TransitionFault:
+		if c.TransitionRate > 0 {
+			r = c.TransitionRate
+		}
+	}
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// WithAttempt derives the configuration for retry attempt n (n = 0 is
+// the original). Retries must not replay the exact same injected
+// fault — a transient fault that deterministically recurs is not
+// transient — so each attempt reseeds the injector. The derivation is
+// itself deterministic, keeping whole retried runs reproducible.
+func (c Config) WithAttempt(n int) Config {
+	if n > 0 {
+		c.Seed += uint64(n) * 0x9e3779b97f4a7c15
+	}
+	return c
+}
+
+// Injector makes injection decisions. It is not safe for concurrent
+// use; each simulated machine owns one.
+type Injector struct {
+	cfg Config
+	rng uint64
+	// scaled per-class thresholds in PRNG space; 0 = class off.
+	threshold [NumClasses]uint64
+	counts    [NumClasses]uint64
+}
+
+// New builds an injector for the configuration.
+func New(cfg Config) *Injector {
+	in := &Injector{cfg: cfg, rng: cfg.Seed ^ 0x6368616f73 /* "chaos" */}
+	if in.rng == 0 {
+		in.rng = 0x2545f4914f6cdd1d
+	}
+	for cl := Class(0); cl < NumClasses; cl++ {
+		if cfg.classEnabled(cl) {
+			r := cfg.rateFor(cl)
+			// Map probability to a threshold over the full uint64
+			// range; r == 1 must always fire.
+			if r >= 1 {
+				in.threshold[cl] = ^uint64(0)
+			} else {
+				in.threshold[cl] = uint64(r * float64(1<<63) * 2)
+			}
+		}
+	}
+	return in
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// next advances the xorshift64* PRNG.
+func (in *Injector) next() uint64 {
+	x := in.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	in.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Fire reports whether a fault of the given class strikes at this
+// opportunity, recording it when it does. Enabled classes draw from
+// one shared PRNG stream (disabled ones consume no state), so a run's
+// entire injection schedule is a pure function of the Config.
+func (in *Injector) Fire(cl Class) bool {
+	th := in.threshold[cl]
+	if th == 0 {
+		return false
+	}
+	if in.next() >= th {
+		return false
+	}
+	in.counts[cl]++
+	return true
+}
+
+// Counts returns how many times each class has fired.
+func (in *Injector) Counts() [NumClasses]uint64 {
+	return in.counts
+}
+
+// BalloonTarget returns the next ballooned EPC capacity for an EPC
+// configured with origPages, in [BalloonMinFrac, BalloonMaxFrac] of
+// the original (never below floorPages, the smallest capacity the EPC
+// supports).
+func (in *Injector) BalloonTarget(origPages, floorPages int) int {
+	lo, hi := in.cfg.BalloonMinFrac, in.cfg.BalloonMaxFrac
+	if lo <= 0 {
+		lo = 0.4
+	}
+	if hi <= 0 || hi < lo {
+		hi = 1.0
+	}
+	span := float64(origPages) * (hi - lo)
+	target := int(float64(origPages)*lo + span*in.frac())
+	if target < floorPages {
+		target = floorPages
+	}
+	return target
+}
+
+// frac returns a uniform float in [0, 1).
+func (in *Injector) frac() float64 {
+	return float64(in.next()>>11) / float64(1<<53)
+}
+
+// NextTamper picks the untrusted-memory attack variant for one fired
+// MemTamper event.
+func (in *Injector) NextTamper() TamperKind {
+	return TamperKind(in.next() % uint64(numTamperKinds))
+}
+
+// PickOffset returns a deterministic offset in [0, n) — the byte a
+// bit-flip lands on.
+func (in *Injector) PickOffset(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(in.next() % uint64(n))
+}

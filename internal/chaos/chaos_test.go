@@ -1,0 +1,201 @@
+package chaos
+
+import "testing"
+
+func fireSequence(cfg Config, cl Class, n int) []bool {
+	in := New(cfg)
+	seq := make([]bool, n)
+	for i := range seq {
+		seq[i] = in.Fire(cl)
+	}
+	return seq
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, Rate: 0.3}.EnableAll()
+	a := fireSequence(cfg, AEXStorm, 1000)
+	b := fireSequence(cfg, AEXStorm, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at opportunity %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	a := fireSequence(Config{Seed: 1, Rate: 0.3}.EnableAll(), AEXStorm, 1000)
+	b := fireSequence(Config{Seed: 2, Rate: 0.3}.EnableAll(), AEXStorm, 1000)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 1000-event schedules")
+	}
+}
+
+func TestRateZeroNeverFires(t *testing.T) {
+	in := New(Config{Seed: 7, Rate: 0}.EnableAll())
+	for i := 0; i < 1000; i++ {
+		for cl := Class(0); cl < NumClasses; cl++ {
+			if in.Fire(cl) {
+				t.Fatalf("%v fired at rate 0", cl)
+			}
+		}
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := New(Config{Seed: 7, Rate: 1}.EnableAll())
+	for i := 0; i < 1000; i++ {
+		if !in.Fire(TransitionFault) {
+			t.Fatalf("transition-fault missed at rate 1 (opportunity %d)", i)
+		}
+	}
+	if got := in.Counts()[TransitionFault]; got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+}
+
+func TestDisabledClassConsumesNoState(t *testing.T) {
+	// Firing a disabled class between draws must not perturb the
+	// schedule of the enabled one.
+	cfg := Config{Seed: 99, Rate: 0.5, AEXStorm: true}
+	plain := fireSequence(cfg, AEXStorm, 200)
+
+	in := New(cfg)
+	for i := 0; i < 200; i++ {
+		in.Fire(MemTamper) // disabled: must be a no-op
+		if got := in.Fire(AEXStorm); got != plain[i] {
+			t.Fatalf("disabled-class draw perturbed schedule at %d", i)
+		}
+	}
+}
+
+func TestPerClassRateOverride(t *testing.T) {
+	cfg := Config{Seed: 5, Rate: 1, TamperRate: 0.5}.EnableAll()
+	in := New(cfg)
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if in.Fire(MemTamper) {
+			fired++
+		}
+	}
+	// ~50% with a wide tolerance: the override must clearly not be 1.
+	if fired < 700 || fired > 1300 {
+		t.Fatalf("mem-tamper fired %d/2000 with override 0.5", fired)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want bool
+	}{
+		{"zero value", Config{}, false},
+		{"classes on, rate 0", Config{Seed: 1}.EnableAll(), false},
+		{"rate set, no classes", Config{Rate: 0.5}, false},
+		{"one class with override", Config{MemTamper: true, TamperRate: 0.1}, true},
+		{"all on", Config{Rate: 0.1}.EnableAll(), true},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Enabled(); got != c.want {
+			t.Errorf("%s: Enabled() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWithAttempt(t *testing.T) {
+	cfg := Config{Seed: 10, Rate: 0.5}.EnableAll()
+	if cfg.WithAttempt(0).Seed != cfg.Seed {
+		t.Fatal("attempt 0 must keep the original seed")
+	}
+	a1, a2 := cfg.WithAttempt(1), cfg.WithAttempt(2)
+	if a1.Seed == cfg.Seed || a2.Seed == cfg.Seed || a1.Seed == a2.Seed {
+		t.Fatal("attempts must derive distinct seeds")
+	}
+	// Derivation is deterministic.
+	if cfg.WithAttempt(1).Seed != a1.Seed {
+		t.Fatal("WithAttempt not deterministic")
+	}
+}
+
+func TestBalloonTargetBounds(t *testing.T) {
+	in := New(Config{Seed: 3, Rate: 0.5}.EnableAll())
+	const orig, floor = 1000, 17
+	for i := 0; i < 500; i++ {
+		got := in.BalloonTarget(orig, floor)
+		if got < 400 || got > orig {
+			t.Fatalf("target %d outside default [0.4, 1.0] band of %d", got, orig)
+		}
+		if got < floor {
+			t.Fatalf("target %d below floor %d", got, floor)
+		}
+	}
+	// Custom band.
+	in2 := New(Config{Seed: 3, Rate: 0.5, BalloonMinFrac: 0.1, BalloonMaxFrac: 0.2}.EnableAll())
+	for i := 0; i < 500; i++ {
+		got := in2.BalloonTarget(orig, floor)
+		if got < 100 || got > 200 {
+			t.Fatalf("target %d outside custom [0.1, 0.2] band", got)
+		}
+	}
+}
+
+func TestNextTamperCoversAllKinds(t *testing.T) {
+	in := New(Config{Seed: 11, Rate: 1}.EnableAll())
+	var seen [numTamperKinds]bool
+	for i := 0; i < 200; i++ {
+		k := in.NextTamper()
+		if k < 0 || k >= numTamperKinds {
+			t.Fatalf("NextTamper returned out-of-range kind %d", k)
+		}
+		seen[k] = true
+	}
+	for k, ok := range seen {
+		if !ok {
+			t.Errorf("tamper kind %v never drawn in 200 picks", TamperKind(k))
+		}
+	}
+}
+
+func TestPickOffsetInRange(t *testing.T) {
+	in := New(Config{Seed: 13, Rate: 1}.EnableAll())
+	for i := 0; i < 200; i++ {
+		if off := in.PickOffset(4096); off < 0 || off >= 4096 {
+			t.Fatalf("offset %d out of [0, 4096)", off)
+		}
+	}
+	if in.PickOffset(0) != 0 {
+		t.Fatal("PickOffset(0) != 0")
+	}
+}
+
+func TestClassAndTamperStrings(t *testing.T) {
+	wantClass := map[Class]string{
+		AEXStorm:        "aex-storm",
+		EPCBalloon:      "epc-balloon",
+		MemTamper:       "mem-tamper",
+		TransitionFault: "transition-fault",
+	}
+	for cl, want := range wantClass {
+		if cl.String() != want {
+			t.Errorf("%d.String() = %q, want %q", cl, cl.String(), want)
+		}
+	}
+	wantKind := map[TamperKind]string{
+		TamperBitFlip:  "bit-flip",
+		TamperMAC:      "mac-corrupt",
+		TamperDrop:     "drop",
+		TamperRollback: "rollback",
+	}
+	for k, want := range wantKind {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -34,9 +34,10 @@ type Enclave struct {
 	// analogue) computed over every page added at build time.
 	Measurement [32]byte
 
-	heapNext uint64
-	hash     [32]byte // running measurement state (chained SHA-256)
-	launched bool
+	heapNext   uint64
+	hash       [32]byte // running measurement state (chained SHA-256)
+	launched   bool
+	abortCause error
 }
 
 // New creates an un-launched enclave covering
@@ -90,6 +91,28 @@ func (e *Enclave) FinishLaunch() {
 
 // Launched reports whether the enclave finished its build phase.
 func (e *Enclave) Launched() bool { return e.launched }
+
+// Abort transitions the enclave to the aborted state, recording the
+// first cause. Real SGX has exactly this semantic: when the platform
+// detects tampering it poisons the enclave, subsequent entries and
+// accesses fail, and the rest of the machine keeps running. Abort is
+// idempotent; later causes are ignored.
+func (e *Enclave) Abort(cause error) {
+	if e.abortCause != nil {
+		return
+	}
+	if cause == nil {
+		cause = errors.New("enclave: aborted")
+	}
+	e.abortCause = cause
+}
+
+// Aborted reports whether the enclave has been aborted.
+func (e *Enclave) Aborted() bool { return e.abortCause != nil }
+
+// AbortCause returns the first error that aborted the enclave, or nil
+// while it is still live.
+func (e *Enclave) AbortCause() error { return e.abortCause }
 
 // Alloc reserves n bytes from the enclave heap with the given
 // alignment (which must be a power of two; 0 means 8). Memory is

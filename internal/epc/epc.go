@@ -11,12 +11,27 @@
 package epc
 
 import (
+	"errors"
 	"fmt"
 
 	"sgxgauge/internal/cycles"
 	"sgxgauge/internal/mee"
 	"sgxgauge/internal/mem"
 	"sgxgauge/internal/perf"
+)
+
+// Typed failures of the paging path. They propagate through Fault and
+// AllocPage to the machine, which aborts the owning enclave instead of
+// killing the process.
+var (
+	// ErrEPCExhausted reports that an allocation needed an eviction
+	// but no evictable page exists (a degenerate configuration: the
+	// EPC cannot hold even one batch of the working set).
+	ErrEPCExhausted = errors.New("epc: exhausted: no evictable page found")
+	// ErrPageLost reports that a page known to have been evicted has
+	// vanished from the untrusted backing store — the OS dropped a
+	// sealed page it was trusted to keep.
+	ErrPageLost = errors.New("epc: sealed page missing from untrusted store")
 )
 
 // BatchEvictPages is how many pages one eviction pass writes back.
@@ -273,12 +288,15 @@ func (e *EPC) tick() {
 // AllocPage allocates a zeroed EPC page for id (the EAUG path /
 // sgx_alloc_page), evicting a batch first when the EPC is full. It
 // panics if the page is already resident — callers must Lookup first.
-func (e *EPC) AllocPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) *mem.Frame {
+// A full EPC with no evictable page yields ErrEPCExhausted.
+func (e *EPC) AllocPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (*mem.Frame, error) {
 	if _, ok := e.resident[id]; ok {
 		panic(fmt.Sprintf("epc: AllocPage of resident page (%v)", id))
 	}
 	if len(e.free) == 0 {
-		e.evictBatch(clk, costs)
+		if err := e.evictBatch(clk, costs); err != nil {
+			return nil, err
+		}
 	}
 	idx := e.free[len(e.free)-1]
 	e.free = e.free[:len(e.free)-1]
@@ -291,24 +309,27 @@ func (e *EPC) AllocPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageI
 	e.ops[OpAlloc].add(lat)
 	e.counters.Inc(perf.EPCAllocs)
 	e.tick()
-	return f
+	return f, nil
 }
 
 // evictBatch writes back BatchEvictPages victims chosen by CLOCK.
-func (e *EPC) evictBatch(clk *cycles.Clock, costs *cycles.CostModel) {
+func (e *EPC) evictBatch(clk *cycles.Clock, costs *cycles.CostModel) error {
 	n := BatchEvictPages
 	if n > len(e.resident) {
 		n = len(e.resident)
 	}
 	for i := 0; i < n; i++ {
-		e.evictOne(clk, costs)
+		if err := e.evictOne(clk, costs); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (e *EPC) evictOne(clk *cycles.Clock, costs *cycles.CostModel) {
-	// CLOCK: sweep, clearing reference bits, until an unreferenced
-	// used slot is found. Two full sweeps guarantee a victim.
-	var idx = -1
+// pickVictim runs the CLOCK sweep: clear reference bits until an
+// unreferenced used slot is found. Two full sweeps guarantee a victim
+// whenever any page is resident; -1 means nothing is evictable.
+func (e *EPC) pickVictim() int {
 	for sweep := 0; sweep < 2*e.capacity; sweep++ {
 		s := &e.slots[e.hand]
 		cur := e.hand
@@ -320,12 +341,23 @@ func (e *EPC) evictOne(clk *cycles.Clock, costs *cycles.CostModel) {
 			s.referenced = false
 			continue
 		}
-		idx = cur
-		break
+		return cur
 	}
+	return -1
+}
+
+func (e *EPC) evictOne(clk *cycles.Clock, costs *cycles.CostModel) error {
+	idx := e.pickVictim()
 	if idx < 0 {
-		panic("epc: no evictable page found")
+		return ErrEPCExhausted
 	}
+	return e.sealOut(clk, costs, idx)
+}
+
+// sealOut performs the EWB path for the page in slot idx: seal it to
+// the untrusted store, update the integrity tree, free the slot, and
+// charge the driver latency.
+func (e *EPC) sealOut(clk *cycles.Clock, costs *cycles.CostModel, idx int) error {
 	s := &e.slots[idx]
 	id := s.id
 
@@ -335,7 +367,7 @@ func (e *EPC) evictOne(clk *cycles.Clock, costs *cycles.CostModel) {
 	e.backing.Put(sp)
 	if e.tree != nil {
 		if err := e.tree.Update(id, sp.MAC); err != nil {
-			panic(fmt.Sprintf("epc: integrity tree: %v", err))
+			return fmt.Errorf("epc: integrity tree: %w", err)
 		}
 		clk.Advance(uint64(e.tree.UncachedLevels()) * costs.TreeLevel)
 	}
@@ -361,6 +393,68 @@ func (e *EPC) evictOne(clk *cycles.Clock, costs *cycles.CostModel) {
 		e.onEvict(id)
 	}
 	e.tick()
+	return nil
+}
+
+// EvictPage forces the page for id out of the EPC through the normal
+// EWB path, reporting whether it was resident. Tests use it to place
+// a chosen victim in the untrusted store deterministically; the
+// ballooning path uses it to shrink capacity.
+func (e *EPC) EvictPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (bool, error) {
+	idx, ok := e.resident[id]
+	if !ok {
+		return false, nil
+	}
+	if err := e.sealOut(clk, costs, idx); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// MinCapacity is the smallest EPC capacity (in pages) the model
+// supports: one eviction batch plus one page.
+const MinCapacity = BatchEvictPages + 1
+
+// Resize changes the EPC capacity to newCapacity pages (clamped to at
+// least MinCapacity), modelling the OS ballooning the EPC mid-run.
+// Shrinking evicts pages through the normal EWB path until the
+// resident set fits; growing adds free slots. Either way the CLOCK
+// hand restarts at slot 0. The EPCResizes counter records the event.
+func (e *EPC) Resize(clk *cycles.Clock, costs *cycles.CostModel, newCapacity int) error {
+	if newCapacity < MinCapacity {
+		newCapacity = MinCapacity
+	}
+	if newCapacity == e.capacity {
+		return nil
+	}
+	for len(e.resident) > newCapacity {
+		if err := e.evictOne(clk, costs); err != nil {
+			return err
+		}
+	}
+	// Rebuild the slot table at the new capacity, compacting resident
+	// pages in slot order so the rebuild is deterministic.
+	newSlots := make([]slot, newCapacity)
+	newResident := make(map[mem.PageID]int, newCapacity)
+	next := 0
+	for i := range e.slots {
+		if e.slots[i].used {
+			newSlots[next] = e.slots[i]
+			newResident[e.slots[i].id] = next
+			next++
+		}
+	}
+	free := make([]int, 0, newCapacity-next)
+	for i := newCapacity - 1; i >= next; i-- {
+		free = append(free, i)
+	}
+	e.slots = newSlots
+	e.resident = newResident
+	e.free = free
+	e.capacity = newCapacity
+	e.hand = 0
+	e.counters.Inc(perf.EPCResizes)
+	return nil
 }
 
 // loadBack performs the ELDU path: fetch the sealed page from the
@@ -368,7 +462,9 @@ func (e *EPC) evictOne(clk *cycles.Clock, costs *cycles.CostModel) {
 // in a free EPC slot.
 func (e *EPC) loadBack(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID, sp *mem.SealedPage) (*mem.Frame, error) {
 	if len(e.free) == 0 {
-		e.evictBatch(clk, costs)
+		if err := e.evictBatch(clk, costs); err != nil {
+			return nil, err
+		}
 	}
 	f := e.pool.Get()
 	if e.tree != nil {
@@ -399,7 +495,9 @@ func (e *EPC) loadBack(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID
 // Fault handles an EPC page fault for id (the sgx_do_fault path): the
 // page is either loaded back from the untrusted store or, on first
 // touch, allocated fresh. The returned bool reports whether a
-// load-back occurred (as opposed to a demand allocation).
+// load-back occurred (as opposed to a demand allocation). A page that
+// was sealed out but is no longer in the backing store was dropped by
+// the untrusted OS: that is ErrPageLost, not a fresh allocation.
 func (e *EPC) Fault(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (*mem.Frame, bool, error) {
 	if _, ok := e.resident[id]; ok {
 		panic(fmt.Sprintf("epc: Fault on resident page (%v)", id))
@@ -414,8 +512,10 @@ func (e *EPC) Fault(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (
 	if sp := e.backing.Get(id); sp != nil {
 		f, err = e.loadBack(clk, costs, id, sp)
 		loaded = true
+	} else if e.versions[id] > 0 {
+		return nil, false, fmt.Errorf("%w (%v)", ErrPageLost, id)
 	} else {
-		f = e.AllocPage(clk, costs, id)
+		f, err = e.AllocPage(clk, costs, id)
 	}
 	if err != nil {
 		return nil, false, err

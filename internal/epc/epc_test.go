@@ -1,6 +1,7 @@
 package epc
 
 import (
+	"errors"
 	"testing"
 
 	"sgxgauge/internal/cycles"
@@ -17,9 +18,19 @@ func newTestEPC(capacity int) (*EPC, *perf.Counters, *cycles.Clock, cycles.CostM
 
 func id(vpn uint64) mem.PageID { return mem.PageID{Enclave: 1, VPN: vpn} }
 
+// mustAlloc is AllocPage for tests that expect it to succeed.
+func mustAlloc(t *testing.T, e *EPC, clk *cycles.Clock, costs *cycles.CostModel, pid mem.PageID) *mem.Frame {
+	t.Helper()
+	f, err := e.AllocPage(clk, costs, pid)
+	if err != nil {
+		t.Fatalf("AllocPage(%v): %v", pid, err)
+	}
+	return f
+}
+
 func TestAllocAndLookup(t *testing.T) {
 	e, counters, clk, costs := newTestEPC(32)
-	f := e.AllocPage(clk, &costs, id(10))
+	f := mustAlloc(t, e, clk, &costs, id(10))
 	if f == nil {
 		t.Fatal("AllocPage returned nil")
 	}
@@ -40,25 +51,25 @@ func TestAllocAndLookup(t *testing.T) {
 
 func TestAllocResidentPanics(t *testing.T) {
 	e, _, clk, costs := newTestEPC(32)
-	e.AllocPage(clk, &costs, id(1))
+	mustAlloc(t, e, clk, &costs, id(1))
 	defer func() {
 		if recover() == nil {
 			t.Error("double alloc did not panic")
 		}
 	}()
-	e.AllocPage(clk, &costs, id(1))
+	mustAlloc(t, e, clk, &costs, id(1))
 }
 
 func TestBatchEvictionOnPressure(t *testing.T) {
 	e, counters, clk, costs := newTestEPC(32)
 	for vpn := uint64(0); vpn < 32; vpn++ {
-		e.AllocPage(clk, &costs, id(vpn))
+		mustAlloc(t, e, clk, &costs, id(vpn))
 	}
 	if counters.Get(perf.EPCEvictions) != 0 {
 		t.Fatal("evictions before capacity exceeded")
 	}
 	// One more allocation forces a 16-page batch eviction.
-	e.AllocPage(clk, &costs, id(100))
+	mustAlloc(t, e, clk, &costs, id(100))
 	if got := counters.Get(perf.EPCEvictions); got != BatchEvictPages {
 		t.Errorf("evictions = %d, want %d (one batch)", got, BatchEvictPages)
 	}
@@ -69,17 +80,16 @@ func TestBatchEvictionOnPressure(t *testing.T) {
 
 func TestDataSurvivesEvictionAndFault(t *testing.T) {
 	e, counters, clk, costs := newTestEPC(32)
-	f := e.AllocPage(clk, &costs, id(0))
+	f := mustAlloc(t, e, clk, &costs, id(0))
 	for i := range f.Data {
 		f.Data[i] = byte(i % 251)
 	}
-	// Evict page 0 by allocating past capacity; CLOCK starts at the
-	// oldest slots, and page 0 is unreferenced after the sweep.
-	for vpn := uint64(1); vpn <= 48; vpn++ {
-		e.AllocPage(clk, &costs, id(vpn))
+	// Evict page 0 deterministically through the normal EWB path.
+	if ok, err := e.EvictPage(clk, &costs, id(0)); err != nil || !ok {
+		t.Fatalf("EvictPage: ok=%v err=%v", ok, err)
 	}
 	if _, ok := e.Lookup(id(0)); ok {
-		t.Skip("page 0 happened to stay resident; eviction order changed")
+		t.Fatal("page 0 still resident after EvictPage")
 	}
 	got, loaded, err := e.Fault(clk, &costs, id(0))
 	if err != nil {
@@ -119,7 +129,7 @@ func TestFaultFreshAllocation(t *testing.T) {
 
 func TestFaultResidentPanics(t *testing.T) {
 	e, _, clk, costs := newTestEPC(32)
-	e.AllocPage(clk, &costs, id(1))
+	mustAlloc(t, e, clk, &costs, id(1))
 	defer func() {
 		if recover() == nil {
 			t.Error("Fault on resident page did not panic")
@@ -135,14 +145,14 @@ func TestTamperedBackingStoreDetected(t *testing.T) {
 	clk := &cycles.Clock{}
 	costs := cycles.DefaultCosts()
 
-	f := e.AllocPage(clk, &costs, id(0))
+	f := mustAlloc(t, e, clk, &costs, id(0))
 	f.Data[0] = 0x42
-	for vpn := uint64(1); vpn <= 48; vpn++ {
-		e.AllocPage(clk, &costs, id(vpn))
+	if ok, err := e.EvictPage(clk, &costs, id(0)); err != nil || !ok {
+		t.Fatalf("EvictPage: ok=%v err=%v", ok, err)
 	}
 	sp := backing.Get(id(0))
 	if sp == nil {
-		t.Skip("page 0 not evicted under this CLOCK order")
+		t.Fatal("evicted page missing from backing store")
 	}
 	sp.Ciphertext[0] ^= 1
 	if _, _, err := e.Fault(clk, &costs, id(0)); err == nil {
@@ -150,9 +160,88 @@ func TestTamperedBackingStoreDetected(t *testing.T) {
 	}
 }
 
+func TestDroppedSealedPageDetected(t *testing.T) {
+	counters := &perf.Counters{}
+	backing := mem.NewBackingStore()
+	e := New(32, mee.New(1), backing, counters)
+	clk := &cycles.Clock{}
+	costs := cycles.DefaultCosts()
+
+	mustAlloc(t, e, clk, &costs, id(0))
+	if ok, err := e.EvictPage(clk, &costs, id(0)); err != nil || !ok {
+		t.Fatalf("EvictPage: ok=%v err=%v", ok, err)
+	}
+	// The untrusted OS "loses" the sealed page.
+	backing.Delete(id(0))
+	_, _, err := e.Fault(clk, &costs, id(0))
+	if !errors.Is(err, ErrPageLost) {
+		t.Fatalf("Fault after dropped page: err=%v, want ErrPageLost", err)
+	}
+}
+
+func TestEvictPageNonResident(t *testing.T) {
+	e, _, clk, costs := newTestEPC(32)
+	if ok, err := e.EvictPage(clk, &costs, id(5)); err != nil || ok {
+		t.Fatalf("EvictPage of non-resident page: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestResizeShrinkAndGrow(t *testing.T) {
+	e, counters, clk, costs := newTestEPC(64)
+	for vpn := uint64(0); vpn < 64; vpn++ {
+		mustAlloc(t, e, clk, &costs, id(vpn))
+	}
+	if err := e.Resize(clk, &costs, 32); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if e.Capacity() != 32 {
+		t.Errorf("capacity = %d, want 32", e.Capacity())
+	}
+	if e.Resident() > 32 {
+		t.Errorf("resident = %d exceeds shrunk capacity", e.Resident())
+	}
+	if counters.Get(perf.EPCEvictions) < 32 {
+		t.Errorf("shrink evicted %d pages, want >= 32", counters.Get(perf.EPCEvictions))
+	}
+	if counters.Get(perf.EPCResizes) != 1 {
+		t.Errorf("EPCResizes = %d, want 1", counters.Get(perf.EPCResizes))
+	}
+	// Every surviving resident page must still be found, and evicted
+	// ones must load back intact.
+	for vpn := uint64(0); vpn < 64; vpn++ {
+		if _, ok := e.Lookup(id(vpn)); !ok {
+			if _, _, err := e.Fault(clk, &costs, id(vpn)); err != nil {
+				t.Fatalf("fault after shrink (vpn %d): %v", vpn, err)
+			}
+		}
+	}
+	if err := e.Resize(clk, &costs, 96); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if e.Capacity() != 96 {
+		t.Errorf("capacity = %d, want 96", e.Capacity())
+	}
+	for vpn := uint64(100); vpn < 140; vpn++ {
+		mustAlloc(t, e, clk, &costs, id(vpn))
+	}
+	if counters.Get(perf.EPCResizes) != 2 {
+		t.Errorf("EPCResizes = %d, want 2", counters.Get(perf.EPCResizes))
+	}
+}
+
+func TestResizeClampsToMinimum(t *testing.T) {
+	e, _, clk, costs := newTestEPC(64)
+	if err := e.Resize(clk, &costs, 1); err != nil {
+		t.Fatalf("resize: %v", err)
+	}
+	if e.Capacity() != MinCapacity {
+		t.Errorf("capacity = %d, want MinCapacity %d", e.Capacity(), MinCapacity)
+	}
+}
+
 func TestEPCMLookup(t *testing.T) {
 	e, _, clk, costs := newTestEPC(32)
-	e.AllocPage(clk, &costs, id(9))
+	mustAlloc(t, e, clk, &costs, id(9))
 	ent := e.EPCMLookup(id(9))
 	if !ent.Valid || ent.Owner != 1 || ent.VPN != 9 {
 		t.Errorf("EPCM entry = %+v", ent)
@@ -167,7 +256,7 @@ func TestEvictHookFires(t *testing.T) {
 	var evicted []mem.PageID
 	e.SetEvictHook(func(pid mem.PageID) { evicted = append(evicted, pid) })
 	for vpn := uint64(0); vpn <= 32; vpn++ {
-		e.AllocPage(clk, &costs, id(vpn))
+		mustAlloc(t, e, clk, &costs, id(vpn))
 	}
 	if len(evicted) != BatchEvictPages {
 		t.Errorf("hook fired %d times, want %d", len(evicted), BatchEvictPages)
@@ -177,7 +266,7 @@ func TestEvictHookFires(t *testing.T) {
 func TestOpStats(t *testing.T) {
 	e, _, clk, costs := newTestEPC(32)
 	for vpn := uint64(0); vpn <= 40; vpn++ {
-		e.AllocPage(clk, &costs, id(vpn))
+		mustAlloc(t, e, clk, &costs, id(vpn))
 	}
 	alloc := e.OpStatsFor(OpAlloc)
 	if alloc.Samples != 41 {
@@ -226,7 +315,7 @@ func TestTimeline(t *testing.T) {
 	e, _, clk, costs := newTestEPC(32)
 	e.EnableTimeline(clk, 4)
 	for vpn := uint64(0); vpn < 40; vpn++ {
-		e.AllocPage(clk, &costs, id(vpn))
+		mustAlloc(t, e, clk, &costs, id(vpn))
 	}
 	tl := e.Timeline()
 	if len(tl) == 0 {
@@ -241,8 +330,8 @@ func TestTimeline(t *testing.T) {
 
 func TestRemoveEnclave(t *testing.T) {
 	e, _, clk, costs := newTestEPC(32)
-	e.AllocPage(clk, &costs, mem.PageID{Enclave: 1, VPN: 0})
-	e.AllocPage(clk, &costs, mem.PageID{Enclave: 2, VPN: 0})
+	mustAlloc(t, e, clk, &costs, mem.PageID{Enclave: 1, VPN: 0})
+	mustAlloc(t, e, clk, &costs, mem.PageID{Enclave: 2, VPN: 0})
 	e.RemoveEnclave(1)
 	if _, ok := e.Lookup(mem.PageID{Enclave: 1, VPN: 0}); ok {
 		t.Error("enclave 1 page survived RemoveEnclave")
@@ -254,7 +343,7 @@ func TestRemoveEnclave(t *testing.T) {
 
 func TestRemovePage(t *testing.T) {
 	e, _, clk, costs := newTestEPC(32)
-	e.AllocPage(clk, &costs, id(3))
+	mustAlloc(t, e, clk, &costs, id(3))
 	e.Remove(id(3))
 	if _, ok := e.Lookup(id(3)); ok {
 		t.Error("page survived Remove")

@@ -35,6 +35,8 @@ type Progress struct {
 type engineOpts struct {
 	workers  int
 	progress func(Progress)
+	retries  int
+	backoff  time.Duration
 }
 
 // Option configures RunAll.
@@ -48,6 +50,32 @@ func Workers(n int) Option {
 // OnProgress registers fn to be called after each spec completes.
 func OnProgress(fn func(Progress)) Option {
 	return func(o *engineOpts) { o.progress = fn }
+}
+
+// Retry re-runs a spec up to n extra times when it fails with a
+// transient machine fault (an injected ECALL/OCALL transition
+// failure). Each retry derives a fresh chaos seed via
+// chaos.Config.WithAttempt, so the retried run faces new — but still
+// deterministic — adversity rather than deterministically replaying
+// the fault that killed it. Non-transient failures are never retried.
+func Retry(n int) Option {
+	return func(o *engineOpts) {
+		if n > 0 {
+			o.retries = n
+		}
+	}
+}
+
+// RetryBackoff sets the base delay slept before each retry; the delay
+// doubles with every subsequent attempt (exponential backoff). The
+// sleep is host wall-clock only — it never touches simulated time, so
+// results remain bit-for-bit deterministic regardless of backoff.
+func RetryBackoff(d time.Duration) Option {
+	return func(o *engineOpts) {
+		if d > 0 {
+			o.backoff = d
+		}
+	}
 }
 
 // RunAll executes every spec on the worker pool, booting one
@@ -67,13 +95,15 @@ func RunAll(specs []Spec, opts ...Option) []Result {
 	completed := 0
 	forEach(len(specs), o.workers, func(i int) {
 		start := time.Now()
-		res, err := runSafe(specs[i])
+		res, attempts, err := runWithRetry(specs[i], &o)
 		wall := time.Since(start)
-		if err != nil {
-			results[i] = failedResult(specs[i], err)
-		} else {
+		if res != nil {
 			results[i] = *res
+			results[i].Err = err
+		} else {
+			results[i] = failedResult(specs[i], err)
 		}
+		results[i].Attempts = attempts
 		if o.progress != nil {
 			mu.Lock()
 			completed++
@@ -90,6 +120,29 @@ func RunAll(specs []Spec, opts ...Option) []Result {
 		}
 	})
 	return results
+}
+
+// runWithRetry executes the spec, re-running it on transient injected
+// faults per the engine's retry policy. It returns the last attempt's
+// result (possibly a partial, fault-bearing one), how many attempts
+// ran, and the last error.
+func runWithRetry(spec Spec, o *engineOpts) (*Result, int, error) {
+	var res *Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		s := spec
+		if attempt > 0 && s.Chaos != nil {
+			derived := s.Chaos.WithAttempt(attempt)
+			s.Chaos = &derived
+		}
+		res, err = runSafe(s)
+		if err == nil || attempt >= o.retries || !sgx.IsTransient(err) {
+			return res, attempt + 1, err
+		}
+		if o.backoff > 0 {
+			time.Sleep(o.backoff << uint(attempt))
+		}
+	}
 }
 
 // runSafe is Run with panic containment: one bad config surfaces as

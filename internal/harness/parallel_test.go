@@ -66,7 +66,7 @@ func (panicWorkload) NativePort() bool { return true }
 func (panicWorkload) DefaultParams(epcPages int, s workloads.Size) workloads.Params {
 	return workloads.Params{Knobs: map[string]int64{}}
 }
-func (panicWorkload) FootprintPages(p workloads.Params) int { return 8 }
+func (panicWorkload) FootprintPages(p workloads.Params) (int, error) { return 8, nil }
 func (panicWorkload) Setup(ctx *workloads.Ctx) error        { return nil }
 func (panicWorkload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	panic("injected failure")

@@ -17,6 +17,7 @@ package harness
 import (
 	"fmt"
 
+	"sgxgauge/internal/chaos"
 	"sgxgauge/internal/epc"
 	"sgxgauge/internal/libos"
 	"sgxgauge/internal/osal"
@@ -56,6 +57,11 @@ type Spec struct {
 	// machine before any environment exists — the hook profilers use
 	// to attach a tracer.
 	OnMachine func(*sgx.Machine)
+	// Chaos, when non-nil and enabled, arms the adversarial-OS fault
+	// injector on the spec's machine. Injection is a pure function of
+	// the chaos seed and settings, so a chaotic run is as reproducible
+	// as a clean one.
+	Chaos *chaos.Config
 }
 
 // Result is one measured run.
@@ -89,10 +95,25 @@ type Result struct {
 	// over the whole machine lifetime (Figure 7).
 	OpStats map[epc.Op]epc.OpStats
 
-	// Err is set by RunAll when the spec failed or its run panicked;
-	// only Name and Mode are meaningful alongside it. Run reports
-	// errors through its error return instead.
+	// Err is set when the spec failed or its run panicked. Run also
+	// reports the error through its error return; when the failure is
+	// a machine fault (enclave abort, injected transient failure) the
+	// Result still carries the cycles and counters accumulated up to
+	// the fault, so degraded runs remain measurable.
 	Err error
+	// Attempts is the number of times RunAll executed the spec: 1
+	// normally, more when transient injected faults were retried.
+	Attempts int
+}
+
+// fail records a machine fault on the result, capturing the state the
+// run reached before dying so chaos reports can still be built.
+func (r *Result) fail(env *sgx.Env, m *sgx.Machine, err error) {
+	r.Err = err
+	r.Cycles = env.Elapsed() - r.StartupCycles
+	r.TotalCounters = env.Snapshot()
+	r.Counters = r.TotalCounters.Sub(r.StartupCounters)
+	r.Timeline = m.EPC.Timeline()
 }
 
 // Run executes one spec on a fresh machine.
@@ -111,6 +132,7 @@ func Run(spec Spec) (*Result, error) {
 	cfg.EPCPages = spec.EPCPages
 	cfg.Seed = uint64(spec.Seed) ^ 0x5067617567 // "gauge"
 	cfg.Switchless = spec.Switchless
+	cfg.Chaos = spec.Chaos
 	m := sgx.NewMachine(cfg)
 	if spec.OnMachine != nil {
 		spec.OnMachine(m)
@@ -152,9 +174,15 @@ func Run(spec Spec) (*Result, error) {
 			Files:          rawFS.List(),
 			ProtectedFiles: spec.ProtectedFiles,
 		}
-		inst, err := startLibOS(m, rawFS, man, spec.Timeline)
-		if err != nil {
-			return nil, fmt.Errorf("harness: booting LibOS: %w", err)
+		var inst *libos.Instance
+		var bootErr error
+		if perr := sgx.Protect(func() {
+			inst, bootErr = startLibOS(m, rawFS, man, spec.Timeline)
+		}); perr != nil {
+			bootErr = perr
+		}
+		if bootErr != nil {
+			return nil, fmt.Errorf("harness: booting LibOS: %w", bootErr)
 		}
 		env = inst.Env
 		ctx.LibOS = inst
@@ -168,6 +196,7 @@ func Run(spec Spec) (*Result, error) {
 		Name:            spec.Workload.Name(),
 		Mode:            spec.Mode,
 		Params:          params,
+		Attempts:        1,
 		StartupCycles:   env.Elapsed(),
 		StartupCounters: env.Snapshot(),
 	}
@@ -179,16 +208,37 @@ func Run(spec Spec) (*Result, error) {
 	// boot the paper excludes (Appendix D), this launch is part of
 	// running the ported application.
 	if spec.Mode == sgx.Native {
-		foot := spec.Workload.FootprintPages(params)
+		foot, err := spec.Workload.FootprintPages(params)
+		if err != nil {
+			return nil, fmt.Errorf("harness: sizing Native enclave: %w", err)
+		}
 		size := workloads.NativeEnclaveSize(foot)
-		if _, err := env.LaunchEnclaveReserve(size, workloads.NativeImagePages, size); err != nil {
-			return nil, fmt.Errorf("harness: launching Native enclave: %w", err)
+		var launchErr error
+		if perr := sgx.Protect(func() {
+			_, launchErr = env.LaunchEnclaveReserve(size, workloads.NativeImagePages, size)
+		}); perr != nil {
+			launchErr = perr
+		}
+		if launchErr != nil {
+			res.fail(env, m, fmt.Errorf("harness: launching Native enclave: %w", launchErr))
+			return res, res.Err
 		}
 	}
 
-	out, err := spec.Workload.Run(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("harness: running %s in %v mode: %w", spec.Workload.Name(), spec.Mode, err)
+	// The measured window runs under Protect: a machine fault
+	// (enclave abort, injected transient failure) surfaces as this
+	// spec's error with its partial measurements attached, while the
+	// machine — and any sibling work — is unaffected.
+	var out workloads.Output
+	var runErr error
+	if perr := sgx.Protect(func() {
+		out, runErr = spec.Workload.Run(ctx)
+	}); perr != nil {
+		runErr = perr
+	}
+	if runErr != nil {
+		res.fail(env, m, fmt.Errorf("harness: running %s in %v mode: %w", spec.Workload.Name(), spec.Mode, runErr))
+		return res, res.Err
 	}
 
 	res.Output = out

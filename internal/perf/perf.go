@@ -41,6 +41,18 @@ const (
 	Accesses
 	L1Hits
 	L1Misses
+	// InjectedAEXs counts forced asynchronous exits raised by the
+	// chaos injector (a subset of AEXs).
+	InjectedAEXs
+	// IntegrityAborts counts enclave aborts caused by integrity
+	// failures: tampered, replayed, or dropped sealed pages.
+	IntegrityAborts
+	// EPCResizes counts chaos-injected EPC capacity changes (the OS
+	// ballooning the EPC mid-run).
+	EPCResizes
+	// TransitionFaults counts injected transient ECALL/OCALL
+	// transition failures.
+	TransitionFaults
 	numEvents
 )
 
@@ -65,9 +77,13 @@ var eventNames = [...]string{
 	Syscalls:        "syscalls",
 	BytesRead:       "bytes-read",
 	BytesWritten:    "bytes-written",
-	Accesses:        "accesses",
-	L1Hits:          "l1-hits",
-	L1Misses:        "l1-misses",
+	Accesses:         "accesses",
+	L1Hits:           "l1-hits",
+	L1Misses:         "l1-misses",
+	InjectedAEXs:     "injected-aexs",
+	IntegrityAborts:  "integrity-aborts",
+	EPCResizes:       "epc-resizes",
+	TransitionFaults: "transition-faults",
 }
 
 // String returns the perf-style name of the event.

@@ -107,7 +107,13 @@ func (e *Env) LaunchEnclaveReserve(imagePages, reservePages, sizePages int) (*en
 	// Graphene-style loader EADDs them.
 	for i := 0; i < imagePages; i++ {
 		id := mem.PageID{Enclave: enc.ID, VPN: mem.PageNumber(enc.Base) + uint64(i)}
-		f := e.M.EPC.AllocPage(&t.Clock, c, id)
+		f, err := e.M.EPC.AllocPage(&t.Clock, c, id)
+		if err != nil {
+			// A degenerate EPC cannot even host the build; the
+			// enclave never becomes usable.
+			e.M.DestroyEnclave(enc)
+			return nil, fmt.Errorf("sgx: building enclave page %d: %w", i, err)
+		}
 		if i < reservePages {
 			fillImagePage(f, uint64(i))
 		}

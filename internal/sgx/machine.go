@@ -12,9 +12,11 @@
 package sgx
 
 import (
+	"errors"
 	"fmt"
 
 	"sgxgauge/internal/cache"
+	"sgxgauge/internal/chaos"
 	"sgxgauge/internal/cycles"
 	"sgxgauge/internal/enclave"
 	"sgxgauge/internal/epc"
@@ -109,6 +111,11 @@ type Config struct {
 	// TreeCachedLevels is how many top tree levels are held on-die
 	// (default 4).
 	TreeCachedLevels int
+	// Chaos, when non-nil and enabled, attaches a deterministic fault
+	// injector modelling an adversarial OS (package chaos): forced
+	// AEX storms, EPC ballooning, attacks on evicted pages, and
+	// transient transition failures.
+	Chaos *chaos.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +178,11 @@ type Machine struct {
 	pollutionPhase uint64
 	switchlessSeq  uint64
 	tracer         func(TraceEvent)
+
+	// chaos, when non-nil, is the adversarial-OS fault injector;
+	// rollbackStash keeps the stale sealed pages it replays.
+	chaos         *chaos.Injector
+	rollbackStash map[mem.PageID]*mem.SealedPage
 }
 
 // switchlessFallback is how often a switchless call finds the proxy
@@ -185,6 +197,18 @@ const switchlessFallback = 4
 func (m *Machine) admitSwitchless() bool {
 	m.switchlessSeq++
 	return m.switchlessSeq%switchlessFallback != 0
+}
+
+// transitionFault consults the chaos injector on an enclave
+// transition and, when a transient failure is injected, raises it as
+// a recoverable TransientError (the enclave is not aborted; a retry
+// of the run may succeed).
+func (m *Machine) transitionFault(op string) {
+	if m.chaos == nil || !m.chaos.Fire(chaos.TransitionFault) {
+		return
+	}
+	m.Counters.Inc(perf.TransitionFaults)
+	panic(Fault(&TransientError{Op: op, Cause: chaos.ErrTransition}))
 }
 
 // NewMachine boots a machine with the given configuration.
@@ -222,11 +246,55 @@ func NewMachine(cfg Config) *Machine {
 			m.tracer(TraceEvent{Kind: TraceEvict, Thread: -1, Addr: id.VPN * mem.PageSize})
 		}
 		m.shootdown(id)
+		// The page now sits sealed in untrusted memory — exactly
+		// where an adversarial OS can reach it.
+		if m.chaos != nil && id.Enclave != 0 && m.chaos.Fire(chaos.MemTamper) {
+			m.tamperSealed(id)
+		}
 	})
 	// Teardown discards pages without an EWB, but the stale
 	// translations and cache lines must go the same way.
 	m.EPC.SetRemoveHook(m.shootdown)
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		m.chaos = chaos.New(*cfg.Chaos)
+		m.rollbackStash = make(map[mem.PageID]*mem.SealedPage)
+	}
 	return m
+}
+
+// Chaos returns the machine's fault injector, or nil when chaos is
+// not configured.
+func (m *Machine) Chaos() *chaos.Injector { return m.chaos }
+
+// tamperSealed mounts one untrusted-memory attack on the sealed page
+// for id, chosen deterministically by the injector. The damage is
+// detected later — on load-back (MAC mismatch, rollback) or fault-in
+// (dropped page) — exactly like a real tamper attempt.
+func (m *Machine) tamperSealed(id mem.PageID) {
+	sp := m.Backing.Get(id)
+	if sp == nil {
+		return
+	}
+	switch m.chaos.NextTamper() {
+	case chaos.TamperBitFlip:
+		sp.Ciphertext[m.chaos.PickOffset(mem.PageSize)] ^= 1 << uint(m.chaos.PickOffset(8))
+	case chaos.TamperMAC:
+		sp.MAC[m.chaos.PickOffset(len(sp.MAC))] ^= 1 << uint(m.chaos.PickOffset(8))
+	case chaos.TamperDrop:
+		m.Backing.Delete(id)
+	case chaos.TamperRollback:
+		if stale, ok := m.rollbackStash[id]; ok {
+			// Replay the stale version captured on an earlier
+			// eviction of this page.
+			cp := *stale
+			m.Backing.Put(&cp)
+		} else {
+			// First strike on this page: capture the current sealed
+			// image to replay on a later eviction.
+			cp := *sp
+			m.rollbackStash[id] = &cp
+		}
+	}
 }
 
 // shootdown invalidates every trace a page leaves in the translation
@@ -348,25 +416,27 @@ func (m *Machine) residentFrame(enc *enclave.Enclave, addr uint64) *mem.Frame {
 
 // ensureResident makes the page containing addr resident, handling
 // EPC faults (with AEX when t executes inside an enclave) and
-// demand allocation of untrusted pages.
-func (m *Machine) ensureResident(t *Thread, enc *enclave.Enclave, addr uint64) *mem.Frame {
+// demand allocation of untrusted pages. A paging or integrity
+// failure aborts the owning enclave and returns the typed AbortError;
+// the machine itself stays healthy.
+func (m *Machine) ensureResident(t *Thread, enc *enclave.Enclave, addr uint64) (*mem.Frame, error) {
 	c := &m.Costs
 	if enc == nil {
 		vpn := mem.PageNumber(addr)
 		if f := m.untrusted[vpn]; f != nil {
-			return f
+			return f, nil
 		}
 		// First touch of an untrusted page: minor page fault.
 		m.Counters.Inc(perf.PageFaults)
 		t.Clock.Advance(c.FaultOverhead)
 		f := m.pool.Get()
 		m.untrusted[vpn] = f
-		return f
+		return f, nil
 	}
 
 	id := enc.PageID(addr)
 	if f, ok := m.EPC.Lookup(id); ok {
-		return f
+		return f, nil
 	}
 	// EPC fault. If the faulting thread is executing inside the
 	// enclave this raises an asynchronous exit, which flushes the
@@ -381,12 +451,43 @@ func (m *Machine) ensureResident(t *Thread, enc *enclave.Enclave, addr uint64) *
 	}
 	f, loaded, err := m.EPC.Fault(&t.Clock, c, id)
 	if err != nil {
-		panic(fmt.Sprintf("sgx: EPC integrity failure on %v: %v", id, err))
+		return nil, m.abortEnclave(enc, fmt.Errorf("page %v: %w", id, err))
 	}
 	if loaded {
 		m.trace(TraceLoadBack, t, mem.PageBase(addr))
 	}
-	return f
+	return f, nil
+}
+
+// abortEnclave poisons the enclave with the given cause and returns
+// the AbortError subsequent accesses will keep reporting. Integrity
+// violations — the tamper/replay/drop vectors §2.2's MEE exists to
+// detect — are counted separately from resource failures.
+func (m *Machine) abortEnclave(enc *enclave.Enclave, cause error) error {
+	if !enc.Aborted() {
+		enc.Abort(cause)
+		if errors.Is(cause, mee.ErrMACMismatch) || errors.Is(cause, mee.ErrRollback) ||
+			errors.Is(cause, epc.ErrPageLost) {
+			m.Counters.Inc(perf.IntegrityAborts)
+		}
+	}
+	return &AbortError{EnclaveID: enc.ID, Cause: enc.AbortCause()}
+}
+
+// ForceEvict pushes the enclave page containing addr out of the EPC
+// through the normal EWB path, reporting whether it was resident.
+// Tests use it to park a chosen victim in the untrusted store
+// deterministically instead of thrashing and hoping.
+func (m *Machine) ForceEvict(t *Thread, addr uint64) bool {
+	enc := m.enclaveFor(addr)
+	if enc == nil {
+		return false
+	}
+	evicted, err := m.EPC.EvictPage(&t.Clock, &m.Costs, enc.PageID(addr))
+	if err != nil {
+		panic(fmt.Sprintf("sgx: ForceEvict of %#x: %v", addr, err))
+	}
+	return evicted
 }
 
 // chargePageLoad models the cache-visible cost of loading one enclave
@@ -412,13 +513,41 @@ func (m *Machine) chargePageLoad(t *Thread, base uint64) {
 	}
 }
 
-// accessPage performs one access confined to a single page.
-func (m *Machine) accessPage(t *Thread, addr uint64, p []byte, write bool) {
+// accessPage performs one access confined to a single page. It
+// returns a typed Fault error when the access hits an aborted
+// enclave or trips an (injected or organic) failure.
+func (m *Machine) accessPage(t *Thread, addr uint64, p []byte, write bool) error {
 	c := &m.Costs
 	m.Counters.Inc(perf.Accesses)
 	t.Clock.Advance(c.Compute)
 
 	enc := m.enclaveFor(addr)
+	if enc != nil && enc.Aborted() {
+		// Abort-page semantics: the poisoned enclave stays dead, but
+		// the access fails with a typed error rather than the
+		// process; other enclaves are untouched.
+		return &AbortError{EnclaveID: enc.ID, Cause: enc.AbortCause()}
+	}
+	if m.chaos != nil {
+		if enc != nil && t.InEnclave() && m.chaos.Fire(chaos.AEXStorm) {
+			// Injected interrupt storm: the OS forces an
+			// asynchronous exit, flushing the thread's TLB (§2.3).
+			m.Counters.Inc(perf.InjectedAEXs)
+			m.Counters.Inc(perf.AEXs)
+			m.trace(TraceAEX, t, 0)
+			t.Clock.Advance(c.AEX)
+			t.flushTLB()
+		}
+		if m.chaos.Fire(chaos.EPCBalloon) {
+			// The OS balloons the EPC to a new capacity; Resize
+			// evicts through the normal EWB path when shrinking.
+			target := m.chaos.BalloonTarget(m.cfg.EPCPages, epc.MinCapacity)
+			if err := m.EPC.Resize(&t.Clock, c, target); err != nil && enc != nil {
+				return m.abortEnclave(enc, err)
+			}
+		}
+	}
+
 	vpn := mem.PageNumber(addr)
 	var frame *mem.Frame
 	if t.tlb.Lookup(vpn) {
@@ -434,7 +563,11 @@ func (m *Machine) accessPage(t *Thread, addr uint64, p []byte, write bool) {
 		}
 		t.Clock.Advance(walk)
 		m.Counters.Add(perf.WalkCycles, walk)
-		frame = m.ensureResident(t, enc, addr)
+		var err error
+		frame, err = m.ensureResident(t, enc, addr)
+		if err != nil {
+			return err
+		}
 		if enc != nil {
 			ent := m.EPC.EPCMLookup(enc.PageID(addr))
 			if !ent.Valid || ent.Owner != enc.ID || ent.VPN != vpn {
@@ -480,18 +613,33 @@ func (m *Machine) accessPage(t *Thread, addr uint64, p []byte, write bool) {
 		copy(p, frame.Data[off:int(off)+len(p)])
 		m.Counters.Add(perf.BytesRead, uint64(len(p)))
 	}
+	return nil
 }
 
-// access performs a possibly page-spanning access.
+// access performs a possibly page-spanning access, raising any Fault
+// as a recoverable typed panic (see Protect): the Thread API the
+// workloads program against has no error returns, and a faulted
+// access cannot meaningfully continue the computation that issued it.
 func (m *Machine) access(t *Thread, addr uint64, p []byte, write bool) {
+	if err := m.tryAccess(t, addr, p, write); err != nil {
+		panic(err.(Fault))
+	}
+}
+
+// tryAccess is access with an ordinary error return, for callers that
+// thread errors instead of unwinding.
+func (m *Machine) tryAccess(t *Thread, addr uint64, p []byte, write bool) error {
 	for len(p) > 0 {
 		pageOff := addr & (mem.PageSize - 1)
 		chunk := int(mem.PageSize - pageOff)
 		if chunk > len(p) {
 			chunk = len(p)
 		}
-		m.accessPage(t, addr, p[:chunk], write)
+		if err := m.accessPage(t, addr, p[:chunk], write); err != nil {
+			return err
+		}
 		addr += uint64(chunk)
 		p = p[chunk:]
 	}
+	return nil
 }

@@ -72,6 +72,11 @@ func (t *Thread) ECall(fn func()) {
 		return
 	}
 	c := &t.env.M.Costs
+	if enc := t.env.Enclave; enc != nil && enc.Aborted() {
+		// EENTER to an aborted enclave fails (abort-page semantics).
+		panic(Fault(&AbortError{EnclaveID: enc.ID, Cause: enc.AbortCause()}))
+	}
+	t.env.M.transitionFault("ECALL")
 	t.env.M.Counters.Inc(perf.ECalls)
 	t.env.M.trace(TraceECall, t, 0)
 	t.Clock.Advance(c.ECallEnter)
@@ -107,6 +112,7 @@ func (t *Thread) OCall(fn func()) {
 		t.Clock.Advance(c.SwitchlessCall)
 		return
 	}
+	t.env.M.transitionFault("OCALL")
 	t.env.M.Counters.Inc(perf.OCalls)
 	t.env.M.trace(TraceOCall, t, 0)
 	t.Clock.Advance(t.transitionCost(c.OCallExit))
@@ -155,10 +161,24 @@ func (t *Thread) SyscallInternal(n uint64) {
 }
 
 // Read copies len(p) bytes at addr from the simulated address space.
+// A machine fault (aborted enclave, injected failure) unwinds as a
+// typed Fault recoverable with Protect.
 func (t *Thread) Read(addr uint64, p []byte) { t.env.M.access(t, addr, p, false) }
 
-// Write copies p into the simulated address space at addr.
+// Write copies p into the simulated address space at addr. Faults
+// unwind as with Read.
 func (t *Thread) Write(addr uint64, p []byte) { t.env.M.access(t, addr, p, true) }
+
+// TryRead is Read with an ordinary error return instead of a Fault
+// unwind, for callers that thread errors explicitly.
+func (t *Thread) TryRead(addr uint64, p []byte) error {
+	return t.env.M.tryAccess(t, addr, p, false)
+}
+
+// TryWrite is Write with an ordinary error return.
+func (t *Thread) TryWrite(addr uint64, p []byte) error {
+	return t.env.M.tryAccess(t, addr, p, true)
+}
 
 // ReadU64 reads a little-endian uint64 at addr.
 func (t *Thread) ReadU64(addr uint64) uint64 {

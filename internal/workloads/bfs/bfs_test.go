@@ -21,8 +21,8 @@ func TestDegreeAtLeastThree(t *testing.T) {
 	w := New()
 	for _, s := range workloads.Sizes() {
 		p := w.DefaultParams(96, s)
-		if p.Knob("edges") < 3*p.Knob("nodes") {
-			t.Errorf("%v: %d edges for %d nodes (degree < 3)", s, p.Knob("edges"), p.Knob("nodes"))
+		if p.MustKnob("edges") < 3*p.MustKnob("nodes") {
+			t.Errorf("%v: %d edges for %d nodes (degree < 3)", s, p.MustKnob("edges"), p.MustKnob("nodes"))
 		}
 	}
 }
@@ -50,8 +50,8 @@ func TestRunAcrossModes(t *testing.T) {
 	out := wltest.RunAllModes(t, New(), workloads.Low)
 	van := out[sgx.Vanilla]
 	p := New().DefaultParams(wltest.DefaultEPCPages, workloads.Low)
-	if van.Ops != p.Knob("nodes") {
-		t.Errorf("visited %d, want all %d nodes", van.Ops, p.Knob("nodes"))
+	if van.Ops != p.MustKnob("nodes") {
+		t.Errorf("visited %d, want all %d nodes", van.Ops, p.MustKnob("nodes"))
 	}
 }
 

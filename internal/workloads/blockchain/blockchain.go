@@ -70,9 +70,12 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	blocks := p.Knob("blocks")
-	return int(blocks*payloadBytes/mem.PageSize) + 4
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	blocks, err := p.Knob("blocks")
+	if err != nil {
+		return 0, err
+	}
+	return int(blocks*payloadBytes/mem.PageSize) + 4, nil
 }
 
 // Setup implements workloads.Workload.
@@ -103,8 +106,14 @@ func attemptHash(h header, nonce uint64, payloadSample []byte) [32]byte {
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	blocks := p.Knob("blocks")
-	bits := p.Knob("difficulty_bits")
+	blocks, err := p.Knob("blocks")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	bits, err := p.Knob("difficulty_bits")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if blocks <= 0 || bits < 0 || bits > 40 {
 		return workloads.Output{}, fmt.Errorf("blockchain: invalid blocks=%d difficulty_bits=%d", blocks, bits)
 	}
@@ -119,7 +128,6 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	// Vanilla/Native mode (only the hash runs inside the enclave),
 	// enclave heap in LibOS mode (the whole app is inside).
 	var chain uint64
-	var err error
 	if env.Mode == sgx.LibOS {
 		chain, err = env.Alloc(uint64(blocks)*payloadBytes, mem.PageSize)
 	} else {

@@ -21,7 +21,7 @@ func TestBlockCountsMatchTable2(t *testing.T) {
 	w := New()
 	want := map[workloads.Size]int64{workloads.Low: 3, workloads.Medium: 5, workloads.High: 8}
 	for s, n := range want {
-		if got := w.DefaultParams(96, s).Knob("blocks"); got != n {
+		if got := w.DefaultParams(96, s).MustKnob("blocks"); got != n {
 			t.Errorf("%v: blocks = %d, want %d (Table 2)", s, got, n)
 		}
 	}

@@ -76,9 +76,12 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	nodes := p.Knob("elements")*regionBytesPerElement/mem.PageSize + 8
-	return int(nodes)
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	elements, err := p.Knob("elements")
+	if err != nil {
+		return 0, err
+	}
+	return int(elements*regionBytesPerElement/mem.PageSize + 8), nil
 }
 
 // Setup implements workloads.Workload; B-Tree needs no host-side
@@ -232,13 +235,23 @@ func (tr *tree) Insert(k uint64) {
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	elements := p.Knob("elements")
-	finds := p.Knob("finds")
+	elements, err := p.Knob("elements")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	finds, err := p.Knob("finds")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if elements <= 0 {
 		return workloads.Output{}, fmt.Errorf("btree: elements must be positive, got %d", elements)
 	}
 
-	regionBytes := uint64(w.FootprintPages(p)) * mem.PageSize
+	foot, err := w.FootprintPages(p)
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	regionBytes := uint64(foot) * mem.PageSize
 	region, err := ctx.Env.Alloc(regionBytes, mem.PageSize)
 	if err != nil {
 		return workloads.Output{}, fmt.Errorf("btree: allocating node region: %w", err)

@@ -25,20 +25,20 @@ func TestParamsScaleWithEPC(t *testing.T) {
 	w := New()
 	small := w.DefaultParams(96, workloads.Medium)
 	big := w.DefaultParams(192, workloads.Medium)
-	if big.Knob("elements") <= small.Knob("elements") {
+	if big.MustKnob("elements") <= small.MustKnob("elements") {
 		t.Error("elements do not scale with the EPC")
 	}
 	low := w.DefaultParams(96, workloads.Low)
 	high := w.DefaultParams(96, workloads.High)
-	if !(low.Knob("elements") < small.Knob("elements") && small.Knob("elements") < high.Knob("elements")) {
+	if !(low.MustKnob("elements") < small.MustKnob("elements") && small.MustKnob("elements") < high.MustKnob("elements")) {
 		t.Error("Low < Medium < High ordering violated")
 	}
 	// The touched working set (not the slack-padded region) must
 	// straddle the EPC: Low below, High above.
-	if touched := low.Knob("elements") * bytesPerElement / mem.PageSize; touched >= 96 {
+	if touched := low.MustKnob("elements") * bytesPerElement / mem.PageSize; touched >= 96 {
 		t.Errorf("Low working set %d pages >= EPC", touched)
 	}
-	if touched := high.Knob("elements") * bytesPerElement / mem.PageSize; touched <= 96 {
+	if touched := high.MustKnob("elements") * bytesPerElement / mem.PageSize; touched <= 96 {
 		t.Errorf("High working set %d pages <= EPC", touched)
 	}
 }

@@ -27,7 +27,7 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int { return 1 }
+func (*Workload) FootprintPages(p workloads.Params) (int, error) { return 1, nil }
 
 // Setup implements workloads.Workload.
 func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }

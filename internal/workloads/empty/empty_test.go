@@ -27,7 +27,7 @@ func TestRunDoesNothing(t *testing.T) {
 
 func TestMetadata(t *testing.T) {
 	w := New()
-	if w.Name() != "Empty" || w.FootprintPages(w.DefaultParams(96, workloads.Low)) != 1 {
+	if w.Name() != "Empty" || workloads.MustFootprint(w, w.DefaultParams(96, workloads.Low)) != 1 {
 		t.Error("metadata wrong")
 	}
 	if err := w.Setup(nil); err != nil {

@@ -83,15 +83,21 @@ func footprintBytes(buildRows int64) int64 {
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	r := p.Knob("build_rows")
-	s := p.Knob("probe_rows")
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	r, err := p.Knob("build_rows")
+	if err != nil {
+		return 0, err
+	}
+	s, err := p.Knob("probe_rows")
+	if err != nil {
+		return 0, err
+	}
 	slots := int64(1)
 	for slots < 2*r {
 		slots *= 2
 	}
 	bytes := r*rowBytes + slots*slotBytes + s*rowBytes
-	return int(bytes/mem.PageSize) + 4
+	return int(bytes/mem.PageSize) + 4, nil
 }
 
 // Setup implements workloads.Workload.
@@ -105,8 +111,14 @@ func hashKey(k uint64, mask uint64) uint64 {
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	buildRows := p.Knob("build_rows")
-	probeRows := p.Knob("probe_rows")
+	buildRows, err := p.Knob("build_rows")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	probeRows, err := p.Knob("probe_rows")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if buildRows <= 0 || probeRows < 0 {
 		return workloads.Output{}, fmt.Errorf("hashjoin: invalid rows build=%d probe=%d", buildRows, probeRows)
 	}

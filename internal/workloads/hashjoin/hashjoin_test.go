@@ -20,7 +20,7 @@ func TestFootprintRespectsTarget(t *testing.T) {
 	w := New()
 	for _, s := range workloads.Sizes() {
 		p := w.DefaultParams(96, s)
-		foot := w.FootprintPages(p)
+		foot := workloads.MustFootprint(w, p)
 		target := workloads.PagesForRatio(96, footprintRatios[s])
 		// Sizing accounts for the power-of-two table: the footprint
 		// must sit at or below the target, and within 40% of it

@@ -69,8 +69,12 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 
 // FootprintPages implements workloads.Workload; only one block is
 // buffered in memory at a time.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	return int(p.Knob("block_bytes")/mem.PageSize) + 4
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	b, err := p.Knob("block_bytes")
+	if err != nil {
+		return 0, err
+	}
+	return int(b/mem.PageSize) + 4, nil
 }
 
 // Setup implements workloads.Workload.
@@ -87,8 +91,14 @@ type PhaseCycles map[string]uint64
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	fileBytes := p.Knob("file_bytes")
-	blockBytes := p.Knob("block_bytes")
+	fileBytes, err := p.Knob("file_bytes")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	blockBytes, err := p.Knob("block_bytes")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if fileBytes <= 0 || blockBytes <= 0 || fileBytes%blockBytes != 0 {
 		return workloads.Output{}, fmt.Errorf("iozone: invalid file_bytes=%d block_bytes=%d", fileBytes, blockBytes)
 	}

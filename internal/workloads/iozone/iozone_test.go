@@ -23,10 +23,10 @@ func TestFileAlwaysExceedsEPC(t *testing.T) {
 	w := New()
 	for _, s := range workloads.Sizes() {
 		p := w.DefaultParams(96, s)
-		if p.Knob("file_bytes") < 2*96*4096 {
-			t.Errorf("%v: file %d bytes not >> EPC", s, p.Knob("file_bytes"))
+		if p.MustKnob("file_bytes") < 2*96*4096 {
+			t.Errorf("%v: file %d bytes not >> EPC", s, p.MustKnob("file_bytes"))
 		}
-		if p.Knob("file_bytes")%p.Knob("block_bytes") != 0 {
+		if p.MustKnob("file_bytes")%p.MustKnob("block_bytes") != 0 {
 			t.Errorf("%v: file not a whole number of blocks", s)
 		}
 	}
@@ -44,7 +44,7 @@ func TestAllPhasesRun(t *testing.T) {
 		}
 	}
 	p := New().DefaultParams(wltest.DefaultEPCPages, workloads.Low)
-	if out.Ops != 4*p.Knob("file_bytes")/p.Knob("block_bytes") {
+	if out.Ops != 4*p.MustKnob("file_bytes")/p.MustKnob("block_bytes") {
 		t.Errorf("Ops = %d", out.Ops)
 	}
 }

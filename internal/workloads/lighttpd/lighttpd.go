@@ -61,8 +61,8 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	return pageBytes/mem.PageSize + 8
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	return pageBytes/mem.PageSize + 8, nil
 }
 
 // Setup implements workloads.Workload.
@@ -71,7 +71,10 @@ func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	requests := p.Knob("requests")
+	requests, err := p.Knob("requests")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	threads := p.Threads
 	if requests < 0 || threads <= 0 {
 		return workloads.Output{}, fmt.Errorf("lighttpd: invalid requests=%d threads=%d", requests, threads)

@@ -27,8 +27,8 @@ func TestMetadata(t *testing.T) {
 
 func TestRequestCountsScale(t *testing.T) {
 	w := New()
-	low := w.DefaultParams(96, workloads.Low).Knob("requests")
-	high := w.DefaultParams(96, workloads.High).Knob("requests")
+	low := w.DefaultParams(96, workloads.Low).MustKnob("requests")
+	high := w.DefaultParams(96, workloads.High).MustKnob("requests")
 	// Table 2 issues 50K/60K/70K requests: the 7:5 High:Low ratio
 	// must survive scaling.
 	if high*5 != low*7 {

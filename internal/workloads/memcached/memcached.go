@@ -76,11 +76,14 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	r := p.Knob("records")
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	r, err := p.Knob("records")
+	if err != nil {
+		return 0, err
+	}
 	buckets := bucketCount(r)
 	bytes := r*entryBytes + int64(buckets)*8
-	return int(bytes/mem.PageSize) + 4
+	return int(bytes/mem.PageSize) + 4, nil
 }
 
 func bucketCount(records int64) uint64 {
@@ -97,8 +100,14 @@ func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	records := p.Knob("records")
-	operations := p.Knob("operations")
+	records, err := p.Knob("records")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	operations, err := p.Knob("operations")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if records <= 0 || operations < 0 {
 		return workloads.Output{}, fmt.Errorf("memcached: invalid records=%d operations=%d", records, operations)
 	}

@@ -24,9 +24,9 @@ func TestRecordScalingBracketsEPC(t *testing.T) {
 	// Table 2: 50K/100K/200K records bracket the EPC (ratios
 	// 0.55/1.1/2.2).
 	w := New()
-	low := w.FootprintPages(w.DefaultParams(96, workloads.Low))
-	med := w.FootprintPages(w.DefaultParams(96, workloads.Medium))
-	high := w.FootprintPages(w.DefaultParams(96, workloads.High))
+	low := workloads.MustFootprint(w, w.DefaultParams(96, workloads.Low))
+	med := workloads.MustFootprint(w, w.DefaultParams(96, workloads.Medium))
+	high := workloads.MustFootprint(w, w.DefaultParams(96, workloads.High))
 	if !(low < 96 && med > 96 && high > 2*96-20) {
 		t.Errorf("footprints %d/%d/%d do not bracket the 96-page EPC", low, med, high)
 	}
@@ -35,9 +35,9 @@ func TestRecordScalingBracketsEPC(t *testing.T) {
 func TestOperationsConstantAcrossSizes(t *testing.T) {
 	// The paper fixes 800K operations for all record counts.
 	w := New()
-	ops := w.DefaultParams(96, workloads.Low).Knob("operations")
+	ops := w.DefaultParams(96, workloads.Low).MustKnob("operations")
 	for _, s := range workloads.Sizes() {
-		if got := w.DefaultParams(96, s).Knob("operations"); got != ops {
+		if got := w.DefaultParams(96, s).MustKnob("operations"); got != ops {
 			t.Errorf("%v: operations = %d, want constant %d", s, got, ops)
 		}
 	}

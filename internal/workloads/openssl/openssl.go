@@ -62,8 +62,12 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 
 // FootprintPages implements workloads.Workload; the whole file is
 // buffered in the enclave and transformed in place.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	return int(p.Knob("file_bytes")/mem.PageSize) + 2
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	n, err := p.Knob("file_bytes")
+	if err != nil {
+		return 0, err
+	}
+	return int(n/mem.PageSize) + 2, nil
 }
 
 // key returns the workload's AES key, derived from the seed.
@@ -86,7 +90,10 @@ func ctr(k []byte, nonce uint64) cipher.Stream {
 // Setup implements workloads.Workload: it creates the encrypted input
 // file host-side.
 func (w *Workload) Setup(ctx *workloads.Ctx) error {
-	n := ctx.Params.Knob("file_bytes")
+	n, err := ctx.Params.Knob("file_bytes")
+	if err != nil {
+		return err
+	}
 	if n <= 0 {
 		return fmt.Errorf("openssl: file_bytes must be positive, got %d", n)
 	}
@@ -105,7 +112,10 @@ func (w *Workload) Setup(ctx *workloads.Ctx) error {
 
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
-	n := ctx.Params.Knob("file_bytes")
+	n, err := ctx.Params.Knob("file_bytes")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	env := ctx.Env
 	t := env.Main
 

@@ -22,9 +22,9 @@ func TestFileSizesMatchTable2Ratios(t *testing.T) {
 	// High well above.
 	w := New()
 	epcBytes := int64(96) * 4096
-	low := w.DefaultParams(96, workloads.Low).Knob("file_bytes")
-	med := w.DefaultParams(96, workloads.Medium).Knob("file_bytes")
-	high := w.DefaultParams(96, workloads.High).Knob("file_bytes")
+	low := w.DefaultParams(96, workloads.Low).MustKnob("file_bytes")
+	med := w.DefaultParams(96, workloads.Medium).MustKnob("file_bytes")
+	high := w.DefaultParams(96, workloads.High).MustKnob("file_bytes")
 	if !(low < med && med < epcBytes && high > epcBytes*3/2) {
 		t.Errorf("file sizes %d/%d/%d vs EPC %d break Table 2 shape", low, med, high, epcBytes)
 	}

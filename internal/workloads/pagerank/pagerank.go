@@ -74,11 +74,17 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	n := p.Knob("nodes")
-	e := p.Knob("edges")
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	n, err := p.Knob("nodes")
+	if err != nil {
+		return 0, err
+	}
+	e, err := p.Knob("edges")
+	if err != nil {
+		return 0, err
+	}
 	bytes := (n+1)*8 + e*8 + 2*n*8 + n*8
-	return int(bytes/mem.PageSize) + 4
+	return int(bytes/mem.PageSize) + 4, nil
 }
 
 // Setup implements workloads.Workload.
@@ -87,8 +93,14 @@ func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	nodes := p.Knob("nodes")
-	edges := p.Knob("edges")
+	nodes, err := p.Knob("nodes")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	edges, err := p.Knob("edges")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if nodes <= 0 || edges < nodes {
 		return workloads.Output{}, fmt.Errorf("pagerank: need out-degree >= 1, got nodes=%d edges=%d", nodes, edges)
 	}

@@ -22,8 +22,8 @@ func TestOutDegreeAtLeastOne(t *testing.T) {
 	w := New()
 	for _, s := range workloads.Sizes() {
 		p := w.DefaultParams(96, s)
-		if p.Knob("edges") < p.Knob("nodes") {
-			t.Errorf("%v: %d edges < %d nodes", s, p.Knob("edges"), p.Knob("nodes"))
+		if p.MustKnob("edges") < p.MustKnob("nodes") {
+			t.Errorf("%v: %d edges < %d nodes", s, p.MustKnob("edges"), p.MustKnob("nodes"))
 		}
 	}
 }
@@ -53,9 +53,9 @@ func TestSizesNearEPCBoundary(t *testing.T) {
 	// 12.5M edges against 92 MB); the ratios must stay ordered and
 	// close together.
 	w := New()
-	low := w.FootprintPages(w.DefaultParams(960, workloads.Low))
-	med := w.FootprintPages(w.DefaultParams(960, workloads.Medium))
-	high := w.FootprintPages(w.DefaultParams(960, workloads.High))
+	low := workloads.MustFootprint(w, w.DefaultParams(960, workloads.Low))
+	med := workloads.MustFootprint(w, w.DefaultParams(960, workloads.Medium))
+	high := workloads.MustFootprint(w, w.DefaultParams(960, workloads.High))
 	if !(low < med && med < high) {
 		t.Errorf("footprints not ordered: %d/%d/%d", low, med, high)
 	}

@@ -66,7 +66,7 @@ func TestEveryWorkloadHasSaneDefaults(t *testing.T) {
 					t.Errorf("%s/%v: knob %s = %d", w.Name(), s, name, v)
 				}
 			}
-			if w.FootprintPages(p) < 1 {
+			if workloads.MustFootprint(w, p) < 1 {
 				t.Errorf("%s/%v: zero footprint", w.Name(), s)
 			}
 		}
@@ -79,9 +79,9 @@ func TestFootprintsGrowWithSize(t *testing.T) {
 		if w.Name() == "Blockchain" || w.Name() == "Lighttpd" {
 			continue // footprint fixed by design; size varies work
 		}
-		low := w.FootprintPages(w.DefaultParams(epcPages, workloads.Low))
-		med := w.FootprintPages(w.DefaultParams(epcPages, workloads.Medium))
-		high := w.FootprintPages(w.DefaultParams(epcPages, workloads.High))
+		low := workloads.MustFootprint(w, w.DefaultParams(epcPages, workloads.Low))
+		med := workloads.MustFootprint(w, w.DefaultParams(epcPages, workloads.Medium))
+		high := workloads.MustFootprint(w, w.DefaultParams(epcPages, workloads.High))
 		if !(low <= med && med <= high) {
 			t.Errorf("%s: footprints %d/%d/%d not monotone", w.Name(), low, med, high)
 		}

@@ -63,9 +63,13 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	bytes := p.Knob("rows")*rowBytes + features*8
-	return int(bytes/mem.PageSize) + 4
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	rows, err := p.Knob("rows")
+	if err != nil {
+		return 0, err
+	}
+	bytes := rows*rowBytes + features*8
+	return int(bytes/mem.PageSize) + 4, nil
 }
 
 // Setup implements workloads.Workload.
@@ -74,7 +78,10 @@ func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	rows := p.Knob("rows")
+	rows, err := p.Knob("rows")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if rows <= 0 {
 		return workloads.Output{}, fmt.Errorf("svm: rows must be positive, got %d", rows)
 	}

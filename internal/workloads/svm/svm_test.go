@@ -21,7 +21,7 @@ func TestMetadata(t *testing.T) {
 func TestFeatureCountMatchesTable2(t *testing.T) {
 	w := New()
 	for _, s := range workloads.Sizes() {
-		if got := w.DefaultParams(96, s).Knob("features"); got != 128 {
+		if got := w.DefaultParams(96, s).MustKnob("features"); got != 128 {
 			t.Errorf("%v: features = %d, want 128 (Table 2)", s, got)
 		}
 	}
@@ -30,9 +30,9 @@ func TestFeatureCountMatchesTable2(t *testing.T) {
 func TestRowRatiosFollowTable2(t *testing.T) {
 	// Table 2 rows are 4000/6000/10000 = 1 : 1.5 : 2.5.
 	w := New()
-	low := w.DefaultParams(960, workloads.Low).Knob("rows")
-	med := w.DefaultParams(960, workloads.Medium).Knob("rows")
-	high := w.DefaultParams(960, workloads.High).Knob("rows")
+	low := w.DefaultParams(960, workloads.Low).MustKnob("rows")
+	med := w.DefaultParams(960, workloads.Medium).MustKnob("rows")
+	high := w.DefaultParams(960, workloads.High).MustKnob("rows")
 	if r := float64(med) / float64(low); r < 1.4 || r > 1.6 {
 		t.Errorf("Medium/Low rows = %.2f, want ~1.5", r)
 	}

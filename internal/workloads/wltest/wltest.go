@@ -45,7 +45,10 @@ func NewCtxParams(t *testing.T, w workloads.Workload, mode sgx.Mode, params work
 		ctx.FS = fs
 	case sgx.Native:
 		env := m.NewEnv(sgx.Native)
-		foot := w.FootprintPages(params)
+		foot, err := w.FootprintPages(params)
+		if err != nil {
+			t.Fatalf("footprint: %v", err)
+		}
 		sz := workloads.NativeEnclaveSize(foot)
 		if _, err := env.LaunchEnclaveReserve(sz, workloads.NativeImagePages, sz); err != nil {
 			t.Fatalf("launch: %v", err)

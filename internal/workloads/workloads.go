@@ -8,6 +8,8 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"sgxgauge/internal/libos"
 	"sgxgauge/internal/osal"
@@ -53,12 +55,30 @@ type Params struct {
 	Knobs   map[string]int64
 }
 
-// Knob returns the named knob, panicking when the workload was
-// configured without it (a harness bug, not an input error).
-func (p Params) Knob(name string) int64 {
+// Knob returns the named knob. A missing knob yields an error listing
+// the knobs the Params actually carries, so a misconfigured sweep
+// reports which name was wrong instead of killing the process.
+func (p Params) Knob(name string) (int64, error) {
 	v, ok := p.Knobs[name]
 	if !ok {
-		panic(fmt.Sprintf("workloads: missing knob %q", name))
+		names := make([]string, 0, len(p.Knobs))
+		for n := range p.Knobs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return 0, fmt.Errorf("workloads: missing knob %q (available: %s)",
+			name, strings.Join(names, ", "))
+	}
+	return v, nil
+}
+
+// MustKnob is Knob for callers that construct the Params themselves
+// (DefaultParams round-trips, tests): a missing knob is a programming
+// error there, so it panics.
+func (p Params) MustKnob(name string) int64 {
+	v, err := p.Knob(name)
+	if err != nil {
+		panic(err)
 	}
 	return v
 }
@@ -123,13 +143,25 @@ type Workload interface {
 	// footprint-to-EPC ratios.
 	DefaultParams(epcPages int, s Size) Params
 	// FootprintPages estimates the data footprint, used to size
-	// Native-mode enclaves.
-	FootprintPages(p Params) int
+	// Native-mode enclaves. It fails when p lacks a knob the estimate
+	// needs, and the failure propagates through workload construction
+	// instead of panicking.
+	FootprintPages(p Params) (int, error)
 	// Setup performs host-side preparation (input files, request
 	// streams); it is not measured.
 	Setup(ctx *Ctx) error
 	// Run executes the measured portion.
 	Run(ctx *Ctx) (Output, error)
+}
+
+// MustFootprint is FootprintPages for callers whose Params are known
+// complete (built by DefaultParams, or tests): it panics on error.
+func MustFootprint(w Workload, p Params) int {
+	n, err := w.FootprintPages(p)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }
 
 // NativeImagePages is the image size of a Native-mode enclave: the

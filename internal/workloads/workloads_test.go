@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -17,9 +18,25 @@ func TestSizeString(t *testing.T) {
 	}
 }
 
-func TestKnobPanicsWhenMissing(t *testing.T) {
+func TestKnobMissingListsAvailable(t *testing.T) {
+	p := Params{Knobs: map[string]int64{"alpha": 1, "beta": 2}}
+	if v, err := p.Knob("alpha"); err != nil || v != 1 {
+		t.Errorf("Knob(alpha) = %d, %v", v, err)
+	}
+	_, err := p.Knob("gamma")
+	if err == nil {
+		t.Fatal("missing knob did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"gamma"`) ||
+		!strings.Contains(msg, "alpha, beta") {
+		t.Errorf("error %q does not name the missing knob and list the available ones", msg)
+	}
+}
+
+func TestMustKnobPanicsWhenMissing(t *testing.T) {
 	p := Params{Knobs: map[string]int64{"a": 1}}
-	if p.Knob("a") != 1 {
+	if p.MustKnob("a") != 1 {
 		t.Error("Knob lookup failed")
 	}
 	defer func() {
@@ -27,20 +44,20 @@ func TestKnobPanicsWhenMissing(t *testing.T) {
 			t.Error("missing knob did not panic")
 		}
 	}()
-	p.Knob("b")
+	p.MustKnob("b")
 }
 
 func TestWithKnobCopies(t *testing.T) {
 	p := Params{Size: Medium, Threads: 4, Knobs: map[string]int64{"a": 1}}
 	q := p.WithKnob("a", 2)
-	if q.Knob("a") != 2 || p.Knob("a") != 1 {
+	if q.MustKnob("a") != 2 || p.MustKnob("a") != 1 {
 		t.Error("WithKnob mutated the original")
 	}
 	if q.Size != Medium || q.Threads != 4 {
 		t.Error("WithKnob dropped fields")
 	}
 	r := p.WithKnob("b", 9)
-	if r.Knob("b") != 9 || r.Knob("a") != 1 {
+	if r.MustKnob("b") != 9 || r.MustKnob("a") != 1 {
 		t.Error("WithKnob add failed")
 	}
 }

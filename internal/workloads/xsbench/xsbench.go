@@ -66,8 +66,12 @@ func (*Workload) DefaultParams(epcPages int, s workloads.Size) workloads.Params 
 }
 
 // FootprintPages implements workloads.Workload.
-func (*Workload) FootprintPages(p workloads.Params) int {
-	return int(p.Knob("gridpoints")*bytesPerPoint/mem.PageSize) + 4
+func (*Workload) FootprintPages(p workloads.Params) (int, error) {
+	points, err := p.Knob("gridpoints")
+	if err != nil {
+		return 0, err
+	}
+	return int(points*bytesPerPoint/mem.PageSize) + 4, nil
 }
 
 // Setup implements workloads.Workload.
@@ -76,8 +80,14 @@ func (*Workload) Setup(ctx *workloads.Ctx) error { return nil }
 // Run implements workloads.Workload.
 func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	p := ctx.Params
-	points := p.Knob("gridpoints")
-	lookups := p.Knob("lookups")
+	points, err := p.Knob("gridpoints")
+	if err != nil {
+		return workloads.Output{}, err
+	}
+	lookups, err := p.Knob("lookups")
+	if err != nil {
+		return workloads.Output{}, err
+	}
 	if points <= 1 || lookups < 0 {
 		return workloads.Output{}, fmt.Errorf("xsbench: invalid gridpoints=%d lookups=%d", points, lookups)
 	}

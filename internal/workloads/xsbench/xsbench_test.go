@@ -25,9 +25,9 @@ func TestHighFarExceedsEPC(t *testing.T) {
 	// Table 2: 53K/88K/768K grid points — High jumps far past the
 	// EPC while Low/Medium sit below/near it.
 	w := New()
-	low := w.FootprintPages(w.DefaultParams(96, workloads.Low))
-	med := w.FootprintPages(w.DefaultParams(96, workloads.Medium))
-	high := w.FootprintPages(w.DefaultParams(96, workloads.High))
+	low := workloads.MustFootprint(w, w.DefaultParams(96, workloads.Low))
+	med := workloads.MustFootprint(w, w.DefaultParams(96, workloads.Medium))
+	high := workloads.MustFootprint(w, w.DefaultParams(96, workloads.High))
 	if !(low < 96 && med <= 96+8 && high >= 2*96) {
 		t.Errorf("footprints %d/%d/%d break the Table 2 shape", low, med, high)
 	}
