@@ -327,6 +327,84 @@ func BenchmarkSpaceReadU64(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessPage measures the simulator's per-access hot path on
+// its most common shape: a sequential line-strided sweep over an
+// enclave buffer, where consecutive accesses stay on the same page in
+// runs of 64 (the same-page streak the fast path memoizes).
+func BenchmarkAccessPage(b *testing.B) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 256})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 200); err != nil {
+		b.Fatal(err)
+	}
+	const pages = 64
+	addr := env.MustAlloc(pages*mem.PageSize, mem.PageSize)
+	tr := env.Main
+	tr.Memset(addr, 0, pages*mem.PageSize)
+	span := uint64(pages * mem.PageSize / mem.LineSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ReadU64(addr + (uint64(i)%span)*mem.LineSize)
+	}
+}
+
+// BenchmarkAccessPageStride is the memoization-hostile counterpart:
+// every access lands on a different page, so each one pays the full
+// page-resolution path.
+func BenchmarkAccessPageStride(b *testing.B) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 256})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 200); err != nil {
+		b.Fatal(err)
+	}
+	const pages = 64
+	addr := env.MustAlloc(pages*mem.PageSize, mem.PageSize)
+	tr := env.Main
+	tr.Memset(addr, 0, pages*mem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ReadU64(addr + (uint64(i)%pages)*mem.PageSize)
+	}
+}
+
+// BenchmarkMemset measures bulk zeroing of an enclave region (the
+// Memset bulk path; one op = 64 KiB).
+func BenchmarkMemset(b *testing.B) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 256})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 200); err != nil {
+		b.Fatal(err)
+	}
+	const n = 64 * 1024
+	addr := env.MustAlloc(n, mem.PageSize)
+	tr := env.Main
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Memset(addr, byte(i), n)
+	}
+}
+
+// BenchmarkMemcpy measures a bulk copy between two enclave regions
+// (the Memcpy bulk path; one op = 32 KiB).
+func BenchmarkMemcpy(b *testing.B) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 256})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 200); err != nil {
+		b.Fatal(err)
+	}
+	const n = 32 * 1024
+	src := env.MustAlloc(n, mem.PageSize)
+	dst := env.MustAlloc(n, mem.PageSize)
+	tr := env.Main
+	tr.Memset(src, 7, n)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Memcpy(dst, src, n)
+	}
+}
+
 // BenchmarkECall measures one simulated enclave transition round trip.
 func BenchmarkECall(b *testing.B) {
 	m := sgx.NewMachine(sgx.Config{EPCPages: 64})
@@ -339,6 +417,23 @@ func BenchmarkECall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tr.ECall(func() {})
 	}
+}
+
+// BenchmarkOCall measures one simulated OCALL round trip from inside
+// an enclave.
+func BenchmarkOCall(b *testing.B) {
+	m := sgx.NewMachine(sgx.Config{EPCPages: 64})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 32); err != nil {
+		b.Fatal(err)
+	}
+	tr := env.Main
+	b.ResetTimer()
+	tr.ECall(func() {
+		for i := 0; i < b.N; i++ {
+			tr.OCall(func() {})
+		}
+	})
 }
 
 // BenchmarkWorkloadBTreeNative measures one full B-Tree Native run at

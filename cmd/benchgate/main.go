@@ -1,0 +1,127 @@
+// Command benchgate converts `go test -bench` output into the
+// BENCH_*.json trajectory files and gates a head capture against a
+// committed baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... | benchgate parse -ref HEAD -o BENCH_head.json
+//	benchgate compare -base BENCH_baseline.json -head BENCH_head.json -tolerance 0.20
+//
+// compare exits non-zero when any benchmark present in both files is
+// more than the tolerance slower in head than in base.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxgauge/internal/benchjson"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: benchgate parse [-ref label] [-previous file] [-o out.json] < bench-output\n")
+	fmt.Fprintf(os.Stderr, "       benchgate compare -base base.json -head head.json [-tolerance 0.20]\n")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	ref := fs.String("ref", "", "label for the tree these numbers were measured on")
+	prev := fs.String("previous", "", "older BENCH_*.json to embed as the previous capture")
+	out := fs.String("o", "", "output path (default stdout)")
+	fs.Parse(args)
+
+	f, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	f.Ref = *ref
+	if *prev != "" {
+		old, err := benchjson.Load(*prev)
+		if err != nil {
+			fatal(err)
+		}
+		f.Previous = old.Benchmarks
+		f.PreviousRef = old.Ref
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := f.Write(w); err != nil {
+		fatal(err)
+	}
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("base", "", "baseline BENCH_*.json")
+	headPath := fs.String("head", "", "head BENCH_*.json")
+	tol := fs.Float64("tolerance", 0.20, "allowed slowdown fraction before failing")
+	fs.Parse(args)
+	if *basePath == "" || *headPath == "" {
+		usage()
+	}
+
+	base, err := benchjson.Load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	head, err := benchjson.Load(*headPath)
+	if err != nil {
+		fatal(err)
+	}
+	deltas := benchjson.Compare(base, head, *tol)
+	if len(deltas) == 0 {
+		fatal(fmt.Errorf("no benchmarks in common between %s and %s", *basePath, *headPath))
+	}
+
+	bad := 0
+	fmt.Printf("%-32s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regress {
+			mark = "  REGRESSION"
+			bad++
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %7.2fx%s\n", d.Name, d.BaseNs, d.HeadNs, d.Ratio, mark)
+	}
+	if bad > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed beyond the %.0f%% tolerance vs %s\n",
+			bad, *tol*100, refOr(base.Ref, *basePath))
+		os.Exit(1)
+	}
+	fmt.Printf("\nok: no benchmark more than %.0f%% slower than %s\n", *tol*100, refOr(base.Ref, *basePath))
+}
+
+func refOr(ref, fallback string) string {
+	if ref != "" {
+		return ref
+	}
+	return fallback
+}

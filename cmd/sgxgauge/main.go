@@ -133,6 +133,7 @@ func cmdRun(args []string) {
 	switchless := fs.Bool("switchless", false, "enable switchless OCALLs")
 	pf := fs.Bool("pf", false, "enable LibOS protected files")
 	showCounters := fs.Bool("counters", false, "print all performance counters")
+	slowPath := fs.Bool("slowpath", false, "use the straight-line reference access path (identical results, slower wall-clock; for cross-checking)")
 	fs.Parse(args)
 
 	if *name == "" {
@@ -152,7 +153,7 @@ func cmdRun(args []string) {
 		fatal(err)
 	}
 
-	res, err := harness.Run(harness.Spec{
+	spec := harness.Spec{
 		Workload:       w,
 		Mode:           mode,
 		Size:           size,
@@ -160,7 +161,11 @@ func cmdRun(args []string) {
 		Seed:           *seed,
 		Switchless:     *switchless,
 		ProtectedFiles: *pf,
-	})
+	}
+	if *slowPath {
+		spec.Machine = &sgx.Config{SlowPath: true}
+	}
+	res, err := harness.Run(spec)
 	if err != nil {
 		fatal(err)
 	}

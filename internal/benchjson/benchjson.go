@@ -1,0 +1,163 @@
+// Package benchjson parses `go test -bench` output into a stable JSON
+// form (the BENCH_*.json files committed at the repo root) and compares
+// two such files under a tolerance gate.
+//
+// The JSON trajectory lets every perf-sensitive PR land with measured
+// numbers and lets CI fail on silent hot-path regressions: the
+// bench-smoke job regenerates BENCH_head.json and gates it against the
+// committed BENCH_baseline.json (see cmd/benchgate).
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	// NsPerOp is wall-clock nanoseconds per operation. When a
+	// benchmark appears several times in the input (``-count``),
+	// the minimum is kept: the best run is the least noisy estimate
+	// of the code's true cost.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iters is b.N of the kept run.
+	Iters int64 `json:"iters,omitempty"`
+	// Metrics holds the benchmark's custom b.ReportMetric values
+	// (the simulated headline numbers), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is one BENCH_*.json document.
+type File struct {
+	// Ref labels the tree the numbers were measured on (a tag or
+	// commit).
+	Ref string `json:"ref,omitempty"`
+	// Benchmarks maps benchmark name (without the -GOMAXPROCS
+	// suffix) to its measurement.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Previous optionally embeds an older capture (and its ref) so a
+	// single committed file documents a speedup or regression
+	// trajectory.
+	Previous    map[string]Entry `json:"previous,omitempty"`
+	PreviousRef string           `json:"previous_ref,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkAccessPage-8   5000000   250.3 ns/op   4.00 some-metric
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` text output and returns the parsed
+// measurements. Non-benchmark lines (goos/pkg headers, PASS, ok) are
+// ignored. Duplicate benchmark names keep the run with the lowest
+// ns/op (and that run's metrics).
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Benchmarks: make(map[string]Entry)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		e := Entry{Iters: iters}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchjson: odd value/unit fields in %q", sc.Text())
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q: %v", fields[i], sc.Text(), err)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				e.NsPerOp = v
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = v
+		}
+		if e.NsPerOp == 0 {
+			continue // allocation-only or malformed line
+		}
+		if prev, ok := f.Benchmarks[name]; !ok || e.NsPerOp < prev.NsPerOp {
+			f.Benchmarks[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return f, nil
+}
+
+// Load reads a BENCH_*.json file from disk.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write serializes the file as indented JSON with a stable key order.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Delta is one benchmark's base-to-head movement.
+type Delta struct {
+	Name    string
+	BaseNs  float64
+	HeadNs  float64
+	Ratio   float64 // head / base; > 1 means slower
+	Regress bool    // Ratio exceeded the tolerance gate
+}
+
+// Compare pairs up benchmarks present in both files and flags a
+// regression when head is more than tol slower than base (tol 0.20
+// means ">20% slowdown fails"). Benchmarks present in only one file
+// are skipped: the gate protects existing coverage without forcing
+// lockstep bench additions.
+func Compare(base, head *File, tol float64) []Delta {
+	var out []Delta
+	for name, b := range base.Benchmarks {
+		h, ok := head.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		ratio := h.NsPerOp / b.NsPerOp
+		out = append(out, Delta{
+			Name:    name,
+			BaseNs:  b.NsPerOp,
+			HeadNs:  h.NsPerOp,
+			Ratio:   ratio,
+			Regress: ratio > 1+tol,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -19,6 +19,12 @@ type LLC struct {
 	setMask uint64
 	tags    []uint64 // sets*ways entries; 0 means invalid
 	next    []uint8  // per-set round-robin pointer
+	// last is the biased tag (line+1) of the most recent Access, or 0.
+	// A repeat of the same line with no intervening Access is always a
+	// hit — hits never move tags, and the previous Access left the
+	// line installed — so it skips the way scan. Any bulk invalidation
+	// clears it.
+	last    uint64
 	hits    uint64
 	misses  uint64
 }
@@ -66,6 +72,11 @@ func (c *LLC) SizeBytes() int { return c.sets * c.ways * 64 }
 func (c *LLC) Access(line uint64) bool {
 	// Tag 0 marks an invalid slot, so bias stored tags by 1.
 	tag := line + 1
+	if tag == c.last {
+		c.hits++
+		return true
+	}
+	c.last = tag
 	set := int(line & c.setMask)
 	base := set * c.ways
 	for i := 0; i < c.ways; i++ {
@@ -81,9 +92,26 @@ func (c *LLC) Access(line uint64) bool {
 	return false
 }
 
+// AccessRun performs Access on n consecutive lines starting at line
+// and returns how many hit and how many missed. It is the bulk
+// equivalent of calling Access in a loop and leaves identical cache
+// state and statistics; the machine's fast path uses it to charge a
+// whole intra-page run of lines in one call.
+func (c *LLC) AccessRun(line uint64, n uint64) (hits, misses uint64) {
+	for i := uint64(0); i < n; i++ {
+		if c.Access(line + i) {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	return hits, misses
+}
+
 // InvalidateRange removes n consecutive lines starting at line from
 // the cache (used when an EPC page is encrypted out to DRAM).
 func (c *LLC) InvalidateRange(line uint64, n uint64) {
+	c.last = 0
 	for i := uint64(0); i < n; i++ {
 		tag := line + i + 1
 		base := int((line+i)&c.setMask) * c.ways
@@ -105,6 +133,7 @@ func (c *LLC) EvictEveryNth(n uint64, phase uint64) {
 	if n == 0 {
 		return
 	}
+	c.last = 0
 	for i := int(phase % n); i < len(c.tags); i += int(n) {
 		c.tags[i] = 0
 	}
@@ -112,6 +141,7 @@ func (c *LLC) EvictEveryNth(n uint64, phase uint64) {
 
 // Flush invalidates the entire cache.
 func (c *LLC) Flush() {
+	c.last = 0
 	for i := range c.tags {
 		c.tags[i] = 0
 	}

@@ -158,6 +158,12 @@ type EPC struct {
 	// EWB is charged.
 	onRemove func(id mem.PageID)
 
+	// onResize, when set, is called after Resize rebuilds the slot
+	// table. Pointers into the old table (see LookupRef) are dangling
+	// from that moment on; the machine uses this to drop its per-thread
+	// page memos.
+	onResize func()
+
 	// tree, when set, is the Merkle integrity tree maintained over
 	// evicted-page MACs: EWB updates a path, ELDU verifies one, and
 	// each uncached level costs TreeLevel cycles (the VAULT-style
@@ -211,6 +217,11 @@ func (e *EPC) SetEvictHook(fn func(id mem.PageID)) { e.onEvict = fn }
 // down TLB entries and cache lines at enclave teardown).
 func (e *EPC) SetRemoveHook(fn func(id mem.PageID)) { e.onRemove = fn }
 
+// SetResizeHook registers fn to be invoked after every slot-table
+// rebuild (Resize), at which point pointers returned by LookupRef are
+// no longer valid.
+func (e *EPC) SetResizeHook(fn func()) { e.onResize = fn }
+
 // SetIntegrityTree attaches a Merkle integrity tree; subsequent
 // evictions update it and load-backs verify against it.
 func (e *EPC) SetIntegrityTree(t *mee.IntegrityTree) { e.tree = t }
@@ -253,6 +264,22 @@ func (e *EPC) Lookup(id mem.PageID) (*mem.Frame, bool) {
 	}
 	e.slots[idx].referenced = true
 	return e.slots[idx].frame, true
+}
+
+// LookupRef is Lookup plus a pointer to the slot's CLOCK reference
+// bit, letting the machine's memoized fast path mark later hits on
+// the same page recently-used without re-running the resident lookup.
+// The pointer is valid only until the page leaves the EPC or the slot
+// table is rebuilt (see SetResizeHook); the machine's TLB-shootdown
+// and resize hooks bound both lifetimes.
+func (e *EPC) LookupRef(id mem.PageID) (*mem.Frame, *bool, bool) {
+	idx, ok := e.resident[id]
+	if !ok {
+		return nil, nil, false
+	}
+	s := &e.slots[idx]
+	s.referenced = true
+	return s.frame, &s.referenced, true
 }
 
 // nextJitter returns a small deterministic latency perturbation in
@@ -454,6 +481,9 @@ func (e *EPC) Resize(clk *cycles.Clock, costs *cycles.CostModel, newCapacity int
 	e.capacity = newCapacity
 	e.hand = 0
 	e.counters.Inc(perf.EPCResizes)
+	if e.onResize != nil {
+		e.onResize()
+	}
 	return nil
 }
 

@@ -39,9 +39,10 @@ func (m *Machine) NewEnv(mode Mode) *Env {
 
 func (e *Env) newThread() *Thread {
 	t := &Thread{
-		ID:  e.nextThread,
-		env: e,
-		tlb: tlb.New(e.M.cfg.TLBEntries, e.M.cfg.TLBWays),
+		ID:    e.nextThread,
+		env:   e,
+		tlb:   tlb.New(e.M.cfg.TLBEntries, e.M.cfg.TLBWays),
+		shard: e.M.Counters.NewShard(),
 	}
 	if e.M.cfg.L1Bytes > 0 {
 		t.l1 = cache.NewL1(e.M.cfg.L1Bytes)
@@ -55,6 +56,9 @@ func (e *Env) newThread() *Thread {
 }
 
 func (e *Env) dropThread(t *Thread) {
+	// Fold the retiring thread's counter deltas into the shared bank;
+	// the Counters keep reporting them after the shard is gone.
+	t.shard.Release()
 	for i, cur := range e.M.threads {
 		if cur == t {
 			e.M.threads = append(e.M.threads[:i], e.M.threads[i+1:]...)

@@ -1,0 +1,385 @@
+package sgx
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sgxgauge/internal/chaos"
+	"sgxgauge/internal/mee"
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/perf"
+)
+
+// The fast access path (counter shards, page memos, batched charging)
+// must be invisible in simulated results. These tests drive identical
+// scripts through the optimized path and the Config.SlowPath reference
+// and require bit-identical counters, cycles and data after every
+// step, across configurations chosen to stress each shortcut: a tiny
+// TLB (memo entries displaced by TLB round-robin), an L1 (per-line
+// charging branch), chaos (injected flushes/resizes invalidating
+// memos mid-access), and the integrity tree (aborts).
+
+// diffState is the per-machine script state; addresses are allocated
+// identically on both machines because the allocation sequence is.
+type diffState struct {
+	env  *Env
+	ubuf uint64 // 8 untrusted pages
+	ebuf uint64 // enclave buffer, bigger than the EPC
+	sum  uint64 // data checksum accumulated by read steps
+}
+
+const (
+	diffUPages = 8
+	diffEPages = 80
+)
+
+type diffStep struct {
+	name string
+	run  func(s *diffState)
+}
+
+func diffScript() []diffStep {
+	return []diffStep{
+		{"alloc-untrusted", func(s *diffState) {
+			s.ubuf = s.env.AllocUntrusted(diffUPages*mem.PageSize, mem.PageSize)
+			for i := uint64(0); i < diffUPages*mem.PageSize/8; i += 7 {
+				s.env.Main.WriteU64(s.ubuf+i*8, i*0x9e3779b9+1)
+			}
+		}},
+		{"launch", func(s *diffState) {
+			if _, err := s.env.LaunchEnclave(8, 120); err != nil {
+				panic(err)
+			}
+			s.ebuf = s.env.MustAlloc(diffEPages*mem.PageSize, mem.PageSize)
+		}},
+		{"fill-enclave-seq", func(s *diffState) {
+			s.env.Main.ECall(func() {
+				for p := uint64(0); p < diffEPages; p++ {
+					for off := uint64(0); off < mem.PageSize; off += 512 {
+						s.env.Main.WriteU64(s.ebuf+p*mem.PageSize+off, p<<32|off)
+					}
+				}
+			})
+		}},
+		{"read-strided", func(s *diffState) {
+			s.env.Main.ECall(func() {
+				for off := uint64(0); off < mem.PageSize; off += 1024 {
+					for p := uint64(0); p < diffEPages; p += 3 {
+						s.sum += s.env.Main.ReadU64(s.ebuf + p*mem.PageSize + off)
+					}
+				}
+			})
+		}},
+		{"ocall-syscall", func(s *diffState) {
+			s.env.Main.ECall(func() {
+				s.sum += s.env.Main.ReadU64(s.ebuf)
+				s.env.Main.OCall(func() {
+					s.env.Main.WriteU64(s.ubuf, s.sum)
+				})
+				s.env.Main.Syscall(4096)
+			})
+		}},
+		{"memset", func(s *diffState) {
+			// Unaligned start, page-spanning length.
+			s.env.Main.Memset(s.ebuf+100, 0xA5, 3*mem.PageSize+700)
+			s.env.Main.Memset(s.ubuf+9, 0x5A, 2*mem.PageSize)
+		}},
+		{"memcpy", func(s *diffState) {
+			// Cross domain both ways, unaligned.
+			s.env.Main.Memcpy(s.ebuf+5*mem.PageSize+13, s.ubuf+29, 2*mem.PageSize+77)
+			s.env.Main.Memcpy(s.ubuf+3, s.ebuf+40*mem.PageSize+9, mem.PageSize+500)
+		}},
+		{"span-read-write", func(s *diffState) {
+			var big [3*mem.PageSize + 40]byte
+			s.env.Main.Read(s.ebuf+mem.PageSize-20, big[:])
+			for i := range big {
+				big[i] ^= 0x3C
+			}
+			s.env.Main.Write(s.ebuf+60*mem.PageSize-17, big[:])
+		}},
+		{"parallel", func(s *diffState) {
+			s.env.RunParallel(4, func(t *Thread, i int) {
+				base := s.ebuf + uint64(i)*16*mem.PageSize
+				t.ECall(func() {
+					for off := uint64(0); off < 8*mem.PageSize; off += 256 {
+						t.WriteU64(base+off, uint64(i)<<48|off)
+					}
+				})
+			})
+		}},
+		{"force-evict-reload", func(s *diffState) {
+			addr := s.ebuf + 2*mem.PageSize
+			s.sum += s.env.Main.ReadU64(addr)
+			s.env.M.ForceEvict(s.env.Main, addr)
+			s.sum += s.env.Main.ReadU64(addr) // load-back
+		}},
+		{"readback", func(s *diffState) {
+			for i := uint64(0); i < diffUPages*mem.PageSize/8; i += 5 {
+				s.sum += s.env.Main.ReadU64(s.ubuf + i*8)
+			}
+			for p := uint64(0); p < diffEPages; p += 2 {
+				s.sum += s.env.Main.ReadU64(s.ebuf + p*mem.PageSize + 64)
+			}
+		}},
+		{"relaunch", func(s *diffState) {
+			s.env.DestroyEnclave()
+			if _, err := s.env.LaunchEnclave(4, 30); err != nil {
+				panic(err)
+			}
+			a := s.env.MustAlloc(4*mem.PageSize, mem.PageSize)
+			s.env.Main.ECall(func() {
+				s.env.Main.Memset(a, 0x11, 4*mem.PageSize)
+				s.sum += s.env.Main.ReadU64(a + 3*mem.PageSize)
+			})
+		}},
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func runLockstep(t *testing.T, cfg Config) {
+	t.Helper()
+	slowCfg := cfg
+	slowCfg.SlowPath = true
+	fast := NewMachine(cfg)
+	slow := NewMachine(slowCfg)
+	fs := &diffState{env: fast.NewEnv(Native)}
+	ss := &diffState{env: slow.NewEnv(Native)}
+
+	for _, step := range diffScript() {
+		errF := Protect(func() { step.run(fs) })
+		errS := Protect(func() { step.run(ss) })
+		if errString(errF) != errString(errS) {
+			t.Fatalf("%s: fast err %q, slow err %q", step.name, errString(errF), errString(errS))
+		}
+		cf, cs := fast.Counters.Snapshot(), slow.Counters.Snapshot()
+		if cf != cs {
+			for _, e := range perf.Events() {
+				if cf.Get(e) != cs.Get(e) {
+					t.Errorf("%s: %v fast=%d slow=%d", step.name, e, cf.Get(e), cs.Get(e))
+				}
+			}
+			t.FailNow()
+		}
+		if fc, sc := fs.env.Main.Clock.Cycles(), ss.env.Main.Clock.Cycles(); fc != sc {
+			t.Fatalf("%s: cycles fast=%d slow=%d (drift %d)", step.name, fc, sc, int64(fc)-int64(sc))
+		}
+		if fast.EPC.Resident() != slow.EPC.Resident() {
+			t.Fatalf("%s: EPC resident fast=%d slow=%d", step.name,
+				fast.EPC.Resident(), slow.EPC.Resident())
+		}
+	}
+	if fs.sum != ss.sum {
+		t.Fatalf("data checksum diverged: fast %#x, slow %#x", fs.sum, ss.sum)
+	}
+}
+
+func TestFastSlowEquivalence(t *testing.T) {
+	configs := map[string]Config{
+		"base":    {EPCPages: 48, Seed: 7},
+		"tinyTLB": {EPCPages: 48, Seed: 7, TLBEntries: 8, TLBWays: 2},
+		"l1":      {EPCPages: 48, Seed: 7, L1Bytes: 16 * 1024},
+		"tree":    {EPCPages: 48, Seed: 7, IntegrityTree: true},
+		"chaos": {EPCPages: 48, Seed: 7, Chaos: &chaos.Config{
+			Seed: 3, Rate: 0.01,
+			AEXStorm: true, EPCBalloon: true, MemTamper: true, TransitionFault: true,
+		}},
+		"chaos-heavy": {EPCPages: 48, Seed: 9, IntegrityTree: true, Chaos: &chaos.Config{
+			Seed: 11, Rate: 0.08,
+			AEXStorm: true, EPCBalloon: true, MemTamper: true,
+		}},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) { runLockstep(t, cfg) })
+	}
+}
+
+// A TLB entry can outlive its page's residency when an eviction
+// bypasses the machine's shootdown (as tests forcing eviction order
+// do with SetEvictHook). The access path must then fall back to the
+// walk-and-fault path instead of dereferencing the dead translation.
+func TestStaleTLBEntryFallsBackToWalk(t *testing.T) {
+	m := NewMachine(Config{EPCPages: 64})
+	env := m.NewEnv(Native)
+	enc, err := env.LaunchEnclave(2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := env.MustAlloc(16*mem.PageSize, mem.PageSize)
+	tr := env.Main
+
+	tr.WriteU64(buf, 0xfeed) // install TLB entry + memo for page 0
+	// Push page 0 out of the (memoWays-deep) memo while keeping its
+	// TLB entry warm.
+	for i := uint64(1); i <= memoWays; i++ {
+		tr.WriteU64(buf+i*mem.PageSize, i)
+	}
+	// Evict page 0 behind the TLB's back: the hook override suppresses
+	// the machine's shootdown.
+	m.EPC.SetEvictHook(func(mem.PageID) {})
+	if evicted, err := m.EPC.EvictPage(&tr.Clock, &m.Costs, enc.PageID(buf)); err != nil || !evicted {
+		t.Fatalf("EvictPage = %v, %v; want eviction", evicted, err)
+	}
+
+	misses := m.Counters.Get(perf.DTLBMisses)
+	loads := m.Counters.Get(perf.EPCLoadBacks)
+	if got := tr.ReadU64(buf); got != 0xfeed { // must not panic
+		t.Fatalf("read after stale-TLB fallback = %#x, want 0xfeed", got)
+	}
+	if m.Counters.Get(perf.DTLBMisses) != misses+1 {
+		t.Errorf("DTLBMisses = %d, want %d (stale entry must count as a miss)",
+			m.Counters.Get(perf.DTLBMisses), misses+1)
+	}
+	if m.Counters.Get(perf.EPCLoadBacks) != loads+1 {
+		t.Errorf("EPCLoadBacks = %d, want %d (page must be faulted back)",
+			m.Counters.Get(perf.EPCLoadBacks), loads+1)
+	}
+}
+
+// balloonFailureMachine builds a machine where every access fires an
+// EPC-balloon shrink whose evictions fail: the integrity tree has
+// capacity for a single page, so the second EWB errors out of Resize.
+func balloonFailureMachine(t *testing.T) (*Machine, *Env, uint64) {
+	t.Helper()
+	m := NewMachine(Config{EPCPages: 64, Chaos: &chaos.Config{
+		Seed:       5,
+		EPCBalloon: true, BalloonRate: 1.0,
+		BalloonMinFrac: 0.3, BalloonMaxFrac: 0.3,
+	}})
+	env := m.NewEnv(Native)
+	if _, err := env.LaunchEnclave(40, 56); err != nil {
+		t.Fatal(err)
+	}
+	ebuf := env.MustAlloc(8*mem.PageSize, mem.PageSize)
+	// From here on, any eviction beyond the first dies in the tree.
+	m.EPC.SetIntegrityTree(mee.NewIntegrityTree(1, 0))
+	return m, env, ebuf
+}
+
+// A balloon resize that fails during an access *outside* any enclave
+// used to be dropped on the floor (err != nil && enc != nil guarded
+// the whole error path). It must surface in the BalloonFailures
+// counter while leaving the machine usable.
+func TestBalloonFailureOutsideEnclaveIsCounted(t *testing.T) {
+	m, env, _ := balloonFailureMachine(t)
+	ubuf := env.AllocUntrusted(mem.PageSize, mem.PageSize)
+
+	if err := env.Main.TryWrite(ubuf, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("untrusted write after failed balloon: %v", err)
+	}
+	if got := m.Counters.Get(perf.BalloonFailures); got == 0 {
+		t.Fatal("BalloonFailures = 0, want > 0 after a failed untrusted-side resize")
+	}
+	// The machine survived: the same access still works and the
+	// enclave is untouched.
+	var b [3]byte
+	if err := env.Main.TryRead(ubuf, b[:]); err != nil {
+		t.Fatalf("machine unusable after counted balloon failure: %v", err)
+	}
+	if env.Enclave.Aborted() {
+		t.Error("untrusted-side balloon failure aborted the enclave")
+	}
+}
+
+// The same failure during an enclave access aborts that enclave (the
+// OS destroyed pages the enclave depends on) — and is also counted.
+func TestBalloonFailureInsideEnclaveAborts(t *testing.T) {
+	m, env, ebuf := balloonFailureMachine(t)
+
+	err := env.Main.TryWrite(ebuf, []byte{1})
+	if err == nil {
+		t.Fatal("enclave access with failing balloon resize succeeded")
+	}
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("err = %v (%T), want *AbortError", err, err)
+	}
+	if !env.Enclave.Aborted() {
+		t.Error("enclave not marked aborted")
+	}
+	if m.Counters.Get(perf.BalloonFailures) == 0 {
+		t.Error("BalloonFailures = 0, want > 0")
+	}
+}
+
+// transitionCost multiplies through float64; gigantic base costs at
+// high concurrency used to overflow the uint64 conversion and wrap to
+// garbage. It must saturate instead.
+func TestTransitionCostSaturates(t *testing.T) {
+	m := NewMachine(Config{EPCPages: 64})
+	env := m.NewEnv(Native)
+	tr := env.Main
+
+	env.SetConcurrency(1) // no contention: identity
+	if got := tr.transitionCost(12345); got != 12345 {
+		t.Errorf("uncontended cost = %d, want 12345", got)
+	}
+
+	env.SetConcurrency(1 << 20)
+	m.Costs.ContentionFactor = 1e12
+	if got := tr.transitionCost(math.MaxUint64 / 2); got != math.MaxUint64 {
+		t.Errorf("overflowing cost = %d, want MaxUint64 saturation", got)
+	}
+	// Just below the boundary stays exact-ish (no clamp).
+	m.Costs.ContentionFactor = 0.5
+	env.SetConcurrency(3)
+	if got := tr.transitionCost(1000); got != 2000 {
+		t.Errorf("cost(1000, f=2.0) = %d, want 2000", got)
+	}
+	// A (nonsensical) negative factor must not wrap around either.
+	m.Costs.ContentionFactor = -10
+	env.SetConcurrency(1000)
+	if got := tr.transitionCost(1000); got != 0 {
+		t.Errorf("negative-factor cost = %d, want 0", got)
+	}
+}
+
+// The memo must die with its TLB entry when round-robin displacement
+// (not a flush or shootdown) evicts the translation: with a 2-entry
+// direct-conflict TLB, alternating pages must keep producing the same
+// counters as the slow path — covered by TestFastSlowEquivalence's
+// tinyTLB config — and, checked directly here, a displaced page's
+// re-access must be a TLB miss, not a phantom memo hit.
+func TestMemoDisplacedWithTLBVictim(t *testing.T) {
+	m := NewMachine(Config{EPCPages: 64, TLBEntries: 1, TLBWays: 1})
+	env := m.NewEnv(Native)
+	if _, err := env.LaunchEnclave(2, 40); err != nil {
+		t.Fatal(err)
+	}
+	buf := env.MustAlloc(4*mem.PageSize, mem.PageSize)
+	tr := env.Main
+
+	tr.WriteU64(buf, 1) // page 0: miss, installs sole TLB entry
+	misses := m.Counters.Get(perf.DTLBMisses)
+	tr.WriteU64(buf+mem.PageSize, 2) // page 1 displaces page 0
+	if got := m.Counters.Get(perf.DTLBMisses); got != misses+1 {
+		t.Fatalf("DTLBMisses after displacement = %d, want %d", got, misses+1)
+	}
+	tr.WriteU64(buf, 3) // page 0 again: must be a genuine miss
+	if got := m.Counters.Get(perf.DTLBMisses); got != misses+2 {
+		t.Fatalf("DTLBMisses after re-access = %d, want %d (memo outlived TLB entry)",
+			got, misses+2)
+	}
+}
+
+func TestSlowPathConfigRoundTrip(t *testing.T) {
+	m := NewMachine(Config{EPCPages: 48, SlowPath: true})
+	if !m.Config().SlowPath {
+		t.Fatal("SlowPath lost by withDefaults")
+	}
+	env := m.NewEnv(Native)
+	if _, err := env.LaunchEnclave(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	a := env.MustAlloc(mem.PageSize, mem.PageSize)
+	env.Main.WriteU64(a, 42)
+	if got := env.Main.ReadU64(a); got != 42 {
+		t.Fatalf("slow-path read = %d, want 42", got)
+	}
+}

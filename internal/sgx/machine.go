@@ -116,6 +116,12 @@ type Config struct {
 	// AEX storms, EPC ballooning, attacks on evicted pages, and
 	// transient transition failures.
 	Chaos *chaos.Config
+	// SlowPath routes every memory access through the straight-line
+	// reference implementation (no memoization, no counter sharding,
+	// no batched charging). Simulated results are identical to the
+	// default fast path — the differential tests exist to prove it —
+	// so the only reason to set this is those tests.
+	SlowPath bool
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +261,13 @@ func NewMachine(cfg Config) *Machine {
 	// Teardown discards pages without an EWB, but the stale
 	// translations and cache lines must go the same way.
 	m.EPC.SetRemoveHook(m.shootdown)
+	// A resize rebuilds the EPC slot table, dangling the reference-bit
+	// pointers the per-thread page memos hold (see epc.LookupRef).
+	m.EPC.SetResizeHook(func() {
+		for _, t := range m.threads {
+			t.memoClear()
+		}
+	})
 	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
 		m.chaos = chaos.New(*cfg.Chaos)
 		m.rollbackStash = make(map[mem.PageID]*mem.SealedPage)
@@ -303,9 +316,11 @@ func (m *Machine) tamperSealed(id mem.PageID) {
 // evicted by the driver or discarded at enclave teardown — a later
 // reuse of the VA range must start cold, not hit stale state.
 func (m *Machine) shootdown(id mem.PageID) {
-	// TLB shootdown: translations for the departed page vanish.
+	// TLB shootdown: translations for the departed page vanish, along
+	// with any memoized resolution of them.
 	for _, t := range m.threads {
 		t.tlb.Evict(id.VPN)
+		t.memoInvalidate(id.VPN)
 	}
 	// The page's cache lines leave the LLC (and any L1s) as the
 	// MEE encrypts the page out to untrusted memory; re-touching
@@ -396,22 +411,20 @@ func (m *Machine) DestroyEnclave(e *enclave.Enclave) {
 	}
 }
 
-// residentFrame returns the frame backing addr, which must be
-// resident (guaranteed after a TLB hit, because EPC eviction shoots
-// down TLB entries).
-func (m *Machine) residentFrame(enc *enclave.Enclave, addr uint64) *mem.Frame {
+// lookupResident resolves addr to its backing frame if the page is
+// resident right now, marking EPC pages recently-used for CLOCK. For
+// enclave pages it also returns the slot's reference-bit pointer for
+// the caller's memo. ok is false when the page is not resident — which
+// after a TLB hit means the entry is stale (it outlived an eviction
+// performed without the machine's shootdown, e.g. under a test hook);
+// callers must then fall back to the page-walk path rather than trust
+// the stale translation.
+func (m *Machine) lookupResident(enc *enclave.Enclave, addr uint64) (*mem.Frame, *bool, bool) {
 	if enc != nil {
-		f, ok := m.EPC.Lookup(enc.PageID(addr))
-		if !ok {
-			panic(fmt.Sprintf("sgx: TLB hit for non-resident enclave page %#x", addr))
-		}
-		return f
+		return m.EPC.LookupRef(enc.PageID(addr))
 	}
 	f := m.untrusted[mem.PageNumber(addr)]
-	if f == nil {
-		panic(fmt.Sprintf("sgx: TLB hit for unmapped untrusted page %#x", addr))
-	}
-	return f
+	return f, nil, f != nil
 }
 
 // ensureResident makes the page containing addr resident, handling
@@ -427,7 +440,7 @@ func (m *Machine) ensureResident(t *Thread, enc *enclave.Enclave, addr uint64) (
 			return f, nil
 		}
 		// First touch of an untrusted page: minor page fault.
-		m.Counters.Inc(perf.PageFaults)
+		t.shard.Inc(perf.PageFaults)
 		t.Clock.Advance(c.FaultOverhead)
 		f := m.pool.Get()
 		m.untrusted[vpn] = f
@@ -441,10 +454,10 @@ func (m *Machine) ensureResident(t *Thread, enc *enclave.Enclave, addr uint64) (
 	// EPC fault. If the faulting thread is executing inside the
 	// enclave this raises an asynchronous exit, which flushes the
 	// TLB (paper §2.3 and Appendix B.3).
-	m.Counters.Inc(perf.PageFaults)
+	t.shard.Inc(perf.PageFaults)
 	m.trace(TraceFault, t, mem.PageBase(addr))
 	if t.InEnclave() {
-		m.Counters.Inc(perf.AEXs)
+		t.shard.Inc(perf.AEXs)
 		m.trace(TraceAEX, t, 0)
 		t.Clock.Advance(c.AEX)
 		t.flushTLB()
@@ -498,120 +511,256 @@ func (m *Machine) ForceEvict(t *Thread, addr uint64) bool {
 func (m *Machine) chargePageLoad(t *Thread, base uint64) {
 	c := &m.Costs
 	first := mem.LineNumber(base)
-	for line := first; line < first+mem.PageSize/mem.LineSize; line++ {
-		if m.LLC.Access(line) {
-			m.Counters.Inc(perf.LLCHits)
-			t.Clock.Advance(c.LLCHit)
-		} else {
-			m.Counters.Inc(perf.LLCMisses)
-			// Plain DRAM latency: the MEE work of moving the page
-			// into the EPC is already covered by the flat
-			// EPCAlloc/EWB charges of the paging path.
-			t.Clock.Advance(c.DRAMAccess)
-			m.Counters.Add(perf.StallCycles, c.DRAMAccess)
+	hits, misses := m.LLC.AccessRun(first, mem.PageSize/mem.LineSize)
+	if hits != 0 {
+		t.shard.Add(perf.LLCHits, hits)
+		t.Clock.Advance(hits * c.LLCHit)
+	}
+	if misses != 0 {
+		// Plain DRAM latency: the MEE work of moving the page into
+		// the EPC is already covered by the flat EPCAlloc/EWB charges
+		// of the paging path.
+		t.shard.Add(perf.LLCMisses, misses)
+		t.Clock.Advance(misses * c.DRAMAccess)
+		t.shard.Add(perf.StallCycles, misses*c.DRAMAccess)
+	}
+}
+
+// pageOp selects what a single-page access does with the resolved
+// frame bytes.
+type pageOp int
+
+const (
+	opRead pageOp = iota
+	opWrite
+	opFill
+)
+
+// chaosStep runs the per-access fault-injection draws. Both the fast
+// and the slow access path call it, so the injector's deterministic
+// PRNG stream is consumed identically regardless of which path runs.
+// A balloon failure during an enclave access aborts the enclave;
+// outside any enclave the machine survives and the BalloonFailures
+// counter records the partial resize.
+func (m *Machine) chaosStep(t *Thread, enc *enclave.Enclave) error {
+	c := &m.Costs
+	if enc != nil && t.InEnclave() && m.chaos.Fire(chaos.AEXStorm) {
+		// Injected interrupt storm: the OS forces an
+		// asynchronous exit, flushing the thread's TLB (§2.3).
+		m.Counters.Inc(perf.InjectedAEXs)
+		m.Counters.Inc(perf.AEXs)
+		m.trace(TraceAEX, t, 0)
+		t.Clock.Advance(c.AEX)
+		t.flushTLB()
+	}
+	if m.chaos.Fire(chaos.EPCBalloon) {
+		// The OS balloons the EPC to a new capacity; Resize
+		// evicts through the normal EWB path when shrinking.
+		target := m.chaos.BalloonTarget(m.cfg.EPCPages, epc.MinCapacity)
+		if err := m.EPC.Resize(&t.Clock, c, target); err != nil {
+			m.Counters.Inc(perf.BalloonFailures)
+			if enc != nil {
+				return m.abortEnclave(enc, err)
+			}
 		}
 	}
+	return nil
+}
+
+// pageOpDispatch routes one single-page access to the fast path or,
+// under Config.SlowPath, the straight-line reference implementation.
+// For op opRead/opWrite, p holds the n payload bytes; for opFill, p is
+// nil and v is the fill byte.
+func (m *Machine) pageOpDispatch(t *Thread, addr, n uint64, p []byte, v byte, op pageOp) error {
+	if m.cfg.SlowPath {
+		return m.accessPageSlow(t, addr, n, p, v, op)
+	}
+	return m.accessPage(t, addr, n, p, v, op)
 }
 
 // accessPage performs one access confined to a single page. It
 // returns a typed Fault error when the access hits an aborted
 // enclave or trips an (injected or organic) failure.
-func (m *Machine) accessPage(t *Thread, addr uint64, p []byte, write bool) error {
+//
+// This is the simulator's hottest function; it stays cheap three ways,
+// none of which may change simulated semantics (accessPageSlow is the
+// straight-line reference, and TestFastSlowEquivalence holds the two
+// to identical counters and cycles):
+//
+//   - counters go to the thread's perf.Shard (plain adds summed back
+//     in by every Counters read) instead of the shared atomic bank;
+//   - the thread's page memo caches the full resolution of the last
+//     few pages (owning enclave, frame, CLOCK reference bit), so
+//     same-page streaks skip the enclave scan, the TLB probe, and the
+//     EPC residency map. A memo hit implies a TLB hit: entries die
+//     with their TLB entry (flush, shootdown, victim displacement)
+//     and with the EPC slot table (resize);
+//   - LLC line charges for a run of lines are batched (AccessRun) and
+//     clock advances are accumulated per kind.
+func (m *Machine) accessPage(t *Thread, addr, n uint64, p []byte, v byte, op pageOp) error {
 	c := &m.Costs
-	m.Counters.Inc(perf.Accesses)
-	t.Clock.Advance(c.Compute)
+	sh := t.shard
+	sh.Inc(perf.Accesses)
+	// Clock advances accumulate in pend and land in one Advance call
+	// per stretch; pend is drained before any EPC operation so code
+	// that reads the clock mid-access (the EPC timeline) sees exactly
+	// the value the slow path produces.
+	pend := c.Compute
 
-	enc := m.enclaveFor(addr)
+	vpn := mem.PageNumber(addr)
+	me := t.memoLookup(vpn)
+	var enc *enclave.Enclave
+	if me != nil {
+		enc = me.enc
+	} else {
+		enc = m.enclaveFor(addr)
+	}
 	if enc != nil && enc.Aborted() {
 		// Abort-page semantics: the poisoned enclave stays dead, but
 		// the access fails with a typed error rather than the
 		// process; other enclaves are untouched.
+		t.Clock.Advance(pend)
 		return &AbortError{EnclaveID: enc.ID, Cause: enc.AbortCause()}
 	}
 	if m.chaos != nil {
-		if enc != nil && t.InEnclave() && m.chaos.Fire(chaos.AEXStorm) {
-			// Injected interrupt storm: the OS forces an
-			// asynchronous exit, flushing the thread's TLB (§2.3).
-			m.Counters.Inc(perf.InjectedAEXs)
-			m.Counters.Inc(perf.AEXs)
-			m.trace(TraceAEX, t, 0)
-			t.Clock.Advance(c.AEX)
-			t.flushTLB()
-		}
-		if m.chaos.Fire(chaos.EPCBalloon) {
-			// The OS balloons the EPC to a new capacity; Resize
-			// evicts through the normal EWB path when shrinking.
-			target := m.chaos.BalloonTarget(m.cfg.EPCPages, epc.MinCapacity)
-			if err := m.EPC.Resize(&t.Clock, c, target); err != nil && enc != nil {
-				return m.abortEnclave(enc, err)
-			}
-		}
-	}
-
-	vpn := mem.PageNumber(addr)
-	var frame *mem.Frame
-	if t.tlb.Lookup(vpn) {
-		t.Clock.Advance(c.TLBHit)
-		frame = m.residentFrame(enc, addr)
-	} else {
-		m.Counters.Inc(perf.DTLBMisses)
-		walk := c.PageWalk
-		if enc != nil {
-			// The EPCM entry is verified while installing a TLB
-			// entry for an EPC page (paper Figure 1).
-			walk += c.EPCMCheck
-		}
-		t.Clock.Advance(walk)
-		m.Counters.Add(perf.WalkCycles, walk)
-		var err error
-		frame, err = m.ensureResident(t, enc, addr)
-		if err != nil {
+		t.Clock.Advance(pend)
+		pend = 0
+		if err := m.chaosStep(t, enc); err != nil {
 			return err
 		}
-		if enc != nil {
-			ent := m.EPC.EPCMLookup(enc.PageID(addr))
-			if !ent.Valid || ent.Owner != enc.ID || ent.VPN != vpn {
-				panic(fmt.Sprintf("sgx: EPCM verification failed for %#x", addr))
-			}
-		}
-		t.tlb.Insert(vpn)
+		// An injected flush, shootdown or resize invalidates memos
+		// through the machine's hooks; re-consult rather than trust.
+		me = t.memoLookup(vpn)
 	}
 
-	// LLC traffic, line by line. Enclave lines pay the MEE
-	// encryption/decryption latency on their way between LLC and
-	// DRAM (paper §2.2).
+	var frame *mem.Frame
+	if me != nil {
+		pend += c.TLBHit
+		frame = me.frame
+		if me.ref != nil {
+			*me.ref = true // keep the CLOCK reference bit warm
+		}
+	} else {
+		var ref *bool
+		resolved := false
+		if t.tlb.Lookup(vpn) {
+			if f, r, ok := m.lookupResident(enc, addr); ok {
+				pend += c.TLBHit
+				frame, ref, resolved = f, r, true
+			} else {
+				// Stale TLB entry that outlived an eviction: drop it
+				// and take the page-walk path below instead of
+				// trusting the dead translation.
+				t.tlb.Evict(vpn)
+			}
+		}
+		if !resolved {
+			sh.Inc(perf.DTLBMisses)
+			walk := c.PageWalk
+			if enc != nil {
+				// The EPCM entry is verified while installing a TLB
+				// entry for an EPC page (paper Figure 1).
+				walk += c.EPCMCheck
+			}
+			sh.Add(perf.WalkCycles, walk)
+			t.Clock.Advance(pend + walk)
+			pend = 0
+			var err error
+			frame, err = m.ensureResident(t, enc, addr)
+			if err != nil {
+				return err
+			}
+			if enc != nil {
+				id := enc.PageID(addr)
+				ent := m.EPC.EPCMLookup(id)
+				if !ent.Valid || ent.Owner != enc.ID || ent.VPN != vpn {
+					panic(fmt.Sprintf("sgx: EPCM verification failed for %#x", addr))
+				}
+				_, ref, _ = m.EPC.LookupRef(id)
+			}
+			if victim, evicted := t.tlb.Insert(vpn); evicted {
+				// The displaced translation may be memoized; a memo
+				// hit must keep implying a TLB hit.
+				t.memoInvalidate(victim)
+			}
+		}
+		t.memoStore(vpn, enc, frame, ref)
+	}
+
+	// LLC traffic. Enclave lines pay the MEE encryption/decryption
+	// latency on their way between LLC and DRAM (paper §2.2).
 	first := mem.LineNumber(addr)
-	last := mem.LineNumber(addr + uint64(len(p)) - 1)
-	for line := first; line <= last; line++ {
-		if t.l1 != nil {
+	lines := mem.LineNumber(addr+n-1) - first + 1
+	if t.l1 == nil {
+		if lines == 1 {
+			// The overwhelmingly common case: a word-sized access
+			// touching one line.
+			if m.LLC.Access(first) {
+				sh.Inc(perf.LLCHits)
+				pend += c.LLCHit
+			} else {
+				extra := c.DRAMAccess
+				if enc != nil {
+					extra += c.MEELine
+				}
+				sh.Inc(perf.LLCMisses)
+				sh.Add(perf.StallCycles, extra)
+				pend += extra
+			}
+		} else {
+			hits, misses := m.LLC.AccessRun(first, lines)
+			if hits != 0 {
+				sh.Add(perf.LLCHits, hits)
+				pend += hits * c.LLCHit
+			}
+			if misses != 0 {
+				extra := c.DRAMAccess
+				if enc != nil {
+					extra += c.MEELine
+				}
+				sh.Add(perf.LLCMisses, misses)
+				sh.Add(perf.StallCycles, misses*extra)
+				pend += misses * extra
+			}
+		}
+	} else {
+		for line := first; line < first+lines; line++ {
 			if t.l1.Access(line) {
-				m.Counters.Inc(perf.L1Hits)
-				t.Clock.Advance(c.L1Hit)
+				sh.Inc(perf.L1Hits)
+				pend += c.L1Hit
 				continue
 			}
-			m.Counters.Inc(perf.L1Misses)
-		}
-		if m.LLC.Access(line) {
-			m.Counters.Inc(perf.LLCHits)
-			t.Clock.Advance(c.LLCHit)
-		} else {
-			m.Counters.Inc(perf.LLCMisses)
-			extra := c.DRAMAccess
-			if enc != nil {
-				extra += c.MEELine
+			sh.Inc(perf.L1Misses)
+			if m.LLC.Access(line) {
+				sh.Inc(perf.LLCHits)
+				pend += c.LLCHit
+			} else {
+				extra := c.DRAMAccess
+				if enc != nil {
+					extra += c.MEELine
+				}
+				sh.Inc(perf.LLCMisses)
+				sh.Add(perf.StallCycles, extra)
+				pend += extra
 			}
-			t.Clock.Advance(extra)
-			m.Counters.Add(perf.StallCycles, extra)
 		}
 	}
+	t.Clock.Advance(pend)
 
 	off := addr & (mem.PageSize - 1)
-	if write {
+	switch op {
+	case opRead:
+		copy(p, frame.Data[off:off+n])
+		sh.Add(perf.BytesRead, n)
+	case opWrite:
 		copy(frame.Data[off:], p)
-		m.Counters.Add(perf.BytesWritten, uint64(len(p)))
-	} else {
-		copy(p, frame.Data[off:int(off)+len(p)])
-		m.Counters.Add(perf.BytesRead, uint64(len(p)))
+		sh.Add(perf.BytesWritten, n)
+	case opFill:
+		s := frame.Data[off : off+n]
+		for i := range s {
+			s[i] = v
+		}
+		sh.Add(perf.BytesWritten, n)
 	}
 	return nil
 }
@@ -621,6 +770,18 @@ func (m *Machine) accessPage(t *Thread, addr uint64, p []byte, write bool) error
 // workloads program against has no error returns, and a faulted
 // access cannot meaningfully continue the computation that issued it.
 func (m *Machine) access(t *Thread, addr uint64, p []byte, write bool) {
+	// Word-sized loads and stores never span a page; skip the
+	// page-splitting loop for them.
+	if len(p) > 0 && uint64(len(p)) <= mem.PageSize-addr&(mem.PageSize-1) {
+		op := opRead
+		if write {
+			op = opWrite
+		}
+		if err := m.pageOpDispatch(t, addr, uint64(len(p)), p, 0, op); err != nil {
+			panic(err.(Fault))
+		}
+		return
+	}
 	if err := m.tryAccess(t, addr, p, write); err != nil {
 		panic(err.(Fault))
 	}
@@ -629,17 +790,40 @@ func (m *Machine) access(t *Thread, addr uint64, p []byte, write bool) {
 // tryAccess is access with an ordinary error return, for callers that
 // thread errors instead of unwinding.
 func (m *Machine) tryAccess(t *Thread, addr uint64, p []byte, write bool) error {
+	op := opRead
+	if write {
+		op = opWrite
+	}
 	for len(p) > 0 {
 		pageOff := addr & (mem.PageSize - 1)
 		chunk := int(mem.PageSize - pageOff)
 		if chunk > len(p) {
 			chunk = len(p)
 		}
-		if err := m.accessPage(t, addr, p[:chunk], write); err != nil {
+		if err := m.pageOpDispatch(t, addr, uint64(chunk), p[:chunk], 0, op); err != nil {
 			return err
 		}
 		addr += uint64(chunk)
 		p = p[chunk:]
 	}
 	return nil
+}
+
+// fill is the bulk Memset path: one simulated access per page run
+// writes the fill byte straight into the backing frames, instead of
+// staging thousands of small buffer writes through tryAccess. Faults
+// unwind like access.
+func (m *Machine) fill(t *Thread, addr uint64, v byte, n uint64) {
+	for n > 0 {
+		pageOff := addr & (mem.PageSize - 1)
+		chunk := mem.PageSize - pageOff
+		if chunk > n {
+			chunk = n
+		}
+		if err := m.pageOpDispatch(t, addr, chunk, nil, v, opFill); err != nil {
+			panic(err.(Fault))
+		}
+		addr += chunk
+		n -= chunk
+	}
 }

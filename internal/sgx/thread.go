@@ -6,9 +6,30 @@ import (
 
 	"sgxgauge/internal/cache"
 	"sgxgauge/internal/cycles"
+	"sgxgauge/internal/enclave"
+	"sgxgauge/internal/mem"
 	"sgxgauge/internal/perf"
 	"sgxgauge/internal/tlb"
 )
+
+// memoWays is the size of the per-thread page memo: large enough to
+// cover the few streams a workload interleaves (e.g. Memcpy's
+// alternating source and destination pages), small enough to scan in
+// a couple of cache lines.
+const memoWays = 4
+
+// memoEntry caches the complete resolution of one virtual page: its
+// owning enclave (nil for untrusted pages), backing frame, and — for
+// EPC pages — a pointer to the slot's CLOCK reference bit so memo
+// hits keep marking the page recently-used. An entry is only valid
+// while its TLB entry and EPC slot both live; see Thread.memoStore.
+type memoEntry struct {
+	vpn   uint64
+	valid bool
+	enc   *enclave.Enclave
+	frame *mem.Frame
+	ref   *bool
+}
 
 // Thread is one simulated hardware thread. Each thread owns a private
 // dTLB and cycle clock; the LLC, EPC and counters are shared through
@@ -23,7 +44,50 @@ type Thread struct {
 	env          *Env
 	tlb          *tlb.DTLB
 	l1           *cache.L1
+	shard        *perf.Shard
 	enclaveDepth int
+
+	memo     [memoWays]memoEntry
+	memoNext uint8
+}
+
+// memoLookup returns the memo entry for vpn, or nil.
+func (t *Thread) memoLookup(vpn uint64) *memoEntry {
+	for i := range t.memo {
+		if e := &t.memo[i]; e.valid && e.vpn == vpn {
+			return e
+		}
+	}
+	return nil
+}
+
+// memoStore records a fresh page resolution, displacing the oldest
+// entry. Callers must only store resolutions that are also present in
+// the thread's TLB: every event that can kill a TLB entry (flush,
+// shootdown, round-robin displacement) or an EPC slot (eviction,
+// slot-table rebuild) invalidates the corresponding memo entries, so
+// a memo hit soundly stands in for TLB probe + residency lookup.
+func (t *Thread) memoStore(vpn uint64, enc *enclave.Enclave, frame *mem.Frame, ref *bool) {
+	t.memo[t.memoNext] = memoEntry{vpn: vpn, valid: true, enc: enc, frame: frame, ref: ref}
+	t.memoNext = (t.memoNext + 1) % memoWays
+}
+
+// memoClear drops every memo entry (TLB flush, EPC slot-table
+// rebuild).
+func (t *Thread) memoClear() {
+	for i := range t.memo {
+		t.memo[i].valid = false
+	}
+}
+
+// memoInvalidate drops the memo entry for vpn if present (TLB
+// shootdown or displacement of that page).
+func (t *Thread) memoInvalidate(vpn uint64) {
+	for i := range t.memo {
+		if t.memo[i].valid && t.memo[i].vpn == vpn {
+			t.memo[i].valid = false
+		}
+	}
 }
 
 // InEnclave reports whether the thread currently executes inside an
@@ -35,8 +99,9 @@ func (t *Thread) Env() *Env { return t.env }
 
 func (t *Thread) flushTLB() {
 	t.tlb.Flush()
+	t.memoClear()
 	m := t.env.M
-	m.Counters.Inc(perf.TLBFlushes)
+	t.shard.Inc(perf.TLBFlushes)
 	// Transitions pollute the LLC: the kernel/microcode path
 	// displaces a slice of the cache (part of the "cache pollution"
 	// cost of frequent enclave transitions, paper §2.3).
@@ -58,7 +123,18 @@ func (t *Thread) transitionCost(base uint64) uint64 {
 		return base
 	}
 	f := 1 + t.env.M.Costs.ContentionFactor*float64(n-1)
-	return uint64(float64(base) * f)
+	v := float64(base) * f
+	// The float64 product can exceed uint64 range for large base costs
+	// at high concurrency; converting such a value is undefined (and
+	// wraps to garbage on common targets). Saturate instead: a clamped
+	// cost stays an upper bound, a wrapped one becomes nonsense.
+	if v >= float64(math.MaxUint64) {
+		return math.MaxUint64
+	}
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
 }
 
 // ECall enters the environment's enclave, runs fn inside it, and
@@ -77,7 +153,7 @@ func (t *Thread) ECall(fn func()) {
 		panic(Fault(&AbortError{EnclaveID: enc.ID, Cause: enc.AbortCause()}))
 	}
 	t.env.M.transitionFault("ECALL")
-	t.env.M.Counters.Inc(perf.ECalls)
+	t.shard.Inc(perf.ECalls)
 	t.env.M.trace(TraceECall, t, 0)
 	t.Clock.Advance(c.ECallEnter)
 	t.flushTLB()
@@ -100,7 +176,7 @@ func (t *Thread) OCall(fn func()) {
 	}
 	c := &t.env.M.Costs
 	if t.env.M.cfg.Switchless && t.env.M.admitSwitchless() {
-		t.env.M.Counters.Inc(perf.SwitchlessCalls)
+		t.shard.Inc(perf.SwitchlessCalls)
 		// The proxy performs the work while the enclave thread
 		// waits; the wait time equals the proxied work, which fn
 		// charges to this clock.
@@ -113,7 +189,7 @@ func (t *Thread) OCall(fn func()) {
 		return
 	}
 	t.env.M.transitionFault("OCALL")
-	t.env.M.Counters.Inc(perf.OCalls)
+	t.shard.Inc(perf.OCalls)
 	t.env.M.trace(TraceOCall, t, 0)
 	t.Clock.Advance(t.transitionCost(c.OCallExit))
 	t.flushTLB()
@@ -131,7 +207,7 @@ func (t *Thread) OCall(fn func()) {
 // OCALL in LibOS mode (paper §2.3, §2.4).
 func (t *Thread) Syscall(n uint64) {
 	c := &t.env.M.Costs
-	t.env.M.Counters.Inc(perf.Syscalls)
+	t.shard.Inc(perf.Syscalls)
 	t.env.M.trace(TraceSyscall, t, 0)
 	work := func() {
 		t.Clock.Advance(c.SyscallDirect + n*c.ByteCopy)
@@ -156,7 +232,7 @@ func (t *Thread) SyscallInternal(n uint64) {
 		return
 	}
 	c := &t.env.M.Costs
-	t.env.M.Counters.Inc(perf.Syscalls)
+	t.shard.Inc(perf.Syscalls)
 	t.Clock.Advance(c.SyscallShim + n*c.ByteCopy)
 }
 
@@ -231,36 +307,32 @@ func (t *Thread) WriteU8(addr uint64, v byte) {
 	t.env.M.access(t, addr, b[:], true)
 }
 
-// Memset fills n bytes at addr with v.
+// Memset fills n bytes at addr with v. The fill is issued as one
+// simulated access per page run (the hardware-stream equivalent of a
+// rep-stos loop), writing straight into the backing frames instead of
+// staging hundreds of small buffer writes.
 func (t *Thread) Memset(addr uint64, v byte, n uint64) {
-	var chunk [256]byte
-	if v != 0 {
-		for i := range chunk {
-			chunk[i] = v
-		}
-	}
-	for n > 0 {
-		c := uint64(len(chunk))
-		if c > n {
-			c = n
-		}
-		t.Write(addr, chunk[:c])
-		addr += c
-		n -= c
-	}
+	t.env.M.fill(t, addr, v, n)
 }
 
 // Memcpy copies n bytes from src to dst within the simulated address
-// space. The regions must not overlap.
+// space, one page-bounded chunk at a time (each chunk is one simulated
+// read access plus one write access). The regions must not overlap.
+// The source bytes are staged through a buffer because resolving the
+// destination page can fault, evict, or recycle frames — including the
+// source's.
 func (t *Thread) Memcpy(dst, src, n uint64) {
-	var chunk [256]byte
+	var buf [mem.PageSize]byte
 	for n > 0 {
-		c := uint64(len(chunk))
+		c := mem.PageSize - (src & (mem.PageSize - 1))
+		if d := mem.PageSize - (dst & (mem.PageSize - 1)); d < c {
+			c = d
+		}
 		if c > n {
 			c = n
 		}
-		t.Read(src, chunk[:c])
-		t.Write(dst, chunk[:c])
+		t.Read(src, buf[:c])
+		t.Write(dst, buf[:c])
 		dst += c
 		src += c
 		n -= c

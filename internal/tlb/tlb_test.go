@@ -134,6 +134,42 @@ func TestHighAssociativityRoundRobin(t *testing.T) {
 	}
 }
 
+func TestFlushIsLazyButComplete(t *testing.T) {
+	// Many flushes with interleaved inserts: entries from older epochs
+	// must never resurface, including across the uint32 epoch wrap.
+	d := New(16, 4)
+	d.epoch = ^uint32(0) - 2 // force a wrap within a few flushes
+	for round := uint64(0); round < 8; round++ {
+		d.Insert(round)
+		if !d.Lookup(round) {
+			t.Fatalf("round %d: fresh insert missed", round)
+		}
+		d.Flush()
+		for old := uint64(0); old <= round; old++ {
+			if d.Lookup(old) {
+				t.Fatalf("round %d: vpn %d survived flush (epoch %d)", round, old, d.epoch)
+			}
+		}
+	}
+	if d.Flushes() != 8 {
+		t.Errorf("Flushes = %d, want 8", d.Flushes())
+	}
+}
+
+func TestEvictAfterFlushDoesNotTouchNewEpoch(t *testing.T) {
+	// A stale same-vpn entry from before a flush must not shadow the
+	// current-epoch entry when Evict runs: evicting after re-insert
+	// must remove the live entry, not a dead one.
+	d := New(8, 2)
+	d.Insert(3)
+	d.Flush()
+	d.Insert(3)
+	d.Evict(3)
+	if d.Lookup(3) {
+		t.Error("Evict removed a stale-epoch slot instead of the live entry")
+	}
+}
+
 func TestInsertLookupProperty(t *testing.T) {
 	d := New(512, 4)
 	f := func(vpn uint64) bool {

@@ -1,0 +1,25 @@
+#!/bin/sh
+# scripts/bench.sh — canonical benchmark capture for the BENCH_*.json
+# trajectory. Runs the experiment benchmarks once (they are end-to-end
+# simulated experiments; one iteration is the measurement) and the
+# substrate micro-benchmarks time-based, then folds both into one JSON
+# file via benchgate.
+#
+# Usage: scripts/bench.sh OUT.json [REF-LABEL]
+set -eu
+out=${1:?usage: scripts/bench.sh OUT.json [REF-LABEL]}
+ref=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# Experiment benchmarks: one full regeneration each.
+go test -run '^$' -bench '^(BenchmarkFigure2|BenchmarkWorkloadBTreeNative)$' \
+	-benchtime 1x . | tee "$tmp"
+
+# Substrate micro-benchmarks: time-based for stable ns/op.
+go test -run '^$' \
+	-bench '^(BenchmarkAccessPage|BenchmarkAccessPageStride|BenchmarkECall|BenchmarkOCall|BenchmarkMemset|BenchmarkMemcpy|BenchmarkSpaceReadU64)$' \
+	-benchtime 0.3s . | tee -a "$tmp"
+
+go run ./cmd/benchgate parse -ref "$ref" -o "$out" <"$tmp"
+echo "wrote $out (ref $ref)"
