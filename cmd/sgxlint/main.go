@@ -1,0 +1,199 @@
+// Command sgxlint runs sgxgauge's in-tree static-analysis suite: the
+// invariant checkers of internal/lint (determinism, droppederr,
+// lockdiscipline, satconv) over every package of the module.
+//
+// Usage:
+//
+//	go run ./cmd/sgxlint ./...
+//	go run ./cmd/sgxlint -a determinism ./internal/sgx/...
+//	go run ./cmd/sgxlint -suppressed ./...
+//
+// Findings print as "file:line: [analyzer] message"; the exit status
+// is non-zero when any unsuppressed finding (or type error) exists, so
+// CI can gate on it. See DESIGN.md §8 for the enforced invariants and
+// the //sgxlint:ignore suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sgxgauge/internal/lint"
+)
+
+func main() {
+	analyzerFlag := flag.String("a", "", "comma-separated analyzer subset (default: all)")
+	showSuppressed := flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	asPath := flag.String("as", "", "lint the single directory argument as a package at this import path (for testdata corpora, which the module walk skips)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sgxlint [flags] [patterns]\n\npatterns are ./... style package patterns (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *analyzerFlag != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*analyzerFlag, ",") {
+			a, ok := lint.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sgxlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgxlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *asPath != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintf(os.Stderr, "sgxlint: -as takes exactly one directory argument\n")
+			os.Exit(2)
+		}
+		_, modPath, err := lint.FindModule(cwd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgxlint: %v\n", err)
+			os.Exit(2)
+		}
+		diags, err := lint.CheckDirAs(flag.Arg(0), *asPath, modPath, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgxlint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(printDiags(cwd, diags, *showSuppressed))
+	}
+
+	mod, err := lint.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgxlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	match, err := patternMatcher(cwd, mod, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgxlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	filtered := &lint.Module{Dir: mod.Dir, Path: mod.Path, Fset: mod.Fset}
+	for _, pkg := range mod.Packages {
+		if !match(pkg.Path) {
+			continue
+		}
+		filtered.Packages = append(filtered.Packages, pkg)
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "sgxlint: %s: %v\n", pkg.Path, terr)
+			exit = 2
+		}
+	}
+	if len(filtered.Packages) == 0 {
+		fmt.Fprintf(os.Stderr, "sgxlint: no packages matched %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	if code := printDiags(mod.Dir, lint.RunAnalyzers(filtered, analyzers), *showSuppressed); code > exit {
+		exit = code
+	}
+	os.Exit(exit)
+}
+
+// printDiags renders findings relative to root and returns 1 when any
+// unsuppressed finding exists, 0 otherwise.
+func printDiags(root string, diags []lint.Diagnostic, showSuppressed bool) int {
+	exit := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if showSuppressed {
+				fmt.Printf("%s (suppressed: %s)\n", rel(root, d), d.Reason)
+			}
+			continue
+		}
+		fmt.Println(rel(root, d))
+		exit = 1
+	}
+	return exit
+}
+
+// rel renders a diagnostic with its path relative to the module root.
+func rel(root string, d lint.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+// patternMatcher turns ./... style arguments into an import-path
+// predicate. Supported forms: "./..." (everything), "./dir/..."
+// (subtree), "./dir" (one package), and bare import paths with or
+// without a trailing /... — enough for the go-tool idioms the scripts
+// and CI use.
+func patternMatcher(cwd string, mod *lint.Module, args []string) (func(string) bool, error) {
+	if len(args) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	var exact []string
+	var prefixes []string
+	for _, arg := range args {
+		recursive := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			recursive = true
+			arg = rest
+			if arg == "." || arg == "" {
+				arg = "./."
+			}
+		}
+		var ip string
+		if arg == "." || strings.HasPrefix(arg, "./") || strings.HasPrefix(arg, "../") {
+			abs, err := filepath.Abs(filepath.Join(cwd, arg))
+			if err != nil {
+				return nil, err
+			}
+			r, err := filepath.Rel(mod.Dir, abs)
+			if err != nil || strings.HasPrefix(r, "..") {
+				return nil, fmt.Errorf("pattern %q points outside the module", arg)
+			}
+			if r == "." {
+				ip = mod.Path
+			} else {
+				ip = mod.Path + "/" + filepath.ToSlash(r)
+			}
+		} else {
+			ip = arg
+		}
+		if recursive {
+			prefixes = append(prefixes, ip)
+		} else {
+			exact = append(exact, ip)
+		}
+	}
+	return func(pkgPath string) bool {
+		for _, e := range exact {
+			if pkgPath == e {
+				return true
+			}
+		}
+		for _, p := range prefixes {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

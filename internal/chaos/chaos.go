@@ -28,6 +28,8 @@ package chaos
 import (
 	"errors"
 	"fmt"
+
+	"sgxgauge/internal/cycles"
 )
 
 // Class identifies one injectable fault class.
@@ -226,7 +228,11 @@ func New(cfg Config) *Injector {
 			if r >= 1 {
 				in.threshold[cl] = ^uint64(0)
 			} else {
-				in.threshold[cl] = uint64(r * float64(1<<63) * 2)
+				// Near r = 1 the product rounds up to exactly 2^64,
+				// whose direct uint64 conversion is undefined; the
+				// saturating helper clamps it to the always-fire
+				// threshold instead.
+				in.threshold[cl] = cycles.SatU64(r * float64(1<<63) * 2)
 			}
 		}
 	}
@@ -280,7 +286,7 @@ func (in *Injector) BalloonTarget(origPages, floorPages int) int {
 		hi = 1.0
 	}
 	span := float64(origPages) * (hi - lo)
-	target := int(float64(origPages)*lo + span*in.frac())
+	target := cycles.SatInt(float64(origPages)*lo + span*in.frac())
 	if target < floorPages {
 		target = floorPages
 	}

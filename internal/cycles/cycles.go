@@ -146,7 +146,7 @@ func (c *Clock) Reset() { c.cycles = 0 }
 
 // Duration converts a cycle count to wall-clock time at Frequency.
 func Duration(cycles uint64) time.Duration {
-	return time.Duration(float64(cycles) / Frequency * float64(time.Second))
+	return SatDuration(float64(cycles) / Frequency * float64(time.Second))
 }
 
 // Micros converts a cycle count to microseconds at Frequency.

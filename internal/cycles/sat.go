@@ -1,0 +1,54 @@
+package cycles
+
+import (
+	"math"
+	"time"
+)
+
+// The Sat* helpers are the module's only approved way to turn a
+// floating-point cycle quantity back into an integer. Go's direct
+// conversion of an out-of-range float is undefined behaviour (on
+// amd64 it produces garbage that looks like a wrap), which is how the
+// transitionCost contention scaling once corrupted cycle counts at
+// high concurrency. These clamp instead: a saturated cost stays a
+// valid upper bound, a wrapped one is nonsense. The satconv analyzer
+// (internal/lint) rejects raw float-to-integer conversions in
+// cycle-cost packages outside these helpers.
+
+// SatU64 converts v to uint64, saturating at the type's range: values
+// at or above 2^64 become math.MaxUint64, negative values and NaN
+// become 0.
+func SatU64(v float64) uint64 {
+	if !(v > 0) { // also catches NaN
+		return 0
+	}
+	if v >= float64(math.MaxUint64) {
+		return math.MaxUint64
+	}
+	return uint64(v)
+}
+
+// SatInt converts v to int, saturating at the platform int range on
+// overflow; negative values and NaN become 0.
+func SatInt(v float64) int {
+	if !(v > 0) {
+		return 0
+	}
+	if v >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return int(v)
+}
+
+// SatDuration converts a non-negative nanosecond quantity to
+// time.Duration, saturating at the maximum representable duration;
+// negative values and NaN become 0.
+func SatDuration(v float64) time.Duration {
+	if !(v > 0) {
+		return 0
+	}
+	if v >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(v)
+}

@@ -413,7 +413,7 @@ func (e *EPC) sealOut(clk *cycles.Clock, costs *cycles.CostModel, idx int) error
 	if share <= 0 || share > 1 {
 		share = 1
 	}
-	clk.Advance(uint64(float64(lat) * share))
+	clk.Advance(cycles.SatU64(float64(lat) * share))
 	e.ops[OpEWB].add(lat)
 	e.counters.Inc(perf.EPCEvictions)
 	if e.onEvict != nil {
@@ -577,12 +577,18 @@ func (e *EPC) Remove(id mem.PageID) {
 // the enclave, invalidating residual TLB entries and cache lines for
 // the resident ones.
 func (e *EPC) RemoveEnclave(enclave uint32) {
-	for id, idx := range e.resident {
-		if id.Enclave != enclave {
+	// Walk the slot table (fixed order) rather than the resident map:
+	// the remove hook fires per page, and hook-visible side effects
+	// (TLB shootdowns, cache invalidations, future tracing) must not
+	// inherit map iteration order.
+	for idx := range e.slots {
+		s := &e.slots[idx]
+		if !s.used || s.id.Enclave != enclave {
 			continue
 		}
-		e.pool.Put(e.slots[idx].frame)
-		e.slots[idx] = slot{}
+		id := s.id
+		e.pool.Put(s.frame)
+		*s = slot{}
 		delete(e.resident, id)
 		e.free = append(e.free, idx)
 		if e.onRemove != nil {
@@ -590,6 +596,7 @@ func (e *EPC) RemoveEnclave(enclave uint32) {
 		}
 	}
 	e.backing.DropEnclave(enclave)
+	//sgxlint:ignore determinism delete-only sweep: the map state after the loop is the same for every iteration order, and nothing observable happens per iteration
 	for id := range e.versions {
 		if id.Enclave == enclave {
 			delete(e.versions, id)

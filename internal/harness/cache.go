@@ -27,7 +27,7 @@ type Runner struct {
 	Progress func(Progress)
 
 	mu    sync.Mutex
-	cache map[string]*Result
+	cache map[string]*Result // guarded by mu
 }
 
 // NewRunner returns a Runner for the given EPC size.

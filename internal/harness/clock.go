@@ -1,0 +1,30 @@
+package harness
+
+import "time"
+
+// Clock abstracts the host wall clock the engine stamps Progress.Wall
+// with. Wall time is reporting-only — it never feeds a Result — but
+// the determinism analyzer still (rightly) refuses bare time.Now in
+// harness code; this interface is the one sanctioned crossing point,
+// and tests inject a fake to keep engine behaviour reproducible.
+type Clock interface {
+	// Now returns the current wall-clock instant.
+	Now() time.Time
+	// Since returns the elapsed wall time since t.
+	Since(t time.Time) time.Duration
+}
+
+// RealClock is the production Clock: the host's actual wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time {
+	//sgxlint:ignore determinism the injectable-clock boundary: Progress.Wall is host-side reporting that never enters a Result
+	return time.Now()
+}
+
+// Since implements Clock.
+func (RealClock) Since(t time.Time) time.Duration {
+	//sgxlint:ignore determinism the injectable-clock boundary: Progress.Wall is host-side reporting that never enters a Result
+	return time.Since(t)
+}

@@ -37,6 +37,7 @@ type engineOpts struct {
 	progress func(Progress)
 	retries  int
 	backoff  time.Duration
+	clock    Clock
 }
 
 // Option configures RunAll.
@@ -78,6 +79,16 @@ func RetryBackoff(d time.Duration) Option {
 	}
 }
 
+// WithClock sets the wall clock used to stamp Progress.Wall (default
+// RealClock). Tests inject a fake so progress events are reproducible.
+func WithClock(c Clock) Option {
+	return func(o *engineOpts) {
+		if c != nil {
+			o.clock = c
+		}
+	}
+}
+
 // RunAll executes every spec on the worker pool, booting one
 // independent simulated machine per spec in its own goroutine.
 // Results are returned in input order regardless of completion order,
@@ -86,7 +97,7 @@ func RetryBackoff(d time.Duration) Option {
 // through Run. A spec that errors or panics yields a Result with Err
 // set instead of aborting its siblings.
 func RunAll(specs []Spec, opts ...Option) []Result {
-	var o engineOpts
+	o := engineOpts{clock: RealClock{}}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -94,9 +105,9 @@ func RunAll(specs []Spec, opts ...Option) []Result {
 	var mu sync.Mutex
 	completed := 0
 	forEach(len(specs), o.workers, func(i int) {
-		start := time.Now()
+		start := o.clock.Now()
 		res, attempts, err := runWithRetry(specs[i], &o)
-		wall := time.Since(start)
+		wall := o.clock.Since(start)
 		if res != nil {
 			results[i] = *res
 			results[i].Err = err

@@ -181,6 +181,7 @@ func RenderTable2(rows []Table2Row) string {
 
 func knobString(p workloads.Params) string {
 	names := make([]string, 0, len(p.Knobs))
+	//sgxlint:ignore determinism collects keys only; the slice is sorted before any ordered use
 	for n := range p.Knobs {
 		names = append(names, n)
 	}

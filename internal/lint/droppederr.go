@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr enforces that no error produced inside the module is
+// silently discarded. Motivated by the EPC balloon-resize bug: an
+// `EPC.Resize` error dropped on the untrusted-side ballooning path let
+// a partial resize masquerade as a successful one, silently skewing
+// every downstream counter. Errors from module-internal calls must be
+// handled, returned, or explicitly suppressed with a written reason —
+// never assigned to `_` or ignored as a bare statement.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc: "forbid discarding error results of module-internal calls " +
+		"(expression statements, go/defer, or assignment to _)",
+	Run: runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, n.X, "result of %s discarded; handle, return, or suppress with a reason")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, "error result of %s is lost in go statement; wrap the goroutine body to handle it")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call, "error result of %s is lost in defer; wrap in a closure that handles it")
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall reports call when it is a module-internal call
+// with an error among its results.
+func checkDiscardedCall(pass *Pass, expr ast.Expr, format string) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleInternalCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	if errorResultIndex(fn) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), format, "error-returning "+fn.Name()+" call")
+}
+
+// checkBlankErrAssign reports error-typed results of module-internal
+// calls assigned to the blank identifier, in both the tuple form
+// `v, _ := f()` and the single form `_ = f()`.
+func checkBlankErrAssign(pass *Pass, assign *ast.AssignStmt) {
+	// Tuple form: one multi-result call on the right.
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := moduleInternalCallee(pass, call)
+		if fn == nil {
+			return
+		}
+		results := fn.Type().(*types.Signature).Results()
+		for i, lhs := range assign.Lhs {
+			if !isBlank(lhs) || i >= results.Len() {
+				continue
+			}
+			if isErrorType(results.At(i).Type()) {
+				pass.Reportf(lhs.Pos(),
+					"error result of %s assigned to _; handle it or suppress with a reason", fn.Name())
+			}
+		}
+		return
+	}
+	// Parallel form: `_ = f()` (possibly among several pairs).
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := assign.Rhs[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := moduleInternalCallee(pass, call)
+		if fn == nil {
+			continue
+		}
+		if t := pass.Info.Types[call].Type; t != nil && isErrorType(t) {
+			pass.Reportf(lhs.Pos(),
+				"error result of %s assigned to _; handle it or suppress with a reason", fn.Name())
+		}
+	}
+}
+
+// moduleInternalCallee resolves the called function or method when it
+// is declared inside this module; nil otherwise (external calls,
+// indirect calls through non-module function values, conversions,
+// builtins).
+func moduleInternalCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if !pass.InModule(fn.Pkg().Path()) {
+		return nil
+	}
+	return fn
+}
+
+// errorResultIndex returns the index of the first error-typed result
+// of fn, or -1.
+func errorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module.
+type Module struct {
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset resolves positions across every package.
+	Fset *token.FileSet
+	// Packages holds every package of the module, sorted by import
+	// path.
+	Packages []*Package
+}
+
+// Package is one loaded package of the module.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory.
+	Dir string
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the checker's resolution tables.
+	Info *types.Info
+	// TypeErrors collects type-check failures; analyzers still run on
+	// what was resolvable, but the driver fails the lint.
+	TypeErrors []error
+}
+
+// loader resolves and memoizes the module's packages, delegating
+// out-of-module imports (the standard library) to the stdlib source
+// importer — the module itself is dependency-free, so anything not
+// under the module path must be std.
+type loader struct {
+	fset       *token.FileSet
+	dir        string // module root
+	path       string // module path
+	pkgs       map[string]*Package
+	inProgress map[string]bool
+	std        types.ImporterFrom
+}
+
+// LoadModule locates the module containing dir (walking up to go.mod),
+// then parses and type-checks every package under it. Directories
+// named testdata, hidden directories, and _test.go files are skipped,
+// mirroring the go tool.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:       token.NewFileSet(),
+		dir:        root,
+		path:       modPath,
+		pkgs:       map[string]*Package{},
+		inProgress: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+
+	var pkgPaths []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			rel, err := filepath.Rel(root, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				pkgPaths = append(pkgPaths, modPath)
+			} else {
+				pkgPaths = append(pkgPaths, modPath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgPaths)
+
+	mod := &Module{Dir: root, Path: modPath, Fset: l.fset}
+	for _, p := range pkgPaths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", p, err)
+		}
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	return mod, nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns
+// the module root and module path, without loading any packages.
+func FindModule(dir string) (root, path string, err error) {
+	return findModule(dir)
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isLintableGoFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLintableGoFile reports whether name is a non-test Go source file.
+func isLintableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.dir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from the module tree, everything else from the standard library.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.path || strings.HasPrefix(path, l.path+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("package %s has type errors: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}
+
+// load parses and type-checks the module package at importPath,
+// memoizing the result.
+func (l *loader) load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.inProgress[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.inProgress[importPath] = true
+	defer delete(l.inProgress, importPath)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.path), "/")
+	dir := filepath.Join(l.dir, filepath.FromSlash(rel))
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := check(l.fset, importPath, dir, files, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every lintable source file of dir, in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && isLintableGoFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// check type-checks one package's files with the given importer.
+func check(fset *token.FileSet, importPath, dir string, files []*ast.File, imp types.ImporterFrom) (*Package, error) {
+	pkg := &Package{Path: importPath, Dir: dir, Files: files}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// The checker reports errors through conf.Error and keeps going;
+	// its own returned error duplicates the first collected one.
+	tpkg, _ := conf.Check(importPath, fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// CheckDirAs parses and type-checks the single package in dir under
+// the given synthetic import path and runs the analyzers over it. It
+// exists for the golden-file corpus: the corpus lives under testdata
+// (invisible to the module walk) but must be checked as if it sat at
+// a real module path so package-scoped analyzers apply.
+func CheckDirAs(dir, importPath, modulePath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	std := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	pkg, err := check(fset, importPath, dir, files, std)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s: %v", dir, pkg.TypeErrors)
+	}
+	mod := &Module{Dir: dir, Path: modulePath, Fset: fset, Packages: []*Package{pkg}}
+	diags := RunAnalyzers(mod, analyzers)
+	return diags, nil
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cycleCostPkgs are the packages whose arithmetic lands in the cycle
+// accounting: an overflowing conversion there corrupts clocks,
+// latencies, and every figure derived from them.
+var cycleCostPkgs = []string{
+	"internal/cycles",
+	"internal/sgx",
+	"internal/epc",
+	"internal/mee",
+	"internal/tlb",
+	"internal/cache",
+	"internal/enclave",
+	"internal/perf",
+	"internal/chaos",
+}
+
+// SatConv enforces saturating float-to-integer conversion in
+// cycle-cost code. Motivated by the transitionCost overflow: scaling a
+// base cost by the contention factor produced a float64 above 2^64,
+// and the direct uint64(...) conversion of an out-of-range float is
+// undefined — on amd64 it wraps to garbage, silently corrupting every
+// downstream cycle count. All such conversions must go through the
+// cycles.Sat* helpers, which clamp instead of wrapping.
+var SatConv = &Analyzer{
+	Name: "satconv",
+	Doc: "float-to-integer conversions in cycle-cost packages must use " +
+		"the saturating cycles.Sat* helpers",
+	Appliesf: func(pkgPath string) bool { return underPkgs(pkgPath, cycleCostPkgs) },
+	Run:      runSatConv,
+}
+
+func runSatConv(pass *Pass) {
+	// The helpers themselves are the one approved home for the raw
+	// conversion: package internal/cycles, function name Sat*.
+	approvedHere := underPkgs(pass.PkgPath, []string{"internal/cycles"})
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && fd.Body == nil {
+				continue
+			}
+			if isFunc && approvedHere && strings.HasPrefix(fd.Name.Name, "Sat") {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkConversion(pass, call)
+				return true
+			})
+		}
+	}
+}
+
+// checkConversion reports call when it converts a non-constant
+// floating-point expression directly to an integer type.
+func checkConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	target, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || target.Info()&types.IsInteger == 0 {
+		return
+	}
+	argTV, ok := pass.Info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	// Constant conversions are range-checked by the compiler itself.
+	if argTV.Value != nil {
+		return
+	}
+	src, ok := argTV.Type.Underlying().(*types.Basic)
+	if !ok || src.Info()&types.IsFloat == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s(%s expr) in cycle-cost code wraps on out-of-range values (the transitionCost bug class); convert through cycles.SatU64/cycles.SatDuration instead",
+		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), src.Name())
+}

@@ -1,0 +1,79 @@
+// Package corpus is the determinism analyzer's golden corpus. It is
+// loaded by the lint tests under a synthetic in-scope import path
+// (see lint_test.go); the want comments are exact-line diagnostic
+// expectations.
+package corpus
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalRand reproduces the historical workloads/ycsb bug class:
+// package-level math/rand draws from the process-global source, so
+// two identical runs produce different request streams.
+func globalRand() int {
+	return rand.Intn(10) // want "process-global source"
+}
+
+// seededOK is the sanctioned form: an explicitly seeded generator.
+func seededOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func moreGlobals() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "process-global source"
+	return rand.Float64()              // want "process-global source"
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "host wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "host wall clock"
+}
+
+// derivedTimeOK: arithmetic on an injected instant is deterministic.
+func derivedTimeOK(t0 time.Time) time.Time {
+	return t0.Add(3 * time.Second)
+}
+
+// mapOrderSum: iteration order leaks into nothing here, but the
+// analyzer is deliberately strict — an aggregation loop is one edit
+// away from an order-dependent one.
+func mapOrderSum(m map[string]uint64) uint64 {
+	var sum uint64
+	for _, v := range m { // want "map iteration order"
+		sum += v
+	}
+	return sum
+}
+
+// mapCopyOK is the one recognized provably order-independent form.
+func mapCopyOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sliceRangeOK: slice iteration is ordered.
+func sliceRangeOK(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}
+
+// suppressedSweep shows an acknowledged exception: the pragma must
+// carry a reason, and the finding is recorded as suppressed.
+func suppressedSweep(m map[int]int) {
+	//sgxlint:ignore determinism delete-only sweep; final map state is order-independent
+	for k := range m {
+		delete(m, k)
+	}
+}

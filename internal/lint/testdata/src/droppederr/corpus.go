@@ -1,0 +1,74 @@
+// Package corpus is the droppederr analyzer's golden corpus, loaded
+// under a synthetic module-internal import path so in-package calls
+// count as module-internal.
+package corpus
+
+import (
+	"errors"
+	"os"
+)
+
+// EPC mimics the simulator's page cache; Resize mirrors the
+// balloon-resize path whose silently dropped error motivated this
+// analyzer.
+type EPC struct{ capacity int }
+
+// Resize changes the capacity, failing below the minimum.
+func (e *EPC) Resize(n int) error {
+	if n < 17 {
+		return errors.New("too small")
+	}
+	e.capacity = n
+	return nil
+}
+
+func pair() (int, error) { return 0, nil }
+
+func errOnly() error { return nil }
+
+// balloonBug reproduces the historical bug: the untrusted-side
+// ballooning path called Resize as a bare statement, so a partial
+// resize masqueraded as a successful one.
+func balloonBug(e *EPC, n int) {
+	e.Resize(n) // want "discarded"
+}
+
+func blankAssign(e *EPC, n int) {
+	_ = e.Resize(n) // want "assigned to _"
+}
+
+func tupleBlank() int {
+	v, _ := pair() // want "assigned to _"
+	return v
+}
+
+func deferred(e *EPC) {
+	defer e.Resize(100) // want "lost in defer"
+}
+
+func goStmt(e *EPC) {
+	go e.Resize(100) // want "lost in go statement"
+}
+
+func plainCall() {
+	errOnly() // want "discarded"
+}
+
+// handledOK threads the error as required.
+func handledOK(e *EPC, n int) error {
+	if err := e.Resize(n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// externalOK: errors of non-module calls are another linter's job.
+func externalOK() {
+	os.Remove("/nonexistent-sgxlint-corpus-path")
+}
+
+// suppressedOK shows an acknowledged exception with its reason.
+func suppressedOK(e *EPC) {
+	//sgxlint:ignore droppederr best-effort teardown; the owning enclave is already gone and the EPC state is discarded next
+	e.Resize(100)
+}

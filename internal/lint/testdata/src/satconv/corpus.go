@@ -1,0 +1,47 @@
+// Package corpus is the satconv analyzer's golden corpus, loaded
+// under a synthetic cycle-cost-package import path.
+package corpus
+
+// transitionCostBug reproduces the motivating overflow: scaling a
+// base cycle cost by a contention factor and converting the float64
+// product directly to uint64, which wraps past 2^64 instead of
+// clamping.
+func transitionCostBug(base uint64, factor float64) uint64 {
+	return uint64(float64(base) * factor) // want "wraps on out-of-range"
+}
+
+func toInt(v float64) int {
+	return int(v) // want "wraps on out-of-range"
+}
+
+func toSigned(v float32) int64 {
+	return int64(v) // want "wraps on out-of-range"
+}
+
+// constOK: constant conversions are range-checked by the compiler.
+func constOK() uint64 {
+	return uint64(1e9)
+}
+
+// floatToFloatOK: widening float conversions cannot wrap.
+func floatToFloatOK(v float32) float64 {
+	return float64(v)
+}
+
+// intToIntOK: integer-to-integer conversions are out of satconv's
+// scope (byte packing and index arithmetic are pervasive and
+// reviewed case by case).
+func intToIntOK(v uint64) uint32 {
+	return uint32(v)
+}
+
+// intToFloatOK: the reverse direction loses precision, not range.
+func intToFloatOK(v uint64) float64 {
+	return float64(v)
+}
+
+// suppressedOK shows an acknowledged exception with its reason.
+func suppressedOK(v float64) uint64 {
+	//sgxlint:ignore satconv v is a ratio in [0,1] scaled by a bounded constant; the product cannot leave uint64 range
+	return uint64(v * 255)
+}

@@ -1,0 +1,29 @@
+// Package corpus verifies the satconv approved-helper exemption: this
+// file is loaded under the import path of internal/cycles, where
+// functions named Sat* are the sanctioned home of the raw conversion.
+package corpus
+
+import "math"
+
+// SatU64 mirrors the real saturating helper; the raw conversion
+// inside it must not be flagged.
+func SatU64(v float64) uint64 {
+	if !(v > 0) {
+		return 0
+	}
+	if v >= float64(math.MaxUint64) {
+		return math.MaxUint64
+	}
+	return uint64(v)
+}
+
+// SatInt likewise.
+func SatInt(v float64) int {
+	if !(v > 0) {
+		return 0
+	}
+	if v >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return int(v)
+}

@@ -36,7 +36,7 @@ type Frame struct {
 // long simulations. It is safe for concurrent use.
 type Pool struct {
 	mu   sync.Mutex
-	free []*Frame
+	free []*Frame // guarded by mu
 }
 
 // Get returns a zeroed frame, reusing a recycled one when available.
@@ -88,7 +88,7 @@ type SealedPage struct {
 // evicted (sealed) EPC pages. It is safe for concurrent use.
 type BackingStore struct {
 	mu    sync.Mutex
-	pages map[PageID]*SealedPage
+	pages map[PageID]*SealedPage // guarded by mu
 }
 
 // NewBackingStore returns an empty backing store.

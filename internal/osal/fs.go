@@ -25,7 +25,7 @@ type File struct {
 // (Create, Raw) cost nothing; thread-side operations charge syscalls.
 type FS struct {
 	mu    sync.Mutex
-	files map[string]*File
+	files map[string]*File // guarded by mu
 }
 
 // NewFS returns an empty filesystem.

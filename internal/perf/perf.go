@@ -116,7 +116,7 @@ type Counters struct {
 	v [numEvents]atomic.Uint64
 
 	mu     sync.Mutex
-	shards []*Shard
+	shards []*Shard // guarded by mu
 }
 
 // Add increments event e by n.

@@ -123,18 +123,11 @@ func (t *Thread) transitionCost(base uint64) uint64 {
 		return base
 	}
 	f := 1 + t.env.M.Costs.ContentionFactor*float64(n-1)
-	v := float64(base) * f
 	// The float64 product can exceed uint64 range for large base costs
 	// at high concurrency; converting such a value is undefined (and
 	// wraps to garbage on common targets). Saturate instead: a clamped
 	// cost stays an upper bound, a wrapped one becomes nonsense.
-	if v >= float64(math.MaxUint64) {
-		return math.MaxUint64
-	}
-	if v < 0 {
-		return 0
-	}
-	return uint64(v)
+	return cycles.SatU64(float64(base) * f)
 }
 
 // ECall enters the environment's enclave, runs fn inside it, and

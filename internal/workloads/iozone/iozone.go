@@ -185,6 +185,7 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	}
 
 	extra := map[string]float64{}
+	//sgxlint:ignore determinism map-to-map copy with distinct derived keys; final map state is order-independent
 	for name, cyc := range phases {
 		extra[name+"_cycles"] = float64(cyc)
 	}

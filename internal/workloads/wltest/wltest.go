@@ -90,8 +90,8 @@ func RunAllModes(t *testing.T, w workloads.Workload, size workloads.Size) map[sg
 		out[mode] = res
 	}
 	want := out[sgx.Vanilla].Checksum
-	for mode, res := range out {
-		if res.Checksum != want {
+	for _, mode := range Modes(w) {
+		if res := out[mode]; res.Checksum != want {
 			t.Errorf("%v-mode checksum %#x differs from Vanilla %#x — modes computed different results", mode, res.Checksum, want)
 		}
 	}

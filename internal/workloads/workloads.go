@@ -62,6 +62,7 @@ func (p Params) Knob(name string) (int64, error) {
 	v, ok := p.Knobs[name]
 	if !ok {
 		names := make([]string, 0, len(p.Knobs))
+		//sgxlint:ignore determinism collects keys only; the slice is sorted before any ordered use
 		for n := range p.Knobs {
 			names = append(names, n)
 		}

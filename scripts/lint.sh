@@ -1,0 +1,21 @@
+#!/bin/sh
+# scripts/lint.sh — the pre-PR ritual, in one command:
+#
+#	go build ./... && go test ./... && go run ./cmd/sgxlint ./...
+#
+# sgxlint is the in-tree invariant suite (see DESIGN.md §8): it
+# type-checks every package with the standard library only and
+# enforces determinism, error propagation, lock discipline, and
+# saturating cycle arithmetic. It exits non-zero on any unsuppressed
+# finding, so this script does too.
+#
+# Usage: scripts/lint.sh [--fast]
+#   --fast  skip the test run (build + lint only)
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+if [ "${1:-}" != "--fast" ]; then
+	go test ./...
+fi
+go run ./cmd/sgxlint ./...
