@@ -23,16 +23,22 @@ func ablationOverhead(b *testing.B, cfg *sgx.Config) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// A fresh Runner keeps the result cache cold across b.N calls, so
+	// every iteration measures two full simulated runs.
+	r := new(harness.Runner)
 	spec := harness.Spec{Workload: w, Size: workloads.Medium, EPCPages: 96, Seed: 1, Machine: cfg}
 	spec.Mode = sgx.Vanilla
-	van, err := harness.Run(spec)
+	van, err := r.Run(spec)
 	if err != nil {
 		b.Fatal(err)
 	}
 	spec.Mode = sgx.Native
-	nat, err := harness.Run(spec)
+	nat, err := r.Run(spec)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if van.Err != nil || nat.Err != nil {
+		b.Fatal(van.Err, nat.Err)
 	}
 	return harness.Overhead(nat, van)
 }

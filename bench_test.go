@@ -444,10 +444,16 @@ func BenchmarkWorkloadBTreeNative(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Run(harness.Spec{
+		// A fresh Runner per iteration keeps the result cache cold, so
+		// every iteration measures a full simulated run.
+		res, err := new(harness.Runner).Run(harness.Spec{
 			Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: 96, Seed: 1,
-		}); err != nil {
+		})
+		if err != nil {
 			b.Fatal(err)
+		}
+		if res.Err != nil {
+			b.Fatal(res.Err)
 		}
 	}
 }

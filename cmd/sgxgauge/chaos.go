@@ -77,7 +77,10 @@ func cmdChaos(args []string) {
 		opts = append(opts, harness.OnProgress(progressPrinter()))
 	}
 
-	points := harness.ChaosSweep(base, template, rates, opts...)
+	points, err := harness.ChaosSweep(base, template, rates, opts...)
+	if err != nil {
+		fatal(err)
+	}
 
 	classes := []string{}
 	for _, c := range []struct {

@@ -26,6 +26,7 @@ import (
 	"sgxgauge/internal/cycles"
 	"sgxgauge/internal/harness"
 	"sgxgauge/internal/perf"
+	"sgxgauge/internal/serve"
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/workloads"
 	"sgxgauge/internal/workloads/suite"
@@ -53,6 +54,10 @@ func main() {
 		cmdChaos(os.Args[2:])
 	case "recommend":
 		cmdRecommend(os.Args[2:])
+	case "serve":
+		if err := serve.Main(os.Args[2:]); err != nil {
+			fatal(err)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -70,7 +75,8 @@ func usage() {
   sgxgauge matrix [-epc pages] [-seed n] [-j workers] [-progress]
   sgxgauge chaos [-workload <name>] [-mode ...] [-size ...] [-chaos-seed n] [-fault-rate list]
                  [-aex] [-balloon] [-tamper] [-transition] [-retries n] [-j workers] [-progress]
-  sgxgauge recommend -component epc|transitions|mee|syscalls [-epc pages] [-j workers]`)
+  sgxgauge recommend -component epc|transitions|mee|syscalls [-epc pages] [-j workers]
+  sgxgauge serve [-addr host:port] [-epc pages] [-seed n] [-j workers] [-cache entries]`)
 }
 
 // progressPrinter returns a harness progress callback reporting
@@ -99,29 +105,9 @@ func cmdList() {
 	fmt.Printf("%-12s %-22s %s\n", "Iozone", suite.Iozone().Property(), "Vanilla, LibOS")
 }
 
-func parseMode(s string) (sgx.Mode, error) {
-	switch s {
-	case "Vanilla", "vanilla":
-		return sgx.Vanilla, nil
-	case "Native", "native":
-		return sgx.Native, nil
-	case "LibOS", "libos":
-		return sgx.LibOS, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (want Vanilla, Native or LibOS)", s)
-}
+func parseMode(s string) (sgx.Mode, error) { return sgx.ParseMode(s) }
 
-func parseSize(s string) (workloads.Size, error) {
-	switch s {
-	case "Low", "low":
-		return workloads.Low, nil
-	case "Medium", "medium":
-		return workloads.Medium, nil
-	case "High", "high":
-		return workloads.High, nil
-	}
-	return 0, fmt.Errorf("unknown size %q (want Low, Medium or High)", s)
-}
+func parseSize(s string) (workloads.Size, error) { return workloads.ParseSize(s) }
 
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
@@ -165,9 +151,12 @@ func cmdRun(args []string) {
 	if *slowPath {
 		spec.Machine = &sgx.Config{SlowPath: true}
 	}
-	res, err := harness.Run(spec)
+	res, err := new(harness.Runner).Run(spec)
 	if err != nil {
 		fatal(err)
+	}
+	if res.Err != nil {
+		fatal(res.Err)
 	}
 
 	fmt.Printf("workload:  %s (%s, %s mode)\n", res.Name, size, mode)

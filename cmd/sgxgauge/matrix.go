@@ -34,6 +34,11 @@ func cmdMatrix(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	for _, res := range results {
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+	}
 
 	// The Vanilla cell of each (workload, size) is in the batch;
 	// index it for the overhead column.

@@ -82,6 +82,11 @@ func cmdSweep(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	for _, res := range results {
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+	}
 
 	fmt.Println("workload,mode,size,epc_pages,cycles,overhead_vs_vanilla,dtlb_misses,page_faults,epc_evictions,epc_loadbacks")
 	i := 0

@@ -42,16 +42,19 @@ func cmdTrace(args []string) {
 	}
 
 	collector := trace.New(*keep)
-	res, err := harness.Run(harness.Spec{
-		Workload:  w,
-		Mode:      mode,
-		Size:      size,
-		EPCPages:  *epcPages,
-		Seed:      *seed,
-		OnMachine: collector.Attach,
+	res, err := new(harness.Runner).Run(harness.Spec{
+		Workload: w,
+		Mode:     mode,
+		Size:     size,
+		EPCPages: *epcPages,
+		Seed:     *seed,
+		Hooks:    harness.Hooks{OnMachine: collector.Attach},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if res.Err != nil {
+		fatal(res.Err)
 	}
 
 	if *csv {

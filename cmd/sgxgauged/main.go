@@ -1,0 +1,35 @@
+// Command sgxgauged is the SGXGauge daemon: a long-running HTTP/JSON
+// service that runs simulated SGX benchmarks on demand.
+//
+// Usage:
+//
+//	sgxgauged [-addr host:port] [-epc pages] [-seed n] [-j workers]
+//	          [-cache entries] [-drain timeout]
+//
+// Endpoints:
+//
+//	POST /v1/run            run one spec (SpecWire JSON in, result out)
+//	POST /v1/sweep          run a spec list, NDJSON progress stream out
+//	GET  /v1/figures/{fig}  regenerate a paper figure/table (2-10, t2, t4, t5)
+//	GET  /v1/results/{key}  content-addressed result lookup (SHA-256 of the spec)
+//	GET  /metrics           Prometheus text metrics
+//	GET  /healthz           liveness probe
+//
+// Identical specs are cached and concurrent identical requests
+// coalesce onto one run; see README "Serving" for the wire schema and
+// curl examples.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sgxgauge/internal/serve"
+)
+
+func main() {
+	if err := serve.Main(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

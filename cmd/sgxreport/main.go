@@ -6,9 +6,10 @@
 //	sgxreport [-epc pages] [-exp id[,id...]] [-j workers] [-progress]
 //
 // Experiment ids: fig2 fig3 fig4 tab2 tab4 fig5 fig6a fig6bc fig6d
-// fig7 fig8 tab5 fig9 fig10, or "all" (default). Runs within an
-// experiment execute on a parallel worker pool (-j); results are
-// identical to a serial run.
+// fig7 fig8 tab5 fig9 fig10, or "all" (default). The list comes from
+// harness.Experiments(), the same registry the sgxgauged daemon's
+// /v1/figures endpoint serves. Runs within an experiment execute on a
+// parallel worker pool (-j); results are identical to a serial run.
 package main
 
 import (
@@ -49,134 +50,21 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	sel := func(id string) bool { return all || want[id] }
-
-	type experiment struct {
-		id  string
-		run func() (string, error)
-	}
-	experiments := []experiment{
-		{"tab2", func() (string, error) {
-			rows, err := r.Table2()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderTable2(rows), nil
-		}},
-		{"fig2", func() (string, error) {
-			d, err := r.Figure2()
-			if err != nil {
-				return "", err
-			}
-			return d.Render(), nil
-		}},
-		{"fig3", func() (string, error) {
-			pts, err := r.Figure3()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderFigure3(pts), nil
-		}},
-		{"fig4", func() (string, error) {
-			rows, err := r.Figure4()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderFigure4(rows), nil
-		}},
-		{"tab4", func() (string, error) {
-			d, err := r.Table4()
-			if err != nil {
-				return "", err
-			}
-			return d.Render(), nil
-		}},
-		{"fig5", func() (string, error) {
-			rows, err := r.Figure5()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderFigure5(rows), nil
-		}},
-		{"fig6a", func() (string, error) {
-			d, err := r.Figure6a()
-			if err != nil {
-				return "", err
-			}
-			return d.Render(), nil
-		}},
-		{"fig6bc", func() (string, error) {
-			rows, err := r.Figure6bc()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderFigure6bc(rows), nil
-		}},
-		{"fig6d", func() (string, error) {
-			d, err := r.Figure6d()
-			if err != nil {
-				return "", err
-			}
-			return d.Render(), nil
-		}},
-		{"fig7", func() (string, error) {
-			rows, err := r.Figure7()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderFigure7(rows), nil
-		}},
-		{"fig8", func() (string, error) {
-			d, err := r.Figure8()
-			if err != nil {
-				return "", err
-			}
-			return d.Render(), nil
-		}},
-		{"tab5", func() (string, error) {
-			rows, err := r.Table5()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderTable5(rows), nil
-		}},
-		{"fig9", func() (string, error) {
-			d, err := r.Figure9()
-			if err != nil {
-				return "", err
-			}
-			return d.Render(), nil
-		}},
-		{"fig10", func() (string, error) {
-			rows, err := r.Figure10()
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderFigure10(rows), nil
-		}},
-		{"multi", func() (string, error) {
-			points, err := r.MultiEnclave([]int{1, 2, 4, 8})
-			if err != nil {
-				return "", err
-			}
-			return harness.RenderMultiEnclave(points, *epcPages), nil
-		}},
-	}
 
 	fmt.Printf("SGXGauge report — simulated EPC: %d pages (%d MiB equivalent scale)\n\n",
 		*epcPages, *epcPages*4/1024)
 	ran := 0
-	for _, e := range experiments {
-		if !sel(e.id) {
+	for _, e := range harness.Experiments() {
+		if !all && !want[e.ID] {
 			continue
 		}
 		start := time.Now()
-		out, err := e.run()
+		out, err := e.Render(r)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sgxreport: %s: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "sgxreport: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s] (generated in %v)\n%s\n", e.id, time.Since(start).Round(time.Millisecond), out)
+		fmt.Printf("[%s] (generated in %v)\n%s\n", e.ID, time.Since(start).Round(time.Millisecond), out)
 		ran++
 	}
 	if ran == 0 {

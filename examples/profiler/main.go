@@ -25,16 +25,20 @@ func main() {
 	fmt.Println("profiler: B-Tree, Native mode, High (EPC-thrashing) setting")
 	fmt.Println()
 
+	r := harness.NewRunner(sgx.DefaultEPCPages)
 	collector := trace.New(50000)
-	res, err := harness.Run(harness.Spec{
-		Workload:  w,
-		Mode:      sgx.Native,
-		Size:      workloads.High,
-		Seed:      1,
-		OnMachine: collector.Attach,
+	res, err := r.Run(harness.Spec{
+		Workload: w,
+		Mode:     sgx.Native,
+		Size:     workloads.High,
+		Seed:     1,
+		Hooks:    harness.Hooks{OnMachine: collector.Attach},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.Err != nil {
+		log.Fatal(res.Err)
 	}
 	fmt.Printf("run time: %d cycles, checksum %#x\n\n", res.Cycles, res.Output.Checksum)
 	fmt.Print(collector.Summary())
@@ -44,7 +48,6 @@ func main() {
 	fmt.Println("~35% of the EPC, so four or more no longer fit together:")
 	fmt.Println()
 
-	r := harness.NewRunner(sgx.DefaultEPCPages)
 	points, err := r.MultiEnclave([]int{1, 2, 4, 8})
 	if err != nil {
 		log.Fatal(err)

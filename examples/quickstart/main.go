@@ -24,9 +24,10 @@ func main() {
 	fmt.Println("SGXGauge quickstart: B-Tree at the Medium (~EPC-sized) setting")
 	fmt.Println()
 
+	r := harness.NewRunner(0)
 	var vanilla *harness.Result
 	for _, mode := range []sgx.Mode{sgx.Vanilla, sgx.Native, sgx.LibOS} {
-		res, err := harness.Run(harness.Spec{
+		res, err := r.Run(harness.Spec{
 			Workload: w,
 			Mode:     mode,
 			Size:     workloads.Medium,
@@ -34,6 +35,9 @@ func main() {
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.Err != nil {
+			log.Fatal(res.Err)
 		}
 		if mode == sgx.Vanilla {
 			vanilla = res

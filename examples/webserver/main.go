@@ -22,6 +22,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	r := harness.NewRunner(0)
+	run := func(spec harness.Spec) *harness.Result {
+		res, err := r.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		return res
+	}
+
 	fmt.Println("webserver: Lighttpd under closed-loop ab-style load")
 	fmt.Println()
 	fmt.Printf("%-8s %-22s %-22s %s\n", "clients", "Vanilla latency", "SGX (LibOS) latency", "ratio")
@@ -29,14 +41,8 @@ func main() {
 	for _, clients := range []int{1, 2, 4, 8, 16} {
 		params := w.DefaultParams(sgx.DefaultEPCPages, workloads.Medium)
 		params.Threads = clients
-		van, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.Vanilla, Params: &params, Seed: 1})
-		if err != nil {
-			log.Fatal(err)
-		}
-		lib, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.LibOS, Params: &params, Seed: 1})
-		if err != nil {
-			log.Fatal(err)
-		}
+		van := run(harness.Spec{Workload: w, Mode: sgx.Vanilla, Params: &params, Seed: 1})
+		lib := run(harness.Spec{Workload: w, Mode: sgx.LibOS, Params: &params, Seed: 1})
 		fmt.Printf("%-8d %-22s %-22s %.2fx\n",
 			clients,
 			fmt.Sprintf("%.1f us", cycles.Micros(uint64(van.Output.MeanLatency))),
@@ -48,14 +54,8 @@ func main() {
 	fmt.Println("switchless OCALLs at 16 clients (proxy threads answer syscalls")
 	fmt.Println("without leaving the enclave, so no TLB flush per request):")
 
-	def, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sw, err := harness.Run(harness.Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Seed: 1, Switchless: true})
-	if err != nil {
-		log.Fatal(err)
-	}
+	def := run(harness.Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Seed: 1})
+	sw := run(harness.Spec{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Seed: 1, Switchless: true})
 	fmt.Printf("  default:    %.1f us mean, %d dTLB misses, %d OCALLs\n",
 		cycles.Micros(uint64(def.Output.MeanLatency)),
 		def.Counters.Get(perf.DTLBMisses), def.Counters.Get(perf.OCalls))

@@ -102,29 +102,29 @@ func (k TamperKind) String() string {
 type Config struct {
 	// Seed drives every injection decision; equal seeds (with equal
 	// settings) yield byte-identical runs.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Rate is the base fault probability per opportunity (one enclave
 	// access, eviction, or transition), applied to every enabled class
 	// without its own override. Values are clamped to [0, 1].
-	Rate float64
+	Rate float64 `json:"rate,omitempty"`
 
 	// Per-class enables.
-	AEXStorm        bool
-	EPCBalloon      bool
-	MemTamper       bool
-	TransitionFault bool
+	AEXStorm        bool `json:"aex_storm,omitempty"`
+	EPCBalloon      bool `json:"epc_balloon,omitempty"`
+	MemTamper       bool `json:"mem_tamper,omitempty"`
+	TransitionFault bool `json:"transition_fault,omitempty"`
 
 	// Per-class rate overrides; 0 means "use Rate".
-	AEXRate        float64
-	BalloonRate    float64
-	TamperRate     float64
-	TransitionRate float64
+	AEXRate        float64 `json:"aex_rate,omitempty"`
+	BalloonRate    float64 `json:"balloon_rate,omitempty"`
+	TamperRate     float64 `json:"tamper_rate,omitempty"`
+	TransitionRate float64 `json:"transition_rate,omitempty"`
 
 	// BalloonMinFrac and BalloonMaxFrac bound the ballooned EPC
 	// capacity as fractions of the configured capacity (defaults 0.4
 	// and 1.0: the OS steals up to 60% of the EPC and gives it back).
-	BalloonMinFrac float64
-	BalloonMaxFrac float64
+	BalloonMinFrac float64 `json:"balloon_min_frac,omitempty"`
+	BalloonMaxFrac float64 `json:"balloon_max_frac,omitempty"`
 }
 
 // EnableAll turns on every fault class.

@@ -33,7 +33,7 @@ func (r *Runner) Figure9() (*Figure9Data, error) {
 	}
 	// Sampling cadence: roughly every 64 EPC ops keeps the trace
 	// small while resolving the startup storm.
-	results, err := r.RunAll([]Spec{
+	results, err := r.batch([]Spec{
 		{Workload: w, Mode: sgx.Native, Size: workloads.Medium, Timeline: 64},
 		{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Timeline: 64},
 	})
@@ -110,7 +110,7 @@ func (r *Runner) Figure10() ([]Figure10Row, error) {
 	for i, c := range configs {
 		specs[i] = Spec{Workload: w, Mode: c.mode, Size: workloads.Medium, ProtectedFiles: c.pf}
 	}
-	results, err := r.RunAll(specs)
+	results, err := r.batch(specs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,52 +1,109 @@
 package harness
 
 import (
-	"fmt"
 	"sync"
 
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/workloads"
 )
 
+// ResultCache stores completed Results keyed by canonical spec
+// identity (Key). Implementations must be safe for concurrent use.
+// The default runner cache is an unbounded in-process map; the
+// sgxgauged daemon swaps in a sharded, size-bounded implementation
+// (internal/serve).
+type ResultCache interface {
+	// Get returns the cached result for key, if present.
+	Get(Key) (*Result, bool)
+	// Add stores res under key unless the key is already present and
+	// returns the entry the cache now holds — the earlier one on a
+	// duplicate insert, so callers comparing identities always see
+	// one canonical pointer per key.
+	Add(Key, *Result) *Result
+	// Len reports the number of cached results.
+	Len() int
+}
+
+// mapCache is the default unbounded ResultCache.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[Key]*Result // guarded by mu
+}
+
+func newMapCache() *mapCache { return &mapCache{m: make(map[Key]*Result)} }
+
+func (c *mapCache) Get(k Key) (*Result, bool) {
+	c.mu.Lock()
+	res, ok := c.m[k]
+	c.mu.Unlock()
+	return res, ok
+}
+
+func (c *mapCache) Add(k Key, res *Result) *Result {
+	c.mu.Lock()
+	if prev, ok := c.m[k]; ok {
+		res = prev
+	} else {
+		c.m[k] = res
+	}
+	c.mu.Unlock()
+	return res
+}
+
+func (c *mapCache) Len() int {
+	c.mu.Lock()
+	n := len(c.m)
+	c.mu.Unlock()
+	return n
+}
+
 // Runner caches Results so the report generators can share runs
 // between tables and figures (every figure of the paper draws from the
-// same experiment grid). The generators batch their grids through
-// RunAll, so independent cells run concurrently on the worker pool;
-// the cache itself is safe for concurrent use.
+// same experiment grid), and is the module's single batch-execution
+// surface: Run, Get and the figure/table generators are all thin
+// wrappers over RunAll, which feeds the options-based parallel engine.
+//
+// Error convention (uniform across Run/RunAll/Get): a spec's own
+// failure lands in its Result.Err — the batch always returns one
+// Result per spec — while the error return is reserved for
+// engine-level failure, i.e. the batch being cut short by context
+// cancellation (WithContext).
 type Runner struct {
 	// EPCPages is the simulated EPC size used for all runs
 	// (0 = machine default).
 	EPCPages int
 	// Seed is the base seed.
 	Seed int64
-	// Jobs is the worker-pool size used when a generator batches
-	// specs through RunAll (0 = GOMAXPROCS).
+	// Jobs is the default worker-pool size for RunAll batches
+	// (0 = GOMAXPROCS); the Workers option overrides it per call.
 	Jobs int
 	// Progress, when non-nil, receives one event per spec completed
-	// by a RunAll batch (completed/total and per-spec wall time).
+	// by a RunAll batch; the OnProgress option overrides it per call.
 	Progress func(Progress)
+	// Cache stores completed results, keyed by the SHA-256 of each
+	// normalized spec's canonical JSON encoding. NewRunner installs
+	// the default unbounded map; replace it before first use to bound
+	// or share the cache. Failed runs and specs carrying Hooks are
+	// never cached.
+	Cache ResultCache
 
-	mu    sync.Mutex
-	cache map[string]*Result // guarded by mu
+	initOnce sync.Once
 }
 
 // NewRunner returns a Runner for the given EPC size.
 func NewRunner(epcPages int) *Runner {
-	return &Runner{EPCPages: epcPages, cache: make(map[string]*Result)}
+	return &Runner{EPCPages: epcPages, Cache: newMapCache()}
 }
 
-func specKey(spec Spec) string {
-	pf := ""
-	if spec.Params != nil {
-		pf = fmt.Sprintf("%v", *spec.Params)
-	}
-	mc := ""
-	if spec.Machine != nil {
-		mc = fmt.Sprintf("%+v", *spec.Machine)
-	}
-	return fmt.Sprintf("%s|%v|%v|%d|%d|%v|%v|%d|%s|%s",
-		spec.Workload.Name(), spec.Mode, spec.Size, spec.EPCPages,
-		spec.Seed, spec.Switchless, spec.ProtectedFiles, spec.Timeline, pf, mc)
+// cache returns the runner's result cache, installing the default on
+// first use so a zero Runner still works.
+func (r *Runner) cache() ResultCache {
+	r.initOnce.Do(func() {
+		if r.Cache == nil {
+			r.Cache = newMapCache()
+		}
+	})
+	return r.Cache
 }
 
 // normalize forces the runner's EPC size and seed onto a spec that
@@ -61,107 +118,142 @@ func (r *Runner) normalize(spec Spec) Spec {
 	return spec
 }
 
-// Run executes (or returns the cached result of) a spec, forcing the
-// runner's EPC size and seed when the spec leaves them zero.
-func (r *Runner) Run(spec Spec) (*Result, error) {
-	spec = r.normalize(spec)
-	key := specKey(spec)
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return res, nil
-	}
-	res, err := Run(spec)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	// A concurrent miss may have stored the same key; determinism
-	// makes the results identical, but keep the first pointer so
-	// callers comparing identities still see one entry.
-	if prev, ok := r.cache[key]; ok {
-		res = prev
-	} else {
-		r.cache[key] = res
-	}
-	r.mu.Unlock()
-	return res, nil
+// Key returns the canonical cache key the runner files spec under:
+// the SHA-256 of the normalized spec's canonical JSON encoding. It
+// fails when the spec cannot be canonically encoded (no workload).
+func (r *Runner) Key(spec Spec) (Key, error) {
+	return SpecKey(r.normalize(spec))
 }
 
-// RunAll executes the specs through the parallel engine, sharing the
-// runner's cache: already-cached cells are not re-run, duplicate
-// specs within the batch run once, and fresh results are cached for
-// later Run/Get calls. Results keep input order. All specs complete
-// even when some fail; the first failure (in input order) is returned
-// as the error, matching the serial generators' abort-on-error
-// contract.
-func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
-	out := make([]*Result, len(specs))
-	keys := make([]string, len(specs))
-	var missSpecs []Spec
-	missPos := map[string]int{} // key -> index in missSpecs
+// engineOpts merges the runner's defaults with per-call options.
+func (r *Runner) engineOpts(opts []Option) engineOpts {
+	o := engineOpts{clock: RealClock{}, workers: r.Jobs, progress: r.Progress}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
-	r.mu.Lock()
+// RunAll is the module's one batch entry point: it executes the specs
+// through the parallel engine, sharing the runner's cache. Cached
+// cells are not re-run, duplicate specs within the batch run once,
+// and fresh successful results are cached for later calls. Results
+// keep input order and are never nil; a spec's failure is recorded in
+// its Result.Err without aborting siblings. The error return is
+// engine-level only: it is non-nil exactly when a WithContext context
+// was cancelled, in which case unstarted specs carry the context
+// error in their Result.Err.
+//
+// Two spec classes bypass the cache: specs carrying Hooks (a function
+// value has no canonical encoding to key on) and specs that cannot be
+// canonically encoded at all (no workload). Both still execute;
+// their results are simply never stored or shared.
+func (r *Runner) RunAll(specs []Spec, opts ...Option) ([]*Result, error) {
+	o := r.engineOpts(opts)
+	cache := r.cache()
+
+	out := make([]*Result, len(specs))
+	posOf := make([]int, len(specs)) // out index -> missSpecs index
+	var missSpecs []Spec
+	var missKeys []Key
+	var missCacheable []bool
+	missPos := map[Key]int{} // key -> index in missSpecs
+
 	for i, spec := range specs {
 		spec = r.normalize(spec)
-		keys[i] = specKey(spec)
-		if res, ok := r.cache[keys[i]]; ok {
-			out[i] = res
-			continue
-		}
-		if _, dup := missPos[keys[i]]; !dup {
-			missPos[keys[i]] = len(missSpecs)
-			missSpecs = append(missSpecs, spec)
-		}
-	}
-	r.mu.Unlock()
-
-	if len(missSpecs) > 0 {
-		opts := []Option{Workers(r.Jobs)}
-		if r.Progress != nil {
-			opts = append(opts, OnProgress(r.Progress))
-		}
-		batch := RunAll(missSpecs, opts...)
-		r.mu.Lock()
-		for j := range batch {
-			if batch[j].Err != nil {
-				continue // failures are not cached, so a retry re-runs
-			}
-			key := specKey(missSpecs[j])
-			if _, ok := r.cache[key]; !ok {
-				r.cache[key] = &batch[j]
-			}
-		}
-		r.mu.Unlock()
-		var firstErr error
-		for i := range out {
-			if out[i] != nil {
+		key, kerr := SpecKey(spec)
+		cacheable := kerr == nil && spec.Hooks.empty()
+		if cacheable {
+			if res, ok := cache.Get(key); ok {
+				out[i] = res
 				continue
 			}
-			res := &batch[missPos[keys[i]]]
-			out[i] = res
-			if res.Err != nil && firstErr == nil {
-				firstErr = res.Err
+			if j, dup := missPos[key]; dup {
+				posOf[i] = j
+				continue
 			}
+			missPos[key] = len(missSpecs)
 		}
-		if firstErr != nil {
-			return out, firstErr
+		posOf[i] = len(missSpecs)
+		missSpecs = append(missSpecs, spec)
+		missKeys = append(missKeys, key)
+		missCacheable = append(missCacheable, cacheable)
+	}
+
+	if len(missSpecs) == 0 {
+		return out, nil
+	}
+	batch, engineErr := runBatch(missSpecs, o)
+	canon := make([]*Result, len(batch))
+	for j := range batch {
+		res := &batch[j]
+		// Failures are not cached, so a retry re-runs them.
+		if res.Err == nil && missCacheable[j] {
+			res = cache.Add(missKeys[j], res)
+		}
+		canon[j] = res
+	}
+	for i := range out {
+		if out[i] == nil {
+			out[i] = canon[posOf[i]]
 		}
 	}
-	return out, nil
+	return out, engineErr
 }
 
-// prefetch batches the specs through RunAll so the generator's
-// subsequent Get/Run calls are cache hits; the serial part of a
-// generator is then only table assembly.
-func (r *Runner) prefetch(specs []Spec) error {
-	_, err := r.RunAll(specs)
-	return err
+// Run executes (or serves from cache) one spec: a thin wrapper over
+// RunAll with the same conventions — the returned Result is non-nil
+// and carries the spec's own failure in Err; the error return is
+// engine-level (context cancellation) only.
+func (r *Runner) Run(spec Spec, opts ...Option) (*Result, error) {
+	results, err := r.RunAll([]Spec{spec}, opts...)
+	return results[0], err
 }
 
 // Get runs workload w in the given mode and size with default
-// parameters.
+// parameters, under Run's conventions.
 func (r *Runner) Get(w workloads.Workload, mode sgx.Mode, size workloads.Size) (*Result, error) {
 	return r.Run(Spec{Workload: w, Mode: mode, Size: size})
+}
+
+// run is Run with the spec's own failure promoted into the error
+// return — the abort-on-first-error form the report generators use.
+func (r *Runner) run(spec Spec) (*Result, error) {
+	res, err := r.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res, nil
+}
+
+// get is Get with the same promotion as run.
+func (r *Runner) get(w workloads.Workload, mode sgx.Mode, size workloads.Size) (*Result, error) {
+	return r.run(Spec{Workload: w, Mode: mode, Size: size})
+}
+
+// batch is RunAll with the first per-spec failure (in input order)
+// promoted into the error return, preserving the generators'
+// abort-on-error contract.
+func (r *Runner) batch(specs []Spec) ([]*Result, error) {
+	results, err := r.RunAll(specs)
+	if err != nil {
+		return results, err
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return results, res.Err
+		}
+	}
+	return results, nil
+}
+
+// prefetch batches the specs through RunAll so the generator's
+// subsequent get/run calls are cache hits; the serial part of a
+// generator is then only table assembly.
+func (r *Runner) prefetch(specs []Spec) error {
+	_, err := r.batch(specs)
+	return err
 }

@@ -29,8 +29,8 @@ func runDifferential(t *testing.T, spec Spec) {
 	slowMachine.SlowPath = true
 	slowSpec.Machine = &slowMachine
 
-	fast, errF := Run(fastSpec)
-	slow, errS := Run(slowSpec)
+	fast, errF := runOne(fastSpec)
+	slow, errS := runOne(slowSpec)
 	if (errF == nil) != (errS == nil) || (errF != nil && errF.Error() != errS.Error()) {
 		t.Fatalf("errors diverged: fast %v, slow %v", errF, errS)
 	}

@@ -43,7 +43,7 @@ func (r *Runner) Figure2() (*Figure2Data, error) {
 		[]sgx.Mode{sgx.Native, sgx.Vanilla}, workloads.Sizes())); err != nil {
 		return nil, err
 	}
-	low, err := r.Get(w, sgx.Native, workloads.Low)
+	low, err := r.get(w, sgx.Native, workloads.Low)
 	if err != nil {
 		return nil, err
 	}
@@ -52,11 +52,11 @@ func (r *Runner) Figure2() (*Figure2Data, error) {
 		lowEvict = 1 // Low fits in the EPC; avoid dividing by zero
 	}
 	for _, size := range workloads.Sizes() {
-		nat, err := r.Get(w, sgx.Native, size)
+		nat, err := r.get(w, sgx.Native, size)
 		if err != nil {
 			return nil, err
 		}
-		van, err := r.Get(w, sgx.Vanilla, size)
+		van, err := r.get(w, sgx.Vanilla, size)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +110,7 @@ func (r *Runner) Figure3() ([]Figure3Point, error) {
 			Spec{Workload: w, Mode: sgx.Vanilla, Params: &params},
 			Spec{Workload: w, Mode: sgx.LibOS, Params: &params})
 	}
-	results, err := r.RunAll(specs)
+	results, err := r.batch(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -164,11 +164,11 @@ func (r *Runner) Figure4() ([]Figure4Row, error) {
 	for _, w := range suite.Native() {
 		row := Figure4Row{Name: w.Name(), Ratio: map[workloads.Size]float64{}}
 		for _, size := range workloads.Sizes() {
-			lib, err := r.Get(w, sgx.LibOS, size)
+			lib, err := r.get(w, sgx.LibOS, size)
 			if err != nil {
 				return nil, err
 			}
-			nat, err := r.Get(w, sgx.Native, size)
+			nat, err := r.get(w, sgx.Native, size)
 			if err != nil {
 				return nil, err
 			}
@@ -215,11 +215,11 @@ func (r *Runner) Figure5() ([]Figure5Row, error) {
 			Evictions: map[workloads.Size]uint64{},
 		}
 		for _, size := range workloads.Sizes() {
-			nat, err := r.Get(w, sgx.Native, size)
+			nat, err := r.get(w, sgx.Native, size)
 			if err != nil {
 				return nil, err
 			}
-			van, err := r.Get(w, sgx.Vanilla, size)
+			van, err := r.get(w, sgx.Vanilla, size)
 			if err != nil {
 				return nil, err
 			}
@@ -267,7 +267,7 @@ type Figure6aData struct {
 // counters are the LibOS startup counters: everything the runtime did
 // before handing control to the (empty) application.
 func (r *Runner) Figure6a() (*Figure6aData, error) {
-	res, err := r.Run(Spec{Workload: suite.Empty(), Mode: sgx.LibOS})
+	res, err := r.run(Spec{Workload: suite.Empty(), Mode: sgx.LibOS})
 	if err != nil {
 		return nil, err
 	}
@@ -322,11 +322,11 @@ func (r *Runner) Figure6bc() ([]Figure6bcRow, error) {
 			LoadBacks: map[workloads.Size]uint64{},
 		}
 		for _, size := range workloads.Sizes() {
-			lib, err := r.Get(w, sgx.LibOS, size)
+			lib, err := r.get(w, sgx.LibOS, size)
 			if err != nil {
 				return nil, err
 			}
-			van, err := r.Get(w, sgx.Vanilla, size)
+			van, err := r.get(w, sgx.Vanilla, size)
 			if err != nil {
 				return nil, err
 			}
@@ -370,7 +370,7 @@ func (r *Runner) Figure6d() (*Figure6dData, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := r.RunAll([]Spec{
+	results, err := r.batch([]Spec{
 		{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium},
 		{Workload: w, Mode: sgx.LibOS, Size: workloads.Medium, Switchless: true},
 	})
@@ -417,7 +417,7 @@ func (r *Runner) Figure7() ([]Figure7Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := r.Get(w, sgx.Native, workloads.High)
+	res, err := r.get(w, sgx.Native, workloads.High)
 	if err != nil {
 		return nil, err
 	}
@@ -482,11 +482,11 @@ func (r *Runner) Figure8() (*Figure8Data, error) {
 		d.Workloads = append(d.Workloads, w.Name())
 		d.Ratio[w.Name()] = map[workloads.Size]map[perf.Event]float64{}
 		for _, size := range workloads.Sizes() {
-			nat, err := r.Get(w, sgx.Native, size)
+			nat, err := r.get(w, sgx.Native, size)
 			if err != nil {
 				return nil, err
 			}
-			van, err := r.Get(w, sgx.Vanilla, size)
+			van, err := r.get(w, sgx.Vanilla, size)
 			if err != nil {
 				return nil, err
 			}

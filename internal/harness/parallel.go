@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,9 +39,11 @@ type engineOpts struct {
 	retries  int
 	backoff  time.Duration
 	clock    Clock
+	ctx      context.Context
 }
 
-// Option configures RunAll.
+// Option configures a Runner.RunAll batch (and the Run/Get wrappers
+// over it).
 type Option func(*engineOpts)
 
 // Workers sets the worker-pool size; n <= 0 selects GOMAXPROCS.
@@ -89,32 +92,55 @@ func WithClock(c Clock) Option {
 	}
 }
 
-// RunAll executes every spec on the worker pool, booting one
-// independent simulated machine per spec in its own goroutine.
-// Results are returned in input order regardless of completion order,
-// and each spec's deterministic seeding is untouched, so a RunAll
-// batch is bit-for-bit identical to running the same specs serially
-// through Run. A spec that errors or panics yields a Result with Err
-// set instead of aborting its siblings.
-func RunAll(specs []Spec, opts ...Option) []Result {
-	o := engineOpts{clock: RealClock{}}
-	for _, opt := range opts {
-		opt(&o)
+// WithContext binds the batch to ctx: once ctx is cancelled, no new
+// spec starts (unstarted specs complete immediately with ctx's error
+// in their Result.Err) and the batch returns ctx's error as its
+// engine-level error. A spec already executing runs to completion —
+// simulated machines are not interruptible — so cancellation bounds
+// the remaining work at one in-flight run per worker.
+func WithContext(ctx context.Context) Option {
+	return func(o *engineOpts) {
+		if ctx != nil {
+			o.ctx = ctx
+		}
+	}
+}
+
+// runBatch is the parallel engine every harness entry point feeds:
+// it executes every spec on the worker pool, booting one independent
+// simulated machine per spec in its own goroutine. Results are
+// returned in input order regardless of completion order, and each
+// spec's deterministic seeding is untouched, so a batch is
+// bit-for-bit identical to running the same specs serially. A spec
+// that errors or panics yields a Result with Err set instead of
+// aborting its siblings; the error return is engine-level only
+// (context cancellation).
+func runBatch(specs []Spec, o engineOpts) ([]Result, error) {
+	if o.clock == nil {
+		o.clock = RealClock{}
+	}
+	ctx := o.ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	results := make([]Result, len(specs))
 	var mu sync.Mutex
 	completed := 0
 	forEach(len(specs), o.workers, func(i int) {
 		start := o.clock.Now()
-		res, attempts, err := runWithRetry(specs[i], &o)
-		wall := o.clock.Since(start)
-		if res != nil {
-			results[i] = *res
-			results[i].Err = err
-		} else {
+		if err := ctx.Err(); err != nil {
 			results[i] = failedResult(specs[i], err)
+		} else {
+			res, attempts, err := runWithRetry(specs[i], &o)
+			if res != nil {
+				results[i] = *res
+				results[i].Err = err
+			} else {
+				results[i] = failedResult(specs[i], err)
+			}
+			results[i].Attempts = attempts
 		}
-		results[i].Attempts = attempts
+		wall := o.clock.Since(start)
 		if o.progress != nil {
 			mu.Lock()
 			completed++
@@ -130,7 +156,17 @@ func RunAll(specs []Spec, opts ...Option) []Result {
 			mu.Unlock()
 		}
 	})
-	return results
+	return results, ctx.Err()
+}
+
+// execBatch runs specs through the engine with per-call options and
+// no cache — the in-package form ChaosSweep and tests use.
+func execBatch(specs []Spec, opts ...Option) ([]Result, error) {
+	o := engineOpts{clock: RealClock{}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return runBatch(specs, o)
 }
 
 // runWithRetry executes the spec, re-running it on transient injected
@@ -164,7 +200,7 @@ func runSafe(spec Spec) (res *Result, err error) {
 			err = fmt.Errorf("harness: run panicked: %v", r)
 		}
 	}()
-	return Run(spec)
+	return runOne(spec)
 }
 
 // failedResult echoes what identification the spec offers alongside

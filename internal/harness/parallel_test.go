@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -36,13 +37,24 @@ func testGrid(t *testing.T) []Spec {
 	return specs
 }
 
+// mustExec pushes specs through the uncached engine, failing the test
+// on an engine-level error (which only context cancellation produces).
+func mustExec(t *testing.T, specs []Spec, opts ...Option) []Result {
+	t.Helper()
+	results, err := execBatch(specs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
 // TestParallelMatchesSerial is the determinism contract: a parallel
-// RunAll batch must be byte-identical to running the same specs
-// serially, in input order.
+// batch must be byte-identical to running the same specs serially, in
+// input order.
 func TestParallelMatchesSerial(t *testing.T) {
 	specs := testGrid(t)
-	serial := RunAll(specs, Workers(1))
-	parallel := RunAll(specs, Workers(4))
+	serial := mustExec(t, specs, Workers(1))
+	parallel := mustExec(t, specs, Workers(4))
 	if len(serial) != len(specs) || len(parallel) != len(specs) {
 		t.Fatalf("lengths: serial %d, parallel %d, want %d", len(serial), len(parallel), len(specs))
 	}
@@ -67,7 +79,7 @@ func (panicWorkload) DefaultParams(epcPages int, s workloads.Size) workloads.Par
 	return workloads.Params{Knobs: map[string]int64{}}
 }
 func (panicWorkload) FootprintPages(p workloads.Params) (int, error) { return 8, nil }
-func (panicWorkload) Setup(ctx *workloads.Ctx) error        { return nil }
+func (panicWorkload) Setup(ctx *workloads.Ctx) error                 { return nil }
 func (panicWorkload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	panic("injected failure")
 }
@@ -81,7 +93,7 @@ func TestPanicIsolation(t *testing.T) {
 	}
 	good := Spec{Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC, Seed: 7}
 	bad := Spec{Workload: panicWorkload{}, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC, Seed: 7}
-	results := RunAll([]Spec{good, bad, good}, Workers(3))
+	results := mustExec(t, []Spec{good, bad, good}, Workers(3))
 
 	if results[1].Err == nil {
 		t.Fatal("panicking spec: want Err set, got nil")
@@ -111,8 +123,8 @@ func TestPanicIsolation(t *testing.T) {
 func TestProgressEvents(t *testing.T) {
 	specs := testGrid(t)
 	var events []Progress
-	RunAll(specs, Workers(4), OnProgress(func(p Progress) {
-		events = append(events, p) // serialized by RunAll, no lock needed
+	mustExec(t, specs, Workers(4), OnProgress(func(p Progress) {
+		events = append(events, p) // serialized by the engine, no lock needed
 	}))
 	if len(events) != len(specs) {
 		t.Fatalf("got %d progress events, want %d", len(events), len(specs))
@@ -175,9 +187,9 @@ func TestRunnerRunAllCacheAndDedup(t *testing.T) {
 	}
 }
 
-// TestRunnerRunAllErrorContract: failures surface as the first
-// input-order error, siblings still complete, and failed cells are not
-// cached (a retry re-runs them).
+// TestRunnerRunAllErrorContract: a spec's own failure lands in its
+// Result.Err (the error return is engine-level only), siblings still
+// complete, and failed cells are not cached (a retry re-runs them).
 func TestRunnerRunAllErrorContract(t *testing.T) {
 	w, err := suite.ByName("BTree")
 	if err != nil {
@@ -189,23 +201,72 @@ func TestRunnerRunAllErrorContract(t *testing.T) {
 	good := Spec{Workload: w, Mode: sgx.Vanilla, Size: workloads.Low}
 	bad := Spec{Workload: panicWorkload{}, Mode: sgx.Native, Size: workloads.Low}
 	results, err := r.RunAll([]Spec{good, bad})
-	if err == nil {
-		t.Fatal("want the batch to report the panicked spec's error")
+	if err != nil {
+		t.Fatalf("per-spec failure leaked into the engine-level error: %v", err)
 	}
 	if results[0] == nil || results[0].Err != nil {
 		t.Fatalf("sibling did not complete cleanly: %+v", results[0])
 	}
-	if results[1] == nil || !errors.Is(err, results[1].Err) {
-		t.Errorf("returned error %v does not match the failed result's Err", err)
+	if results[1] == nil || results[1].Err == nil {
+		t.Fatal("panicked spec's Result.Err not set")
+	}
+	if !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Errorf("Result.Err = %v, want mention of the panic", results[1].Err)
 	}
 
 	// The failure must not be cached: a second batch re-runs it.
 	var runs atomic.Int64
 	r.Progress = func(Progress) { runs.Add(1) }
-	if _, err := r.RunAll([]Spec{bad}); err == nil {
+	again, err := r.RunAll([]Spec{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Err == nil {
 		t.Fatal("retry of the failed spec should fail again")
 	}
 	if runs.Load() != 1 {
 		t.Error("failed spec was cached instead of re-run")
+	}
+}
+
+// TestRunnerRunPromotesNothing: Runner.Run returns the Result with its
+// own Err set rather than promoting it into the error return.
+func TestRunnerRunPromotesNothing(t *testing.T) {
+	r := NewRunner(testEPC)
+	bad := Spec{Workload: panicWorkload{}, Mode: sgx.Native, Size: workloads.Low, Seed: 7}
+	res, err := r.Run(bad)
+	if err != nil {
+		t.Fatalf("engine-level error for a per-spec failure: %v", err)
+	}
+	if res == nil || res.Err == nil {
+		t.Fatal("failed spec's Result.Err not set")
+	}
+}
+
+// TestWithContextCancellation: once the context is cancelled, no new
+// spec starts — unstarted specs complete immediately with the context
+// error in their Result.Err — and the batch reports the context error
+// as its engine-level error.
+func TestWithContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts
+	specs := testGrid(t)
+	results, err := execBatch(specs, Workers(2), WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("engine error = %v, want context.Canceled", err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("spec %d: Err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+
+	// An uncancelled context changes nothing.
+	clean, err := execBatch(specs[:1], WithContext(context.Background()))
+	if err != nil || clean[0].Err != nil {
+		t.Fatalf("live-context batch failed: %v / %v", err, clean[0].Err)
 	}
 }

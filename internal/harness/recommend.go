@@ -62,7 +62,7 @@ func (r *Runner) Recommend(c Component) ([]Recommendation, error) {
 	}
 	var out []Recommendation
 	for _, w := range suite.All() {
-		res, err := r.Get(w, sgx.LibOS, workloads.Medium)
+		res, err := r.get(w, sgx.LibOS, workloads.Medium)
 		if err != nil {
 			return nil, err
 		}

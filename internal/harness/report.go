@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+
+	"sgxgauge/internal/sgx"
+)
+
+// Experiment is one regenerable table or figure of the paper's
+// evaluation: an id ("fig2", "tab4"...) plus the generator that runs
+// its grid through a Runner and renders the result.
+type Experiment struct {
+	// ID is the short name used by sgxreport -exp and the daemon's
+	// /v1/figures endpoint.
+	ID string
+	// Figure is the paper's figure/table number ("2".."10" for
+	// figures, "t2"/"t4"/"t5" for tables), used to group experiments
+	// that share a figure (6a/6bc/6d).
+	Figure string
+	// Render regenerates the experiment through r.
+	Render func(r *Runner) (string, error)
+}
+
+// Experiments returns every regenerable experiment in report order.
+// The list is rebuilt per call, so callers may not mutate shared
+// state through it.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"tab2", "t2", func(r *Runner) (string, error) {
+			rows, err := r.Table2()
+			if err != nil {
+				return "", err
+			}
+			return RenderTable2(rows), nil
+		}},
+		{"fig2", "2", func(r *Runner) (string, error) {
+			d, err := r.Figure2()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		}},
+		{"fig3", "3", func(r *Runner) (string, error) {
+			pts, err := r.Figure3()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure3(pts), nil
+		}},
+		{"fig4", "4", func(r *Runner) (string, error) {
+			rows, err := r.Figure4()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure4(rows), nil
+		}},
+		{"tab4", "t4", func(r *Runner) (string, error) {
+			d, err := r.Table4()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		}},
+		{"fig5", "5", func(r *Runner) (string, error) {
+			rows, err := r.Figure5()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure5(rows), nil
+		}},
+		{"fig6a", "6", func(r *Runner) (string, error) {
+			d, err := r.Figure6a()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		}},
+		{"fig6bc", "6", func(r *Runner) (string, error) {
+			rows, err := r.Figure6bc()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure6bc(rows), nil
+		}},
+		{"fig6d", "6", func(r *Runner) (string, error) {
+			d, err := r.Figure6d()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		}},
+		{"fig7", "7", func(r *Runner) (string, error) {
+			rows, err := r.Figure7()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure7(rows), nil
+		}},
+		{"fig8", "8", func(r *Runner) (string, error) {
+			d, err := r.Figure8()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		}},
+		{"tab5", "t5", func(r *Runner) (string, error) {
+			rows, err := r.Table5()
+			if err != nil {
+				return "", err
+			}
+			return RenderTable5(rows), nil
+		}},
+		{"fig9", "9", func(r *Runner) (string, error) {
+			d, err := r.Figure9()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		}},
+		{"fig10", "10", func(r *Runner) (string, error) {
+			rows, err := r.Figure10()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure10(rows), nil
+		}},
+		{"multi", "", func(r *Runner) (string, error) {
+			points, err := r.MultiEnclave([]int{1, 2, 4, 8})
+			if err != nil {
+				return "", err
+			}
+			epcPages := r.EPCPages
+			if epcPages == 0 {
+				epcPages = sgx.DefaultEPCPages
+			}
+			return RenderMultiEnclave(points, epcPages), nil
+		}},
+	}
+}
+
+// RenderFigure regenerates every experiment belonging to the paper
+// figure/table labelled fig ("2".."10", "t2", "t4", "t5"),
+// concatenating multi-panel figures (6a/6bc/6d) in panel order. An
+// unknown label yields an error listing the valid ones.
+func RenderFigure(r *Runner, fig string) (string, error) {
+	out := ""
+	for _, e := range Experiments() {
+		if e.Figure != fig || e.Figure == "" {
+			continue
+		}
+		s, err := e.Render(r)
+		if err != nil {
+			return "", fmt.Errorf("harness: rendering %s: %w", e.ID, err)
+		}
+		if out != "" {
+			out += "\n"
+		}
+		out += s
+	}
+	if out == "" {
+		return "", fmt.Errorf("harness: unknown figure %q (valid: 2-10, t2, t4, t5)", fig)
+	}
+	return out, nil
+}

@@ -53,16 +53,32 @@ type Spec struct {
 	// and TLB geometry, or enable the integrity tree. EPCPages, Seed
 	// and Switchless from the Spec still apply on top.
 	Machine *sgx.Config
-	// OnMachine, when non-nil, is invoked with the freshly booted
-	// machine before any environment exists — the hook profilers use
-	// to attach a tracer.
-	OnMachine func(*sgx.Machine)
 	// Chaos, when non-nil and enabled, arms the adversarial-OS fault
 	// injector on the spec's machine. Injection is a pure function of
 	// the chaos seed and settings, so a chaotic run is as reproducible
 	// as a clean one.
 	Chaos *chaos.Config
+	// Hooks carries the spec's non-serializable callbacks. Everything
+	// else on a Spec round-trips through JSON (see MarshalJSON);
+	// hooks deliberately do not, and a spec carrying one bypasses the
+	// runner's result cache because a function value has no canonical
+	// encoding to key on.
+	Hooks Hooks
 }
+
+// Hooks is the non-serializable side of a Spec: callbacks that observe
+// or instrument a run. Hooks never travel over the wire and never
+// participate in the spec's canonical encoding or cache key.
+type Hooks struct {
+	// OnMachine, when non-nil, is invoked with the freshly booted
+	// machine before any environment exists — the hook profilers use
+	// to attach a tracer.
+	OnMachine func(*sgx.Machine)
+}
+
+// empty reports whether the spec carries no hooks at all (such specs
+// are safe to cache by canonical encoding).
+func (h Hooks) empty() bool { return h.OnMachine == nil }
 
 // Result is one measured run.
 type Result struct {
@@ -95,11 +111,11 @@ type Result struct {
 	// over the whole machine lifetime (Figure 7).
 	OpStats map[epc.Op]epc.OpStats
 
-	// Err is set when the spec failed or its run panicked. Run also
-	// reports the error through its error return; when the failure is
-	// a machine fault (enclave abort, injected transient failure) the
-	// Result still carries the cycles and counters accumulated up to
-	// the fault, so degraded runs remain measurable.
+	// Err is set when the spec failed or its run panicked — the
+	// per-spec half of the Runner error convention. When the failure
+	// is a machine fault (enclave abort, injected transient failure)
+	// the Result still carries the cycles and counters accumulated up
+	// to the fault, so degraded runs remain measurable.
 	Err error
 	// Attempts is the number of times RunAll executed the spec: 1
 	// normally, more when transient injected faults were retried.
@@ -116,8 +132,11 @@ func (r *Result) fail(env *sgx.Env, m *sgx.Machine, err error) {
 	r.Timeline = m.EPC.Timeline()
 }
 
-// Run executes one spec on a fresh machine.
-func Run(spec Spec) (*Result, error) {
+// runOne executes one spec on a fresh machine. It is the engine
+// primitive under the Runner API: unlike Runner.Run it is uncached,
+// retries nothing, and reports the spec's own failure through the
+// error return (runWithRetry moves it into Result.Err).
+func runOne(spec Spec) (*Result, error) {
 	if spec.Workload == nil {
 		return nil, fmt.Errorf("harness: spec has no workload")
 	}
@@ -134,8 +153,8 @@ func Run(spec Spec) (*Result, error) {
 	cfg.Switchless = spec.Switchless
 	cfg.Chaos = spec.Chaos
 	m := sgx.NewMachine(cfg)
-	if spec.OnMachine != nil {
-		spec.OnMachine(m)
+	if spec.Hooks.OnMachine != nil {
+		spec.Hooks.OnMachine(m)
 	}
 	epcPages := m.Config().EPCPages
 

@@ -74,11 +74,11 @@ func (r *Runner) table4Block(label string, ws []workloads.Workload, num, den sgx
 		ratios := map[perf.Event][]float64{}
 		var evict []float64
 		for _, w := range ws {
-			nres, err := r.Get(w, num, size)
+			nres, err := r.get(w, num, size)
 			if err != nil {
 				return b, err
 			}
-			dres, err := r.Get(w, den, size)
+			dres, err := r.get(w, den, size)
 			if err != nil {
 				return b, err
 			}
@@ -243,7 +243,7 @@ func (r *Runner) Table5() ([]Table5Row, error) {
 		var y []float64
 		for _, size := range workloads.Sizes() {
 			for _, seed := range []int64{1, 2, 3} {
-				res, err := r.Run(Spec{Workload: w, Mode: mode, Size: size, Seed: seed})
+				res, err := r.run(Spec{Workload: w, Mode: mode, Size: size, Seed: seed})
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"sgxgauge/internal/chaos"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// SpecWire is the JSON-round-trippable form of a Spec: every
+// behavior-affecting field except the Hooks, with the workload
+// referenced by its suite name instead of an interface value. It is
+// the wire schema of the sgxgauged daemon and the canonical encoding
+// the result cache keys on.
+//
+// Encoding is canonical by construction: struct fields serialize in
+// declaration order, map-valued knobs serialize with sorted keys
+// (encoding/json's documented behavior), and enum fields serialize as
+// their paper names ("Native", "Medium"), so equal specs always
+// produce equal bytes.
+type SpecWire struct {
+	Workload       string            `json:"workload"`
+	Mode           sgx.Mode          `json:"mode"`
+	Size           workloads.Size    `json:"size"`
+	EPCPages       int               `json:"epc_pages,omitempty"`
+	Seed           int64             `json:"seed,omitempty"`
+	Switchless     bool              `json:"switchless,omitempty"`
+	ProtectedFiles bool              `json:"protected_files,omitempty"`
+	Timeline       uint64            `json:"timeline,omitempty"`
+	Params         *workloads.Params `json:"params,omitempty"`
+	Machine        *sgx.Config       `json:"machine,omitempty"`
+	Chaos          *chaos.Config     `json:"chaos,omitempty"`
+}
+
+// Wire extracts the spec's serializable side. It fails when the spec
+// has no workload (nothing to name on the wire).
+func (s Spec) Wire() (SpecWire, error) {
+	if s.Workload == nil {
+		return SpecWire{}, fmt.Errorf("harness: spec has no workload to encode")
+	}
+	return SpecWire{
+		Workload:       s.Workload.Name(),
+		Mode:           s.Mode,
+		Size:           s.Size,
+		EPCPages:       s.EPCPages,
+		Seed:           s.Seed,
+		Switchless:     s.Switchless,
+		ProtectedFiles: s.ProtectedFiles,
+		Timeline:       s.Timeline,
+		Params:         s.Params,
+		Machine:        s.Machine,
+		Chaos:          s.Chaos,
+	}, nil
+}
+
+// Spec resolves the wire form back into a runnable Spec. The workload
+// name is resolved against the suite (including the auxiliary Empty
+// and Iozone workloads); an unknown name yields an error listing the
+// valid ones. Hooks are always zero — they do not travel.
+func (w SpecWire) Spec() (Spec, error) {
+	if w.Workload == "" {
+		return Spec{}, fmt.Errorf("harness: wire spec has no workload (valid: %s)", validWorkloads())
+	}
+	wl, err := suite.ByName(w.Workload)
+	if err != nil {
+		return Spec{}, fmt.Errorf("harness: unknown workload %q (valid: %s)", w.Workload, validWorkloads())
+	}
+	return Spec{
+		Workload:       wl,
+		Mode:           w.Mode,
+		Size:           w.Size,
+		EPCPages:       w.EPCPages,
+		Seed:           w.Seed,
+		Switchless:     w.Switchless,
+		ProtectedFiles: w.ProtectedFiles,
+		Timeline:       w.Timeline,
+		Params:         w.Params,
+		Machine:        w.Machine,
+		Chaos:          w.Chaos,
+	}, nil
+}
+
+// validWorkloads lists every resolvable workload name, for validation
+// errors.
+func validWorkloads() string {
+	names := append(suite.Names(), suite.Empty().Name(), suite.Iozone().Name())
+	return strings.Join(names, ", ")
+}
+
+// MarshalJSON encodes the spec's canonical wire form. Hooks are
+// dropped (they have no encoding); everything else round-trips.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	w, err := s.Wire()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a wire-form spec. Decoding is strict: unknown
+// fields, unknown workload names, and unknown mode or size names are
+// all errors that list what would have been valid.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var w SpecWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("harness: decoding spec: %w", err)
+	}
+	spec, err := w.Spec()
+	if err != nil {
+		return err
+	}
+	*s = spec
+	return nil
+}
+
+// Key is a spec's canonical identity: the SHA-256 digest of its
+// canonical JSON encoding. Results are content-addressed by Key in
+// the runner's cache and over the daemon's /v1/results endpoint.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex, the form the daemon's
+// /v1/results/{key} endpoint accepts.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("harness: malformed result key %q (want %d hex bytes)", s, len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// SpecKey returns the spec's canonical key. It fails when the spec
+// cannot be canonically encoded (no workload); specs carrying hooks
+// encode fine — the hook is simply not part of the identity, which is
+// why the runner never serves them from cache.
+func SpecKey(spec Spec) (Key, error) {
+	enc, err := spec.MarshalJSON()
+	if err != nil {
+		return Key{}, err
+	}
+	return sha256.Sum256(enc), nil
+}

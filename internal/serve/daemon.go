@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sgxgauge/internal/sgx"
+)
+
+// Main is the daemon entry point shared by the sgxgauged binary and
+// the `sgxgauge serve` subcommand: it parses args, binds the listener,
+// serves until SIGINT/SIGTERM, then shuts down gracefully — first
+// draining in-flight HTTP requests, then waiting for detached runs.
+func Main(args []string) error {
+	fs := flag.NewFlagSet("sgxgauged", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8643", "listen address")
+	epcPages := fs.Int("epc", sgx.DefaultEPCPages, "EPC size in pages forced onto specs that leave it zero")
+	seed := fs.Int64("seed", 1, "base random seed for specs that leave it zero")
+	workers := fs.Int("j", 0, "concurrent simulated runs (0 = GOMAXPROCS)")
+	cacheN := fs.Int("cache", DefaultCacheEntries, "max cached results")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := New(Config{
+		EPCPages:     *epcPages,
+		Seed:         *seed,
+		Workers:      *workers,
+		CacheEntries: *cacheN,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("sgxgauged: %w", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("sgxgauged: serving on http://%s (epc=%d pages, seed=%d)", ln.Addr(), *epcPages, *seed)
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("sgxgauged: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("sgxgauged: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("sgxgauged: shutdown: %w", err)
+	}
+	s.Drain()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("sgxgauged: %w", err)
+	}
+	log.Printf("sgxgauged: stopped")
+	return nil
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the daemon's instrumentation: request counts and
+// latencies per endpoint, run/coalescing counters, and worker-pool
+// occupancy gauges. Everything renders in Prometheus text exposition
+// format on /metrics.
+type metrics struct {
+	// workers is the worker-pool capacity (immutable after New).
+	workers int
+
+	mu sync.Mutex
+	// requests counts finished requests per "path\x00code". // guarded by mu
+	requests map[string]uint64
+	// latSum accumulates request seconds per path. // guarded by mu
+	latSum map[string]float64
+	// latCount counts latency observations per path. // guarded by mu
+	latCount map[string]uint64
+
+	busy      atomic.Int64  // occupied worker-pool slots
+	inflight  atomic.Int64  // run requests executing or queued
+	runs      atomic.Uint64 // specs actually executed
+	coalesced atomic.Uint64 // requests that joined an in-flight run
+}
+
+func newMetrics(workers int) *metrics {
+	return &metrics{
+		workers:  workers,
+		requests: make(map[string]uint64),
+		latSum:   make(map[string]float64),
+		latCount: make(map[string]uint64),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(path string, code int, seconds float64) {
+	key := fmt.Sprintf("%s\x00%d", path, code)
+	m.mu.Lock()
+	m.requests[key]++
+	m.latSum[path] += seconds
+	m.latCount[path]++
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text exposition. Label sets print in
+// sorted order so consecutive scrapes of an idle daemon are
+// byte-identical.
+func (m *metrics) render(w io.Writer, cache *Cache) {
+	m.mu.Lock()
+	requests := make(map[string]uint64, len(m.requests))
+	for k, v := range m.requests {
+		requests[k] = v
+	}
+	latSum := make(map[string]float64, len(m.latSum))
+	for k, v := range m.latSum {
+		latSum[k] = v
+	}
+	latCount := make(map[string]uint64, len(m.latCount))
+	for k, v := range m.latCount {
+		latCount[k] = v
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP sgxgauged_http_requests_total Finished HTTP requests by path and status code.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_http_requests_total counter")
+	for _, k := range sortedKeys(requests) {
+		path, code, _ := strings.Cut(k, "\x00")
+		fmt.Fprintf(w, "sgxgauged_http_requests_total{path=%q,code=%q} %d\n", path, code, requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP sgxgauged_http_request_seconds Request latency sum and count by path.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_http_request_seconds summary")
+	for _, path := range sortedKeys(latCount) {
+		fmt.Fprintf(w, "sgxgauged_http_request_seconds_sum{path=%q} %g\n", path, latSum[path])
+		fmt.Fprintf(w, "sgxgauged_http_request_seconds_count{path=%q} %d\n", path, latCount[path])
+	}
+
+	hits, misses, evictions := cache.Stats()
+	fmt.Fprintln(w, "# HELP sgxgauged_cache_hits_total Result-cache hits.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cache_hits_total counter")
+	fmt.Fprintf(w, "sgxgauged_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP sgxgauged_cache_misses_total Result-cache misses.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cache_misses_total counter")
+	fmt.Fprintf(w, "sgxgauged_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP sgxgauged_cache_evictions_total Results evicted from the bounded cache.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cache_evictions_total counter")
+	fmt.Fprintf(w, "sgxgauged_cache_evictions_total %d\n", evictions)
+	fmt.Fprintln(w, "# HELP sgxgauged_cache_entries Results currently cached.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cache_entries gauge")
+	fmt.Fprintf(w, "sgxgauged_cache_entries %d\n", cache.Len())
+
+	fmt.Fprintln(w, "# HELP sgxgauged_workers Worker-pool capacity.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_workers gauge")
+	fmt.Fprintf(w, "sgxgauged_workers %d\n", m.workers)
+	fmt.Fprintln(w, "# HELP sgxgauged_workers_busy Worker-pool slots currently executing a run.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_workers_busy gauge")
+	fmt.Fprintf(w, "sgxgauged_workers_busy %d\n", m.busy.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_runs_inflight Run requests currently executing or queued.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_runs_inflight gauge")
+	fmt.Fprintf(w, "sgxgauged_runs_inflight %d\n", m.inflight.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_runs_total Specs actually executed (cache hits and coalesced requests excluded).")
+	fmt.Fprintln(w, "# TYPE sgxgauged_runs_total counter")
+	fmt.Fprintf(w, "sgxgauged_runs_total %d\n", m.runs.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_runs_coalesced_total Requests served by joining an identical in-flight run.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_runs_coalesced_total counter")
+	fmt.Fprintf(w, "sgxgauged_runs_coalesced_total %d\n", m.coalesced.Load())
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

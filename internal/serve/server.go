@@ -1,0 +1,423 @@
+// Package serve implements sgxgauged, the long-running HTTP/JSON
+// daemon serving simulated SGXGauge runs. It exposes the unified
+// harness API over the wire: single runs (POST /v1/run), streamed
+// sweeps (POST /v1/sweep), regenerated paper figures
+// (GET /v1/figures/{fig}), content-addressed result lookup
+// (GET /v1/results/{key}), Prometheus metrics (GET /metrics) and a
+// liveness probe (GET /healthz).
+//
+// Identical specs are content-addressed by the SHA-256 of their
+// canonical JSON encoding (harness.SpecKey): repeated requests are
+// cache hits against a sharded bounded LRU, and concurrent identical
+// requests coalesce onto one in-flight run. Runs execute on a bounded
+// worker pool; a client disconnect abandons the wait but never the
+// run — the detached leader finishes and populates the cache, so the
+// work is not wasted.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/perf"
+	"sgxgauge/internal/sgx"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// EPCPages is the simulated EPC size forced onto specs that leave
+	// it zero (0 = machine default).
+	EPCPages int
+	// Seed is the base seed forced onto specs that leave it zero.
+	Seed int64
+	// Workers bounds concurrently executing simulated runs
+	// (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the result cache (0 = DefaultCacheEntries).
+	CacheEntries int
+}
+
+// Server is the daemon: an http.Handler plus the run machinery behind
+// it. Create one with New; the zero value is not usable.
+type Server struct {
+	runner  *harness.Runner
+	cache   *Cache
+	metrics *metrics
+	flight  *flight
+	slots   chan struct{}
+	// runSpec executes one spec; tests swap in a fake to script
+	// timing. The default runs through the shared Runner.
+	runSpec func(harness.Spec) (*harness.Result, error)
+	// leaders tracks detached singleflight leader goroutines so
+	// Drain can wait for them after the HTTP listener stops.
+	leaders sync.WaitGroup
+}
+
+// New returns a ready-to-serve daemon.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := NewCache(cfg.CacheEntries)
+	r := harness.NewRunner(cfg.EPCPages)
+	r.Seed = cfg.Seed
+	r.Jobs = workers
+	r.Cache = cache
+
+	s := &Server{
+		runner:  r,
+		cache:   cache,
+		metrics: newMetrics(workers),
+		flight:  newFlight(),
+		slots:   make(chan struct{}, workers),
+	}
+	s.runSpec = func(spec harness.Spec) (*harness.Result, error) {
+		// The server is the cache layer on this path — execute already
+		// probed and will Add the result — so mark the spec
+		// hook-bearing to keep the engine from probing the shared
+		// cache a second time (which would double-count every miss on
+		// /metrics).
+		spec.Hooks = harness.Hooks{OnMachine: func(*sgx.Machine) {}}
+		return s.runner.Run(spec)
+	}
+	return s
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/figures/{fig}", s.instrument("/v1/figures", s.handleFigure))
+	mux.HandleFunc("GET /v1/results/{key}", s.instrument("/v1/results", s.handleResult))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Drain blocks until every detached leader run has completed. Call it
+// after http.Server.Shutdown: Shutdown waits for the handlers, Drain
+// waits for the runs handlers abandoned to client disconnects.
+func (s *Server) Drain() { s.leaders.Wait() }
+
+// errBadSpec marks client errors (malformed or unencodable specs) so
+// execute's callers map them to 400 instead of 500.
+var errBadSpec = errors.New("serve: bad spec")
+
+// execute serves one spec: cache hit, join of an identical in-flight
+// run, or a fresh leader run on the worker pool. cached reports a
+// cache hit. The error return is either a spec problem (errBadSpec),
+// the context's cancellation, or an engine-level failure from the
+// harness; a spec's own failure travels inside the Result.
+func (s *Server) execute(ctx context.Context, spec harness.Spec) (key harness.Key, res *harness.Result, cached bool, err error) {
+	key, err = s.runner.Key(spec)
+	if err != nil {
+		return key, nil, false, fmt.Errorf("%w: %v", errBadSpec, err)
+	}
+	if res, ok := s.cache.Get(key); ok {
+		return key, res, true, nil
+	}
+	call, leader := s.flight.join(key)
+	if leader {
+		s.leaders.Add(1)
+		go func() {
+			defer s.leaders.Done()
+			s.metrics.inflight.Add(1)
+			defer s.metrics.inflight.Add(-1)
+			s.slots <- struct{}{}
+			s.metrics.busy.Add(1)
+			s.metrics.runs.Add(1)
+			res, err := s.runSpec(spec)
+			s.metrics.busy.Add(-1)
+			<-s.slots
+			// The runner has already cached successful results; the
+			// Add here only matters when a test's fake runSpec
+			// bypasses the runner. Put-if-absent keeps one canonical
+			// pointer either way.
+			if err == nil && res != nil && res.Err == nil {
+				res = s.cache.Add(key, res)
+			}
+			s.flight.complete(key, call, res, err)
+		}()
+	} else {
+		s.metrics.coalesced.Add(1)
+	}
+	select {
+	case <-call.done:
+		return key, call.res, false, call.err
+	case <-ctx.Done():
+		return key, nil, false, ctx.Err()
+	}
+}
+
+// runResponse is the /v1/run (and per-result /v1/sweep) payload.
+type runResponse struct {
+	Key    string      `json:"key"`
+	Cached bool        `json:"cached"`
+	Result *resultWire `json:"result"`
+}
+
+// resultWire is the JSON face of a harness.Result: identification,
+// timing, functional output, the full counter bank by event name, and
+// the spec's own failure (if any) as a string.
+type resultWire struct {
+	Name          string            `json:"name"`
+	Mode          string            `json:"mode"`
+	Cycles        uint64            `json:"cycles"`
+	StartupCycles uint64            `json:"startup_cycles,omitempty"`
+	Checksum      string            `json:"checksum"`
+	Ops           int64             `json:"ops"`
+	MeanLatency   float64           `json:"mean_latency,omitempty"`
+	Counters      map[string]uint64 `json:"counters"`
+	Attempts      int               `json:"attempts"`
+	Error         string            `json:"error,omitempty"`
+}
+
+func wireResult(res *harness.Result) *resultWire {
+	if res == nil {
+		return nil
+	}
+	counters := make(map[string]uint64, perf.NumEvents)
+	for _, e := range perf.Events() {
+		if v := res.Counters.Get(e); v != 0 {
+			counters[e.String()] = v
+		}
+	}
+	out := &resultWire{
+		Name:          res.Name,
+		Mode:          res.Mode.String(),
+		Cycles:        res.Cycles,
+		StartupCycles: res.StartupCycles,
+		Checksum:      fmt.Sprintf("%#x", res.Output.Checksum),
+		Ops:           res.Output.Ops,
+		MeanLatency:   res.Output.MeanLatency,
+		Counters:      counters,
+		Attempts:      res.Attempts,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+// handleRun serves POST /v1/run: one SpecWire document in, one
+// runResponse out. A spec's own failure is still a 200 — the run
+// happened and its degraded measurements are the payload — while
+// malformed specs are 400 and engine failures 500.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var spec harness.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, res, cached, err := s.execute(r.Context(), spec)
+	switch {
+	case errors.Is(err, errBadSpec):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case err != nil && r.Context().Err() != nil:
+		// Client gone; nothing to write. The detached leader still
+		// finishes the run and caches it.
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{Key: key.String(), Cached: cached, Result: wireResult(res)})
+}
+
+// sweepEvent is one NDJSON line of a /v1/sweep response: a progress
+// event as each spec completes, then one result line per spec in
+// input order, then a final done line.
+type sweepEvent struct {
+	Event     string      `json:"event"` // "progress", "result", "done"
+	Completed int         `json:"completed,omitempty"`
+	Total     int         `json:"total,omitempty"`
+	Index     int         `json:"index,omitempty"`
+	Name      string      `json:"name,omitempty"`
+	Mode      string      `json:"mode,omitempty"`
+	Key       string      `json:"key,omitempty"`
+	Cached    bool        `json:"cached,omitempty"`
+	Result    *resultWire `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// handleSweep serves POST /v1/sweep: a JSON array of SpecWire
+// documents in, NDJSON out. The batch runs through the unified
+// Runner.RunAll — shared cache, deduplication, worker pool — with the
+// engine's progress callback streamed to the client as each spec
+// completes (cache-hit cells complete without executing, so they emit
+// no progress line). Disconnecting cancels the batch: running specs
+// finish, unstarted specs are abandoned.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var specs []harness.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&specs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty spec list"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev sweepEvent) {
+		// An Encode error means the client is gone; the request
+		// context's cancellation already winds the batch down.
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	s.metrics.inflight.Add(1)
+	results, err := s.runner.RunAll(specs,
+		harness.WithContext(r.Context()),
+		harness.OnProgress(func(p harness.Progress) {
+			ev := sweepEvent{
+				Event:     "progress",
+				Completed: p.Completed,
+				Total:     p.Total,
+				Index:     p.Index,
+				Name:      p.Name,
+				Mode:      p.Mode.String(),
+			}
+			if p.Err != nil {
+				ev.Error = p.Err.Error()
+			}
+			emit(ev)
+		}))
+	s.metrics.inflight.Add(-1)
+
+	for i, res := range results {
+		ev := sweepEvent{Event: "result", Index: i, Result: wireResult(res)}
+		if key, kerr := s.runner.Key(specs[i]); kerr == nil {
+			ev.Key = key.String()
+		}
+		emit(ev)
+	}
+	done := sweepEvent{Event: "done", Total: len(specs)}
+	if err != nil {
+		done.Error = err.Error()
+	}
+	emit(done)
+}
+
+// handleFigure serves GET /v1/figures/{fig}: the rendered paper
+// figure or table as plain text. Runs behind it go through the shared
+// runner, so regenerating a figure twice is all cache hits.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	fig := r.PathValue("fig")
+	if !knownFigure(fig) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown figure %q (valid: 2-10, t2, t4, t5)", fig))
+		return
+	}
+	out, err := harness.RenderFigure(s.runner, fig)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+// knownFigure reports whether fig labels at least one registered
+// experiment.
+func knownFigure(fig string) bool {
+	if fig == "" {
+		return false
+	}
+	for _, e := range harness.Experiments() {
+		if e.Figure == fig {
+			return true
+		}
+	}
+	return false
+}
+
+// handleResult serves GET /v1/results/{key}: content-addressed lookup
+// of a previously computed result by its canonical spec hash.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key, err := harness.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cached result for key %s", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{Key: key.String(), Cached: true, Result: wireResult(res)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, s.cache)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// instrument wraps a handler with request counting and latency
+// observation for /metrics.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.observe(path, code, time.Since(start).Seconds())
+	}
+}
+
+// statusWriter records the response code and forwards Flush so NDJSON
+// streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// An Encode failure means the client disconnected; there is no
+	// recovery beyond dropping the response.
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

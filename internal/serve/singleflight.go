@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"sync"
+
+	"sgxgauge/internal/harness"
+)
+
+// flight coalesces concurrent requests for the same spec key: the
+// first request becomes the leader and actually executes the run; the
+// rest wait on the leader's call. The leader's goroutine is owned by
+// the server (it keeps running after a follower's — or even the
+// leader's own — HTTP request is cancelled), which is why flight only
+// tracks membership and leaves execution to the caller.
+type flight struct {
+	mu sync.Mutex
+	// calls holds the one in-flight call per key. // guarded by mu
+	calls map[harness.Key]*flightCall
+}
+
+// flightCall is one coalesced execution. res and err are written by
+// the leader before done is closed and read by waiters only after,
+// so the channel is the only synchronization they need.
+type flightCall struct {
+	done chan struct{}
+	res  *harness.Result
+	err  error
+}
+
+func newFlight() *flight {
+	return &flight{calls: make(map[harness.Key]*flightCall)}
+}
+
+// join returns the in-flight call for key, registering a fresh one —
+// and leadership over it — when none exists. The leader must
+// eventually settle the call with complete.
+func (f *flight) join(key harness.Key) (c *flightCall, leader bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+	return c, true
+}
+
+// complete records the leader's outcome, retires the key so the next
+// request starts a fresh run, and wakes every waiter.
+func (f *flight) complete(key harness.Key, c *flightCall, res *harness.Result, err error) {
+	c.res, c.err = res, err
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+}

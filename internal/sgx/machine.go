@@ -14,6 +14,7 @@ package sgx
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"sgxgauge/internal/cache"
 	"sgxgauge/internal/chaos"
@@ -50,6 +51,41 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// ParseMode resolves a mode name (case-insensitively). Unknown names
+// yield an error listing the valid ones, so a mistyped wire request
+// reports what would have worked.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "vanilla":
+		return Vanilla, nil
+	case "native":
+		return Native, nil
+	case "libos":
+		return LibOS, nil
+	}
+	return 0, fmt.Errorf("sgx: unknown mode %q (valid: Vanilla, Native, LibOS)", s)
+}
+
+// MarshalText encodes the mode as its paper name, making Mode fields
+// render as "Native" rather than an opaque integer in JSON.
+func (m Mode) MarshalText() ([]byte, error) {
+	switch m {
+	case Vanilla, Native, LibOS:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("sgx: cannot encode unknown mode %d", int(m))
+}
+
+// UnmarshalText decodes a mode name via ParseMode.
+func (m *Mode) UnmarshalText(text []byte) error {
+	v, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // PaperEPCPages is the EPC size of the paper's platform: 92 MB.
 const PaperEPCPages = 92 * 1024 * 1024 / mem.PageSize
 
@@ -70,11 +106,11 @@ const LibOSEnclaveFactor = 44
 type Config struct {
 	// EPCPages is the EPC capacity in 4 KiB pages (default
 	// DefaultEPCPages; the paper's hardware has PaperEPCPages).
-	EPCPages int
+	EPCPages int `json:"epc_pages,omitempty"`
 	// Seed drives all deterministic key generation.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Costs is the cycle cost model (default cycles.DefaultCosts).
-	Costs cycles.CostModel
+	Costs cycles.CostModel `json:"costs,omitempty"`
 	// TLBEntries and TLBWays size each thread's dTLB. The default
 	// scales with the EPC: entries = 2x EPCPages (4-way). On the
 	// paper's machine the ~1.5K-entry STLB covers each workload's
@@ -84,44 +120,44 @@ type Config struct {
 	// scaled-down workloads have flatter locality than the real
 	// applications, so preserving the contrast requires the scaled
 	// TLB to reach the scaled footprints.
-	TLBEntries int
-	TLBWays    int
+	TLBEntries int `json:"tlb_entries,omitempty"`
+	TLBWays    int `json:"tlb_ways,omitempty"`
 	// LLCBytes and LLCWays size the shared LLC. The default scales
 	// with the EPC (EPC bytes / 2, 16-way). Like the TLB default, the
 	// proportion is chosen so the LLC covers a Vanilla run's hot set
 	// the way the paper machine's 12 MB LLC covers the real
 	// applications' — EPC eviction then visibly costs extra LLC
 	// misses, reproducing the 1.8-3x LLC-miss ratios of Table 4.
-	LLCBytes int
-	LLCWays  int
+	LLCBytes int `json:"llc_bytes,omitempty"`
+	LLCWays  int `json:"llc_ways,omitempty"`
 	// L1Bytes enables an optional per-thread first-level cache in
 	// front of the LLC (0 = off, the calibrated default). The paper
 	// machine has 384 KB of L1 against its 12 MB LLC (Table 3); a
 	// proportional scaled setting is LLCBytes/32.
-	L1Bytes int
+	L1Bytes int `json:"l1_bytes,omitempty"`
 	// Switchless enables switchless OCALLs handled by proxy threads
 	// (paper §5.6).
-	Switchless bool
+	Switchless bool `json:"switchless,omitempty"`
 	// IntegrityTree maintains a Merkle tree over evicted-page MACs,
 	// making EWB/ELDU pay per uncached tree level (the integrity
 	// structures §2.2 describes; VAULT's target). Off by default:
 	// the flat MAC+version scheme already provides
 	// integrity+freshness in the model.
-	IntegrityTree bool
+	IntegrityTree bool `json:"integrity_tree,omitempty"`
 	// TreeCachedLevels is how many top tree levels are held on-die
 	// (default 4).
-	TreeCachedLevels int
+	TreeCachedLevels int `json:"tree_cached_levels,omitempty"`
 	// Chaos, when non-nil and enabled, attaches a deterministic fault
 	// injector modelling an adversarial OS (package chaos): forced
 	// AEX storms, EPC ballooning, attacks on evicted pages, and
 	// transient transition failures.
-	Chaos *chaos.Config
+	Chaos *chaos.Config `json:"chaos,omitempty"`
 	// SlowPath routes every memory access through the straight-line
 	// reference implementation (no memoization, no counter sharding,
 	// no batched charging). Simulated results are identical to the
 	// default fast path — the differential tests exist to prove it —
 	// so the only reason to set this is those tests.
-	SlowPath bool
+	SlowPath bool `json:"slow_path,omitempty"`
 }
 
 func (c Config) withDefaults() Config {

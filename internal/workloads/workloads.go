@@ -45,14 +45,48 @@ func (s Size) String() string {
 	return fmt.Sprintf("Size(%d)", int(s))
 }
 
+// ParseSize resolves an input-setting name (case-insensitively).
+// Unknown names yield an error listing the valid ones.
+func ParseSize(s string) (Size, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return Low, nil
+	case "medium":
+		return Medium, nil
+	case "high":
+		return High, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown size %q (valid: Low, Medium, High)", s)
+}
+
+// MarshalText encodes the setting as its paper name, so Size fields
+// serialize as "Medium" rather than an opaque integer.
+func (s Size) MarshalText() ([]byte, error) {
+	switch s {
+	case Low, Medium, High:
+		return []byte(s.String()), nil
+	}
+	return nil, fmt.Errorf("workloads: cannot encode unknown size %d", int(s))
+}
+
+// UnmarshalText decodes a setting name via ParseSize.
+func (s *Size) UnmarshalText(text []byte) error {
+	v, err := ParseSize(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // Params carries one workload configuration: the input setting plus
 // named numeric knobs (element counts, file sizes, request counts...)
 // whose meaning is workload-specific, mirroring the knob columns of
 // Table 2.
 type Params struct {
-	Size    Size
-	Threads int
-	Knobs   map[string]int64
+	Size    Size             `json:"size"`
+	Threads int              `json:"threads,omitempty"`
+	Knobs   map[string]int64 `json:"knobs,omitempty"`
 }
 
 // Knob returns the named knob. A missing knob yields an error listing
