@@ -86,6 +86,19 @@ type Runner struct {
 	// or share the cache. Failed runs and specs carrying Hooks are
 	// never cached.
 	Cache ResultCache
+	// Exec, when non-nil, replaces local machine execution for
+	// hook-free specs: the engine calls it instead of booting a
+	// simulated machine, and everything around execution — cache
+	// probes, in-batch deduplication, progress events, result
+	// caching — still happens in this Runner. The sgxgauged
+	// coordinator uses it to farm execution out to a worker fleet.
+	// Specs carrying Hooks always execute in-process (a callback
+	// cannot travel), as do the engine's retry and chaos-reseed
+	// policies, which belong to whoever actually runs the machine.
+	// Exec must be safe for concurrent use; it receives normalized
+	// specs and returns the spec's own failure inside the Result,
+	// reserving the error return for transport-level trouble.
+	Exec func(Spec) (*Result, error)
 
 	initOnce sync.Once
 }
@@ -105,6 +118,12 @@ func (r *Runner) cache() ResultCache {
 	})
 	return r.Cache
 }
+
+// Normalize returns the spec as the runner actually files and runs
+// it: the runner's EPC size and seed forced onto fields the spec
+// leaves zero. Remote executors call it so the spec they ship is the
+// one the key was computed from.
+func (r *Runner) Normalize(spec Spec) Spec { return r.normalize(spec) }
 
 // normalize forces the runner's EPC size and seed onto a spec that
 // leaves them zero.
@@ -127,7 +146,7 @@ func (r *Runner) Key(spec Spec) (Key, error) {
 
 // engineOpts merges the runner's defaults with per-call options.
 func (r *Runner) engineOpts(opts []Option) engineOpts {
-	o := engineOpts{clock: RealClock{}, workers: r.Jobs, progress: r.Progress}
+	o := engineOpts{clock: RealClock{}, workers: r.Jobs, progress: r.Progress, exec: r.Exec}
 	for _, opt := range opts {
 		opt(&o)
 	}

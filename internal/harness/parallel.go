@@ -40,6 +40,7 @@ type engineOpts struct {
 	backoff  time.Duration
 	clock    Clock
 	ctx      context.Context
+	exec     func(Spec) (*Result, error)
 }
 
 // Option configures a Runner.RunAll batch (and the Run/Get wrappers
@@ -130,6 +131,25 @@ func runBatch(specs []Spec, o engineOpts) ([]Result, error) {
 		start := o.clock.Now()
 		if err := ctx.Err(); err != nil {
 			results[i] = failedResult(specs[i], err)
+		} else if o.exec != nil && specs[i].Hooks.empty() {
+			// Remote execution: the executor's Result already carries
+			// the spec's own failure and attempt count; a transport
+			// failure (nil result) becomes this spec's error.
+			res, err := o.exec(specs[i])
+			if res != nil {
+				results[i] = *res
+				if results[i].Err == nil && err != nil {
+					results[i].Err = err
+				}
+			} else {
+				if err == nil {
+					err = fmt.Errorf("harness: remote executor returned no result")
+				}
+				results[i] = failedResult(specs[i], err)
+			}
+			if results[i].Attempts == 0 {
+				results[i].Attempts = 1
+			}
 		} else {
 			res, attempts, err := runWithRetry(specs[i], &o)
 			if res != nil {

@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sgxgauge/internal/harness"
+	"sgxgauge/internal/store"
+)
+
+// startCoordinator boots a coordinator daemon on an ephemeral
+// listener.
+func startCoordinator(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Coordinator = true
+	if cfg.EPCPages == 0 {
+		cfg.EPCPages = testEPC
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// startWorker boots a worker daemon (its own Server and runner) and
+// runs its pull loop against the coordinator until test cleanup.
+func startWorker(t *testing.T, coordinatorURL, id string, cfg Config) (*Server, *Worker) {
+	t.Helper()
+	if cfg.EPCPages == 0 {
+		cfg.EPCPages = testEPC
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	ws := New(cfg)
+	wk := NewWorker(ws, coordinatorURL, id)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wk.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return ws, wk
+}
+
+// waitForWorkers blocks until the coordinator sees n live workers.
+func waitForWorkers(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.cluster.liveWorkers(time.Now()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never saw %d workers", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sweepResultLines posts a sweep and returns its raw "result" event
+// lines plus the terminal event.
+func sweepResultLines(t *testing.T, baseURL, body string) (lines []string, terminal sweepEvent) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d, want 200", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev sweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		terminal = ev
+		if ev.Event == "result" {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines, terminal
+}
+
+// sweepBody returns a sweep request of n distinct Empty/Vanilla specs.
+func sweepBody(n int) string {
+	specs := make([]string, n)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(`{"workload":"Empty","mode":"Vanilla","size":"Low","seed":%d}`, i+1)
+	}
+	return "[" + strings.Join(specs, ",") + "]"
+}
+
+// TestClusterSweepTwoWorkers is the end-to-end acceptance test: a
+// coordinator with two registered workers serves a sweep entirely
+// from the fleet — every spec executes on the worker its key shards
+// to, none on the coordinator — and the stream is byte-identical to
+// the same sweep on a standalone single-node daemon.
+func TestClusterSweepTwoWorkers(t *testing.T) {
+	coord, cts := startCoordinator(t, Config{})
+	_, wk1 := startWorker(t, cts.URL, "w1", Config{})
+	_, wk2 := startWorker(t, cts.URL, "w2", Config{})
+	waitForWorkers(t, coord, 2)
+
+	const n = 8
+	body := sweepBody(n)
+	clusterLines, terminal := sweepResultLines(t, cts.URL, body)
+	if terminal.Event != "done" || !terminal.OK {
+		t.Fatalf("terminal event = %+v, want done ok:true", terminal)
+	}
+	if len(clusterLines) != n {
+		t.Fatalf("got %d result lines, want %d", len(clusterLines), n)
+	}
+
+	// The coordinator never simulated; the fleet did all the work,
+	// split exactly by key shard over the sorted worker ids.
+	if got := coord.cluster.localRuns.Load(); got != 0 {
+		t.Fatalf("coordinator ran %d specs locally, want 0", got)
+	}
+	var specs []harness.Spec
+	if err := json.Unmarshal([]byte(body), &specs); err != nil {
+		t.Fatal(err)
+	}
+	wantPerWorker := map[string]uint64{}
+	ids := []string{"w1", "w2"}
+	sort.Strings(ids)
+	for _, spec := range specs {
+		key, err := coord.runner.Key(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPerWorker[ids[int(key[0])%len(ids)]]++
+	}
+	if got := wk1.executed.Load(); got != wantPerWorker["w1"] {
+		t.Errorf("w1 executed %d specs, want %d (its shard)", got, wantPerWorker["w1"])
+	}
+	if got := wk2.executed.Load(); got != wantPerWorker["w2"] {
+		t.Errorf("w2 executed %d specs, want %d (its shard)", got, wantPerWorker["w2"])
+	}
+	if got := coord.cluster.completed.Load(); got != n {
+		t.Errorf("cluster completed %d tasks, want %d", got, n)
+	}
+
+	// Byte-identical to a single-node daemon running the same sweep.
+	single := New(Config{EPCPages: testEPC, Seed: 7, Workers: 4})
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+	singleLines, terminal := sweepResultLines(t, sts.URL, body)
+	if terminal.Event != "done" || !terminal.OK {
+		t.Fatalf("single-node terminal event = %+v, want done ok:true", terminal)
+	}
+	for i := range singleLines {
+		if clusterLines[i] != singleLines[i] {
+			t.Fatalf("result line %d differs between cluster and single node:\n cluster: %s\n single:  %s",
+				i, clusterLines[i], singleLines[i])
+		}
+	}
+}
+
+// TestClusterFigureFromFleet: the figures path draws on the same
+// fleet machinery — regenerating a figure through a coordinator runs
+// nothing on the coordinator itself.
+func TestClusterFigureFromFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	coord, cts := startCoordinator(t, Config{})
+	startWorker(t, cts.URL, "w1", Config{})
+	startWorker(t, cts.URL, "w2", Config{})
+	waitForWorkers(t, coord, 2)
+
+	resp, err := http.Get(cts.URL + "/v1/figures/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure via cluster: status %d, want 200", resp.StatusCode)
+	}
+	if got := coord.cluster.localRuns.Load(); got != 0 {
+		t.Fatalf("figure generation ran %d specs on the coordinator, want 0", got)
+	}
+}
+
+// TestClusterWorkerStoreWarm: a fresh coordinator dispatching to a
+// restarted worker whose persistent store already holds the results
+// serves the whole sweep without a single simulation anywhere.
+func TestClusterWorkerStoreWarm(t *testing.T) {
+	dir := t.TempDir()
+	openStore := func() *store.Store {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	const n = 4
+	body := sweepBody(n)
+
+	coord1, cts1 := startCoordinator(t, Config{})
+	startWorker(t, cts1.URL, "w1", Config{Store: openStore()})
+	waitForWorkers(t, coord1, 1)
+	firstLines, terminal := sweepResultLines(t, cts1.URL, body)
+	if terminal.Event != "done" || !terminal.OK {
+		t.Fatalf("terminal event = %+v, want done ok:true", terminal)
+	}
+
+	// "Restart": a brand-new coordinator and a brand-new worker
+	// process sharing only the store directory. The progress hook is
+	// installed before the pull loop starts: it fires only for specs
+	// that actually simulate.
+	coord2, cts2 := startCoordinator(t, Config{})
+	ws2 := New(Config{EPCPages: testEPC, Seed: 7, Workers: 2, Store: openStore()})
+	var simulated atomic.Int64
+	ws2.runner.Progress = func(harness.Progress) { simulated.Add(1) }
+	wk2 := NewWorker(ws2, cts2.URL, "w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wk2.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	waitForWorkers(t, coord2, 1)
+
+	secondLines, terminal := sweepResultLines(t, cts2.URL, body)
+	if terminal.Event != "done" || !terminal.OK {
+		t.Fatalf("terminal event = %+v, want done ok:true", terminal)
+	}
+	if n := simulated.Load(); n != 0 {
+		t.Fatalf("restarted worker simulated %d specs, want 0 (all served from the store)", n)
+	}
+	for i := range firstLines {
+		if firstLines[i] != secondLines[i] {
+			t.Fatalf("result line %d differs across restart:\n first:  %s\n second: %s", i, firstLines[i], secondLines[i])
+		}
+	}
+}
+
+// TestClusterCoalescing: concurrent submissions of the same key share
+// one task — the second joins rather than re-dispatching — and one
+// completion settles every waiter.
+func TestClusterCoalescing(t *testing.T) {
+	c := newCluster(time.Minute)
+	now := time.Now()
+	c.register("w1", now)
+
+	spec := harness.Spec{Workload: mustWorkload(t, "Empty")}
+	key, err := harness.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, created, local := c.submit(key, spec, now)
+	if !created || local {
+		t.Fatalf("first submit: created=%v local=%v, want created, remote", created, local)
+	}
+	t2, created, local := c.submit(key, spec, now)
+	if created || local || t1 != t2 {
+		t.Fatalf("second submit did not coalesce onto the open task")
+	}
+	if got := c.coalesced.Load(); got != 1 {
+		t.Fatalf("coalesced counter = %d, want 1", got)
+	}
+
+	res := &harness.Result{Name: "Empty"}
+	c.complete("w1", key, res, now)
+	select {
+	case <-t1.done:
+	default:
+		t.Fatal("completion did not settle the shared task")
+	}
+	if t1.res != res || t1.err != nil {
+		t.Fatalf("task settled with res=%v err=%v", t1.res, t1.err)
+	}
+	// A replay of the same key is stale, not a crash.
+	c.complete("w1", key, res, now)
+	if got := c.stale.Load(); got != 1 {
+		t.Fatalf("stale counter = %d, want 1", got)
+	}
+}
+
+// TestClusterRequeueOnWorkerDeath: work assigned to a worker that
+// goes silent past the TTL reroutes to the survivors; with no
+// survivors a waiter claims it for local execution.
+func TestClusterRequeueOnWorkerDeath(t *testing.T) {
+	const ttl = time.Minute
+	c := newCluster(ttl)
+	t0 := time.Now()
+	c.register("w1", t0)
+	c.register("w2", t0)
+
+	// Build a spec whose key shards onto w1 (sorted ids: w1 owns even
+	// leading bytes, w2 odd).
+	var spec harness.Spec
+	var key harness.Key
+	for seed := int64(1); ; seed++ {
+		spec = harness.Spec{Workload: mustWorkload(t, "Empty"), Seed: seed}
+		k, err := harness.SpecKey(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(k[0])%2 == 0 {
+			key = k
+			break
+		}
+	}
+	task, _, local := c.submit(key, spec, t0)
+	if local || task.worker != "w1" {
+		t.Fatalf("task routed to %q (local=%v), want w1", task.worker, local)
+	}
+
+	// w1 pulls the task, then dies; w2 stays in touch. The next
+	// activity past the TTL reroutes the pull onto w2.
+	pulled, err := c.poll(context.Background(), "w1", 4, 0)
+	if err != nil || len(pulled) != 1 || pulled[0] != task {
+		t.Fatalf("w1 poll = %v, %v; want the routed task", pulled, err)
+	}
+	t1 := t0.Add(ttl / 2)
+	if _, err := c.poll(context.Background(), "w2", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.workers["w2"].lastSeen = t1
+	c.mu.Unlock()
+	t2 := t0.Add(ttl + time.Second)
+	if n := c.liveWorkers(t2); n != 1 {
+		t.Fatalf("live workers after w1 expiry = %d, want 1", n)
+	}
+	if got := c.requeued.Load(); got != 1 {
+		t.Fatalf("requeued counter = %d, want 1", got)
+	}
+	if task.worker != "w2" {
+		t.Fatalf("task rerouted to %q, want w2", task.worker)
+	}
+
+	// w2 dies too: the waiting request claims the orphan and runs it
+	// locally.
+	t3 := t1.Add(ttl + time.Second)
+	if !c.claimOrphan(task, t3) {
+		t.Fatal("claimOrphan failed after total fleet loss")
+	}
+	if got := c.localRuns.Load(); got != 1 {
+		t.Fatalf("localRuns counter = %d, want 1", got)
+	}
+	// A dead worker's late result for the claimed task is stale.
+	c.complete("w1", key, &harness.Result{Name: "Empty"}, t3)
+	if task.finished {
+		t.Fatal("late result finished a task the waiter already claimed")
+	}
+	c.finish(task, &harness.Result{Name: "Empty"}, nil)
+	if !task.finished {
+		t.Fatal("finish did not settle the claimed task")
+	}
+}
+
+// TestClusterUnknownWorkerPoll: polling without registering is a 404
+// telling the worker to register, not a hang or a 500.
+func TestClusterUnknownWorkerPoll(t *testing.T) {
+	_, cts := startCoordinator(t, Config{})
+	resp, err := http.Post(cts.URL+"/v1/cluster/poll", "application/json",
+		strings.NewReader(`{"worker":"ghost","max":1,"wait_ms":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,532 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sgxgauge/internal/harness"
+)
+
+// DefaultWorkerTTL is how long a registered worker may go without
+// polling (or posting results) before the coordinator declares it
+// dead and reroutes its work.
+const DefaultWorkerTTL = 15 * time.Second
+
+// maxPollWait caps a worker's requested long-poll duration.
+const maxPollWait = 30 * time.Second
+
+// cluster is the coordinator's dispatcher: registered workers pull
+// spec batches, execute them on their own machines, and stream
+// results back; the coordinator routes each spec to one worker by key
+// shard and coalesces duplicate in-flight keys so a spec requested by
+// ten concurrent sweeps crosses the wire — and simulates — once.
+//
+// Failure semantics: a worker that stops polling past the TTL is
+// expired and its queued and assigned tasks reroute to the surviving
+// workers; with no workers left a task is orphaned until either a new
+// worker registers or a waiting request claims it for local
+// execution. Results are content-addressed, so a late result from an
+// expired worker is still accepted if its task is somehow open, and
+// counted as stale otherwise.
+type cluster struct {
+	ttl time.Duration
+
+	mu sync.Mutex
+	// workers holds the live fleet by id. // guarded by mu
+	workers map[string]*clusterWorker
+	// pending holds the one open task per key (the coalescing map,
+	// spanning queued, assigned and orphaned tasks). // guarded by mu
+	pending map[harness.Key]*clusterTask
+	// orphans are tasks routed nowhere: no live worker owned their
+	// shard when they were (re)routed. // guarded by mu
+	orphans []*clusterTask
+
+	dispatched atomic.Uint64 // tasks handed to a worker
+	completed  atomic.Uint64 // tasks finished by a worker result
+	requeued   atomic.Uint64 // task reroutes after a worker expiry
+	coalesced  atomic.Uint64 // submissions that joined an open task
+	localRuns  atomic.Uint64 // orphaned tasks claimed for local execution
+	stale      atomic.Uint64 // results for keys with no open task
+}
+
+// clusterWorker is one registered worker's dispatch state.
+type clusterWorker struct {
+	id string
+	// queue holds routed tasks the worker has not pulled yet.
+	queue []*clusterTask
+	// assigned holds pulled tasks awaiting results.
+	assigned map[harness.Key]*clusterTask
+	// wake pokes a long-polling worker when work arrives.
+	wake chan struct{}
+	// lastSeen is the worker's latest register/poll/results contact.
+	lastSeen time.Time
+}
+
+// clusterTask is one in-flight spec execution. res and err are
+// written before done is closed and read only after, exactly like a
+// flightCall; every other field is guarded by the cluster lock.
+type clusterTask struct {
+	key  harness.Key
+	spec harness.Spec
+	// worker is the owning worker's id, "" while orphaned.
+	worker string
+	// claimed marks an orphaned task a waiter took for local
+	// execution; finished guards against double completion (a local
+	// claim racing a late worker result).
+	claimed  bool
+	finished bool
+
+	done chan struct{}
+	res  *harness.Result
+	err  error
+}
+
+func newCluster(ttl time.Duration) *cluster {
+	if ttl <= 0 {
+		ttl = DefaultWorkerTTL
+	}
+	return &cluster{
+		ttl:     ttl,
+		workers: make(map[string]*clusterWorker),
+		pending: make(map[harness.Key]*clusterTask),
+	}
+}
+
+// register adds (or resets) a worker. Re-registration under a live id
+// reroutes whatever the previous incarnation held — the worker
+// restarting means those pulls are gone. Orphaned tasks route onto
+// the refreshed fleet.
+func (c *cluster) register(id string, now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	if prev, ok := c.workers[id]; ok {
+		c.dropWorkerLocked(prev)
+	}
+	c.workers[id] = &clusterWorker{
+		id:       id,
+		assigned: make(map[harness.Key]*clusterTask),
+		wake:     make(chan struct{}, 1),
+		lastSeen: now,
+	}
+	orphans := c.orphans
+	c.orphans = nil
+	for _, t := range orphans {
+		c.routeLocked(t)
+	}
+	return len(c.workers)
+}
+
+// submit opens (or joins) the task for key. It returns the task plus
+// whether the caller created it and — when no live worker could own
+// it — whether the caller must execute it locally instead.
+func (c *cluster) submit(key harness.Key, spec harness.Spec, now time.Time) (t *clusterTask, created, runLocal bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	if t, ok := c.pending[key]; ok {
+		c.coalesced.Add(1)
+		return t, false, false
+	}
+	t = &clusterTask{key: key, spec: spec, done: make(chan struct{})}
+	c.pending[key] = t
+	if len(c.workers) == 0 {
+		t.claimed = true
+		c.localRuns.Add(1)
+		return t, true, true
+	}
+	c.routeLocked(t)
+	return t, true, false
+}
+
+// claimOrphan expires dead workers and, if that (or an earlier
+// expiry) left t orphaned and unclaimed, hands it to the caller for
+// local execution. Waiters call this periodically so a fleet that
+// died entirely cannot strand them.
+func (c *cluster) claimOrphan(t *clusterTask, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	if t.finished || t.claimed || t.worker != "" {
+		return false
+	}
+	t.claimed = true
+	for i, o := range c.orphans {
+		if o == t {
+			c.orphans = append(c.orphans[:i], c.orphans[i+1:]...)
+			break
+		}
+	}
+	c.localRuns.Add(1)
+	return true
+}
+
+// routeLocked assigns t to the live worker owning its key shard, or
+// parks it with the orphans when the fleet is empty. Sharding is by
+// the key's leading digest byte over the sorted worker ids, so
+// routing is stable while the fleet is, and every node computes the
+// same assignment from the same fleet view. caller holds mu.
+func (c *cluster) routeLocked(t *clusterTask) {
+	if t.finished || t.claimed {
+		return
+	}
+	if len(c.workers) == 0 {
+		t.worker = ""
+		c.orphans = append(c.orphans, t)
+		return
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w := c.workers[ids[int(t.key[0])%len(ids)]]
+	t.worker = w.id
+	w.queue = append(w.queue, t)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// expireLocked drops workers that have gone quiet past the TTL and
+// reroutes everything they held. caller holds mu.
+func (c *cluster) expireLocked(now time.Time) {
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.ttl {
+			delete(c.workers, id)
+			c.dropWorkerLocked(w)
+		}
+	}
+}
+
+// dropWorkerLocked reroutes a removed worker's queued and assigned
+// tasks. The caller has already removed it from the fleet map, so
+// rerouting lands elsewhere (or on the orphan list). caller holds mu.
+func (c *cluster) dropWorkerLocked(w *clusterWorker) {
+	tasks := w.queue
+	for _, t := range w.assigned {
+		tasks = append(tasks, t)
+	}
+	w.queue = nil
+	w.assigned = make(map[harness.Key]*clusterTask)
+	for _, t := range tasks {
+		if t.finished || t.claimed {
+			continue
+		}
+		c.requeued.Add(1)
+		c.routeLocked(t)
+	}
+}
+
+// poll long-polls for up to max tasks routed to worker id, blocking
+// until work arrives, wait elapses, or ctx ends. It reports
+// errUnknownWorker when id is not registered (expired, or the
+// coordinator restarted) so the worker re-registers.
+func (c *cluster) poll(ctx context.Context, id string, max int, wait time.Duration) ([]*clusterTask, error) {
+	if max <= 0 {
+		max = 1
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxPollWait {
+		wait = maxPollWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		now := time.Now()
+		c.mu.Lock()
+		c.expireLocked(now)
+		w, ok := c.workers[id]
+		if !ok {
+			c.mu.Unlock()
+			return nil, errUnknownWorker
+		}
+		w.lastSeen = now
+		n := min(max, len(w.queue))
+		batch := w.queue[:n:n]
+		w.queue = w.queue[n:]
+		for _, t := range batch {
+			w.assigned[t.key] = t
+		}
+		wake := w.wake
+		c.mu.Unlock()
+		if len(batch) > 0 {
+			c.dispatched.Add(uint64(len(batch)))
+			return batch, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// complete finishes the open task for key with a worker-computed
+// result. Unknown, finished, and locally claimed keys — a replay, or
+// a late result racing the waiter that already took the task over —
+// count as stale and are dropped; results are content-addressed, so
+// dropping a duplicate loses nothing.
+func (c *cluster) complete(workerID string, key harness.Key, res *harness.Result, now time.Time) {
+	c.mu.Lock()
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = now
+		delete(w.assigned, key)
+	}
+	t, ok := c.pending[key]
+	if !ok || t.finished || t.claimed {
+		c.mu.Unlock()
+		c.stale.Add(1)
+		return
+	}
+	c.finishLocked(t, res, nil)
+	c.mu.Unlock()
+	c.completed.Add(1)
+}
+
+// finish settles a locally executed (claimed) task.
+func (c *cluster) finish(t *clusterTask, res *harness.Result, err error) {
+	c.mu.Lock()
+	if t.finished {
+		c.mu.Unlock()
+		return
+	}
+	c.finishLocked(t, res, err)
+	c.mu.Unlock()
+}
+
+// finishLocked retires the task and wakes every waiter.
+// caller holds mu.
+func (c *cluster) finishLocked(t *clusterTask, res *harness.Result, err error) {
+	t.finished = true
+	delete(c.pending, t.key)
+	if t.worker != "" {
+		if w, ok := c.workers[t.worker]; ok {
+			delete(w.assigned, t.key)
+			for i, q := range w.queue {
+				if q == t {
+					w.queue = append(w.queue[:i], w.queue[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	t.res, t.err = res, err
+	close(t.done)
+}
+
+// liveWorkers reports the current fleet size (after expiry).
+func (c *cluster) liveWorkers(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	return len(c.workers)
+}
+
+// errUnknownWorker tells a polling worker it must re-register.
+var errUnknownWorker = fmt.Errorf("serve: unknown worker (register first)")
+
+// claimRecheck is how often a waiter on a dispatched task rechecks
+// for fleet death; it bounds how long a task can sit orphaned with no
+// worker and no one claiming it.
+const claimRecheck = time.Second
+
+// execRemote is the coordinator's executor: it satisfies
+// harness.Runner.Exec and backs the /v1/run path, so every entry
+// point — run, sweep, figures — draws on the fleet through the same
+// coalescing dispatcher. Specs that cannot travel (hooks, no
+// canonical encoding) and tasks orphaned by total fleet loss fall
+// back to local execution.
+func (s *Server) execRemote(spec harness.Spec) (*harness.Result, error) {
+	spec = s.runner.Normalize(spec)
+	key, err := harness.SpecKey(spec)
+	if err != nil || !spec.Hooks.Empty() {
+		return s.localRun(spec)
+	}
+	t, _, runLocal := s.cluster.submit(key, spec, time.Now())
+	if runLocal {
+		res, err := s.localRun(spec)
+		s.cluster.finish(t, res, err)
+		return res, err
+	}
+	for {
+		timer := time.NewTimer(claimRecheck)
+		select {
+		case <-t.done:
+			timer.Stop()
+			return t.res, t.err
+		case <-timer.C:
+			if s.cluster.claimOrphan(t, time.Now()) {
+				res, err := s.localRun(spec)
+				s.cluster.finish(t, res, err)
+				return res, err
+			}
+		}
+	}
+}
+
+// --- cluster HTTP wire ---
+
+// registerRequest is the POST /v1/cluster/register body.
+type registerRequest struct {
+	Worker string `json:"worker"`
+}
+
+// registerResponse acknowledges a registration.
+type registerResponse struct {
+	Workers int `json:"workers"`
+}
+
+// pollRequest is the POST /v1/cluster/poll body.
+type pollRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+	WaitMS int64  `json:"wait_ms"`
+}
+
+// taskAssignment is one dispatched spec in a poll response.
+type taskAssignment struct {
+	Key  string           `json:"key"`
+	Spec harness.SpecWire `json:"spec"`
+}
+
+// pollResponse carries a batch of assignments (possibly empty).
+type pollResponse struct {
+	Specs []taskAssignment `json:"specs"`
+}
+
+// resultLine is one NDJSON line of a POST /v1/cluster/results body.
+type resultLine struct {
+	Key    string             `json:"key"`
+	Result harness.ResultWire `json:"result"`
+}
+
+// resultsResponse acknowledges a results stream.
+type resultsResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// handleClusterRegister serves POST /v1/cluster/register.
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeBody(w, r, maxRunBody, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty worker id"))
+		return
+	}
+	n := s.cluster.register(req.Worker, time.Now())
+	writeJSON(w, http.StatusOK, registerResponse{Workers: n})
+}
+
+// handleClusterPoll serves POST /v1/cluster/poll: a long-poll that
+// returns up to max routed specs for the worker.
+func (s *Server) handleClusterPoll(w http.ResponseWriter, r *http.Request) {
+	var req pollRequest
+	if !decodeBody(w, r, maxRunBody, &req) {
+		return
+	}
+	tasks, err := s.cluster.poll(r.Context(), req.Worker, req.Max, time.Duration(req.WaitMS)*time.Millisecond)
+	switch {
+	case err == errUnknownWorker:
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		// Worker disconnected mid-poll; nothing to write.
+		return
+	}
+	resp := pollResponse{Specs: make([]taskAssignment, 0, len(tasks))}
+	for _, t := range tasks {
+		wire, werr := t.spec.Wire()
+		if werr != nil {
+			// Unreachable: submit rejects unencodable specs. Requeue
+			// defensively rather than lose the task.
+			s.cluster.finish(t, nil, werr)
+			continue
+		}
+		resp.Specs = append(resp.Specs, taskAssignment{Key: t.key.String(), Spec: wire})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterResults serves POST /v1/cluster/results: an NDJSON
+// stream of completed results, accepted incrementally so a sweep
+// waiting on an early key unblocks before the worker's whole batch
+// lands. Accepted results enter the coordinator's cache (and store)
+// exactly like locally computed ones.
+func (s *Server) handleClusterResults(w http.ResponseWriter, r *http.Request) {
+	workerID := r.URL.Query().Get("worker")
+	dec := newResultLineDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	accepted := 0
+	for {
+		key, res, err := dec.next()
+		if err == errDecodeDone {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if res.Err == nil {
+			res = s.results.Add(key, res)
+		}
+		s.cluster.complete(workerID, key, res, time.Now())
+		accepted++
+	}
+	writeJSON(w, http.StatusOK, resultsResponse{Accepted: accepted})
+}
+
+// errDecodeDone is resultLineDecoder's clean end-of-stream marker.
+var errDecodeDone = errors.New("serve: result stream complete")
+
+// resultLineDecoder reads one resultLine per call from an NDJSON
+// stream, rehydrating the canonical wire form into a harness.Result.
+type resultLineDecoder struct {
+	dec *json.Decoder
+}
+
+func newResultLineDecoder(r io.Reader) *resultLineDecoder {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return &resultLineDecoder{dec: dec}
+}
+
+// next returns the stream's next key/result pair, errDecodeDone at
+// clean end of stream, or the first malformed line's error.
+func (d *resultLineDecoder) next() (harness.Key, *harness.Result, error) {
+	var line resultLine
+	if err := d.dec.Decode(&line); err != nil {
+		if err == io.EOF {
+			return harness.Key{}, nil, errDecodeDone
+		}
+		return harness.Key{}, nil, fmt.Errorf("serve: bad result line: %w", err)
+	}
+	key, err := harness.ParseKey(line.Key)
+	if err != nil {
+		return harness.Key{}, nil, err
+	}
+	res, err := line.Result.Result()
+	if err != nil {
+		return harness.Key{}, nil, err
+	}
+	return key, res, nil
+}

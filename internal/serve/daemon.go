@@ -14,12 +14,19 @@ import (
 	"time"
 
 	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/store"
 )
 
 // Main is the daemon entry point shared by the sgxgauged binary and
 // the `sgxgauge serve` subcommand: it parses args, binds the listener,
 // serves until SIGINT/SIGTERM, then shuts down gracefully — first
 // draining in-flight HTTP requests, then waiting for detached runs.
+//
+// Three deployment shapes share this entry point: a standalone daemon
+// (no cluster flags), a coordinator (-coordinator) that farms
+// execution to registered workers, and a worker (-worker <URL>) that
+// additionally pulls and executes the coordinator's spec batches.
+// Any shape may add -store.dir to persist results across restarts.
 func Main(args []string) error {
 	fs := flag.NewFlagSet("sgxgauged", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8643", "listen address")
@@ -28,8 +35,26 @@ func Main(args []string) error {
 	workers := fs.Int("j", 0, "concurrent simulated runs (0 = GOMAXPROCS)")
 	cacheN := fs.Int("cache", DefaultCacheEntries, "max cached results")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	storeDir := fs.String("store.dir", "", "directory for the persistent result store (empty = memory only)")
+	storeFsync := fs.Bool("store.fsync", false, "fsync persistent-store writes (durability over write latency)")
+	coordinator := fs.Bool("coordinator", false, "serve as sweep-cluster coordinator: farm runs out to registered workers")
+	workerFor := fs.String("worker", "", "coordinator base URL to pull and execute spec batches for")
+	workerTTL := fs.Duration("worker.ttl", DefaultWorkerTTL, "coordinator only: how long a silent worker keeps its work")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coordinator && *workerFor != "" {
+		return errors.New("sgxgauged: -coordinator and -worker are mutually exclusive")
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{Fsync: *storeFsync})
+		if err != nil {
+			return fmt.Errorf("sgxgauged: opening store: %w", err)
+		}
+		log.Printf("sgxgauged: result store at %s (%d entries)", st.Dir(), st.Len())
 	}
 
 	s := New(Config{
@@ -37,6 +62,9 @@ func Main(args []string) error {
 		Seed:         *seed,
 		Workers:      *workers,
 		CacheEntries: *cacheN,
+		Store:        st,
+		Coordinator:  *coordinator,
+		WorkerTTL:    *workerTTL,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -49,7 +77,29 @@ func Main(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	log.Printf("sgxgauged: serving on http://%s (epc=%d pages, seed=%d)", ln.Addr(), *epcPages, *seed)
+	role := "standalone"
+	switch {
+	case *coordinator:
+		role = "coordinator"
+	case *workerFor != "":
+		role = "worker for " + *workerFor
+	}
+	log.Printf("sgxgauged: serving on http://%s (epc=%d pages, seed=%d, %s)", ln.Addr(), *epcPages, *seed, role)
+
+	workerDone := make(chan struct{})
+	if *workerFor != "" {
+		wk := NewWorker(s, *workerFor, ln.Addr().String())
+		go func() {
+			defer close(workerDone)
+			// Run only returns on ctx cancellation; transient
+			// coordinator trouble is retried inside the loop.
+			if err := wk.Run(ctx); err != nil {
+				log.Printf("sgxgauged: worker loop: %v", err)
+			}
+		}()
+	} else {
+		close(workerDone)
+	}
 
 	select {
 	case err := <-errc:
@@ -57,6 +107,7 @@ func Main(args []string) error {
 	case <-ctx.Done():
 	}
 	log.Printf("sgxgauged: shutting down (draining up to %v)", *drain)
+	<-workerDone
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

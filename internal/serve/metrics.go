@@ -7,6 +7,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sgxgauge/internal/store"
 )
 
 // metrics is the daemon's instrumentation: request counts and
@@ -112,6 +115,56 @@ func (m *metrics) render(w io.Writer, cache *Cache) {
 	fmt.Fprintln(w, "# HELP sgxgauged_runs_coalesced_total Requests served by joining an identical in-flight run.")
 	fmt.Fprintln(w, "# TYPE sgxgauged_runs_coalesced_total counter")
 	fmt.Fprintf(w, "sgxgauged_runs_coalesced_total %d\n", m.coalesced.Load())
+}
+
+// renderStoreMetrics appends the persistent result store's series:
+// the on-disk entry count and the lifetime hit/miss/put/quarantine
+// counters.
+func renderStoreMetrics(w io.Writer, st *store.Store) {
+	hits, misses, puts, putErrors, quarantined := st.Stats()
+	fmt.Fprintln(w, "# HELP sgxgauged_store_entries Results currently persisted on disk.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_store_entries gauge")
+	fmt.Fprintf(w, "sgxgauged_store_entries %d\n", st.Len())
+	fmt.Fprintln(w, "# HELP sgxgauged_store_hits_total Result-store read hits.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_store_hits_total counter")
+	fmt.Fprintf(w, "sgxgauged_store_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP sgxgauged_store_misses_total Result-store read misses.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_store_misses_total counter")
+	fmt.Fprintf(w, "sgxgauged_store_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP sgxgauged_store_puts_total Results newly persisted to disk.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_store_puts_total counter")
+	fmt.Fprintf(w, "sgxgauged_store_puts_total %d\n", puts)
+	fmt.Fprintln(w, "# HELP sgxgauged_store_put_errors_total Persist attempts that failed (results still served from memory).")
+	fmt.Fprintln(w, "# TYPE sgxgauged_store_put_errors_total counter")
+	fmt.Fprintf(w, "sgxgauged_store_put_errors_total %d\n", putErrors)
+	fmt.Fprintln(w, "# HELP sgxgauged_store_quarantined_total Corrupt entries moved to the quarantine directory.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_store_quarantined_total counter")
+	fmt.Fprintf(w, "sgxgauged_store_quarantined_total %d\n", quarantined)
+}
+
+// renderClusterMetrics appends the coordinator's fleet series.
+func renderClusterMetrics(w io.Writer, c *cluster) {
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_workers Live registered workers.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_workers gauge")
+	fmt.Fprintf(w, "sgxgauged_cluster_workers %d\n", c.liveWorkers(time.Now()))
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_dispatched_total Specs handed to a worker.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_dispatched_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_dispatched_total %d\n", c.dispatched.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_completed_total Specs finished by a worker result.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_completed_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_completed_total %d\n", c.completed.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_coalesced_total Submissions that joined an already in-flight cluster task.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_coalesced_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_coalesced_total %d\n", c.coalesced.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_requeued_total Task reroutes after a worker went silent past its TTL.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_requeued_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_requeued_total %d\n", c.requeued.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_local_runs_total Tasks executed on the coordinator itself (no live worker owned them).")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_local_runs_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_local_runs_total %d\n", c.localRuns.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_stale_results_total Worker results for keys with no open task.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_stale_results_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_stale_results_total %d\n", c.stale.Load())
 }
 
 // sortedKeys returns the map's keys in sorted order.

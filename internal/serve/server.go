@@ -28,6 +28,7 @@ import (
 	"sgxgauge/internal/harness"
 	"sgxgauge/internal/perf"
 	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/store"
 )
 
 // Config parameterizes a Server.
@@ -42,6 +43,18 @@ type Config struct {
 	Workers int
 	// CacheEntries bounds the result cache (0 = DefaultCacheEntries).
 	CacheEntries int
+	// Store, when non-nil, is the persistent on-disk result store
+	// layered under the in-memory cache: misses fall through to disk,
+	// and every fresh result is written through, so a restarted daemon
+	// serves previously computed specs without re-simulating.
+	Store *store.Store
+	// Coordinator makes this daemon a sweep-cluster coordinator: it
+	// accepts worker registrations on /v1/cluster/* and farms spec
+	// execution out to the fleet instead of simulating locally.
+	Coordinator bool
+	// WorkerTTL is how long the coordinator lets a worker go silent
+	// before rerouting its work (0 = DefaultWorkerTTL).
+	WorkerTTL time.Duration
 }
 
 // Server is the daemon: an http.Handler plus the run machinery behind
@@ -52,8 +65,19 @@ type Server struct {
 	metrics *metrics
 	flight  *flight
 	slots   chan struct{}
+	// results is the full lookup stack requests read and write: the
+	// in-memory cache alone, or — with Config.Store — the cache tiered
+	// over the persistent store.
+	results harness.ResultCache
+	// store is the persistent tier (nil without Config.Store); kept
+	// beside results for /metrics.
+	store *store.Store
+	// cluster is the coordinator's dispatcher (nil unless
+	// Config.Coordinator).
+	cluster *cluster
 	// runSpec executes one spec; tests swap in a fake to script
-	// timing. The default runs through the shared Runner.
+	// timing. The default runs through the shared Runner; a
+	// coordinator farms it to the worker fleet.
 	runSpec func(harness.Spec) (*harness.Result, error)
 	// leaders tracks detached singleflight leader goroutines so
 	// Drain can wait for them after the HTTP listener stops.
@@ -70,7 +94,6 @@ func New(cfg Config) *Server {
 	r := harness.NewRunner(cfg.EPCPages)
 	r.Seed = cfg.Seed
 	r.Jobs = workers
-	r.Cache = cache
 
 	s := &Server{
 		runner:  r,
@@ -78,17 +101,35 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(workers),
 		flight:  newFlight(),
 		slots:   make(chan struct{}, workers),
+		results: cache,
+		store:   cfg.Store,
 	}
-	s.runSpec = func(spec harness.Spec) (*harness.Result, error) {
-		// The server is the cache layer on this path — execute already
-		// probed and will Add the result — so mark the spec
-		// hook-bearing to keep the engine from probing the shared
-		// cache a second time (which would double-count every miss on
-		// /metrics).
-		spec.Hooks = harness.Hooks{OnMachine: func(*sgx.Machine) {}}
-		return s.runner.Run(spec)
+	if cfg.Store != nil {
+		s.results = store.NewTiered(cache, cfg.Store)
+	}
+	r.Cache = s.results
+	s.runSpec = s.localRun
+	if cfg.Coordinator {
+		s.cluster = newCluster(cfg.WorkerTTL)
+		// Every execution path — /v1/run, sweeps, figures — now draws
+		// on the fleet through the coalescing dispatcher.
+		r.Exec = s.execRemote
+		s.runSpec = s.execRemote
 	}
 	return s
+}
+
+// localRun executes one spec in-process through the shared Runner.
+// The server is the cache layer on this path — execute (or the
+// engine, on the sweep path) already probed and will store the result
+// — so the spec is marked hook-bearing to keep the engine from
+// probing the shared cache a second time (which would double-count
+// every miss on /metrics). On a coordinator the marker also keeps the
+// nested Run clear of the remote executor: hook-bearing specs always
+// run in-process.
+func (s *Server) localRun(spec harness.Spec) (*harness.Result, error) {
+	spec.Hooks = harness.Hooks{OnMachine: func(*sgx.Machine) {}}
+	return s.runner.Run(spec)
 }
 
 // Handler returns the daemon's route table.
@@ -100,6 +141,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{key}", s.instrument("/v1/results", s.handleResult))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cluster != nil {
+		mux.HandleFunc("POST /v1/cluster/register", s.instrument("/v1/cluster/register", s.handleClusterRegister))
+		// Poll is deliberately uninstrumented: its long-poll dwell time
+		// would swamp the latency summary with idle waiting.
+		mux.HandleFunc("POST /v1/cluster/poll", s.handleClusterPoll)
+		mux.HandleFunc("POST /v1/cluster/results", s.instrument("/v1/cluster/results", s.handleClusterResults))
+	}
 	return mux
 }
 
@@ -122,7 +170,7 @@ func (s *Server) execute(ctx context.Context, spec harness.Spec) (key harness.Ke
 	if err != nil {
 		return key, nil, false, fmt.Errorf("%w: %v", errBadSpec, err)
 	}
-	if res, ok := s.cache.Get(key); ok {
+	if res, ok := s.results.Get(key); ok {
 		return key, res, true, nil
 	}
 	call, leader := s.flight.join(key)
@@ -143,7 +191,7 @@ func (s *Server) execute(ctx context.Context, spec harness.Spec) (key harness.Ke
 			// bypasses the runner. Put-if-absent keeps one canonical
 			// pointer either way.
 			if err == nil && res != nil && res.Err == nil {
-				res = s.cache.Add(key, res)
+				res = s.results.Add(key, res)
 			}
 			s.flight.complete(key, call, res, err)
 		}()
@@ -208,15 +256,41 @@ func wireResult(res *harness.Result) *resultWire {
 	return out
 }
 
+// Request-body caps: a single spec is well under a megabyte; a sweep
+// is a list of them.
+const (
+	maxRunBody   = 1 << 20
+	maxSweepBody = 8 << 20
+)
+
+// decodeBody decodes the request body into v under a size cap and
+// writes the error response when it fails: 413 (naming the cap) when
+// the body exceeded the cap, 400 for everything else. It reports
+// whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: request body exceeds the %d-byte limit", maxErr.Limit))
+	} else {
+		writeError(w, http.StatusBadRequest, err)
+	}
+	return false
+}
+
 // handleRun serves POST /v1/run: one SpecWire document in, one
 // runResponse out. A spec's own failure is still a 200 — the run
 // happened and its degraded measurements are the payload — while
-// malformed specs are 400 and engine failures 500.
+// malformed specs are 400, oversized ones 413, and engine failures
+// 500.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var spec harness.Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, maxRunBody, &spec) {
 		return
 	}
 	key, res, cached, err := s.execute(r.Context(), spec)
@@ -237,9 +311,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // sweepEvent is one NDJSON line of a /v1/sweep response: a progress
 // event as each spec completes, then one result line per spec in
-// input order, then a final done line.
+// input order, then exactly one terminal line — {"event":"done",
+// "ok":true,...} when the batch completed, or {"event":"error",...}
+// when the engine cut it short (cancellation mid-batch). A stream
+// that ends without either terminal line was truncated by the
+// transport; clients must treat it as incomplete.
 type sweepEvent struct {
-	Event     string      `json:"event"` // "progress", "result", "done"
+	Event     string      `json:"event"` // "progress", "result", "done", "error"
 	Completed int         `json:"completed,omitempty"`
 	Total     int         `json:"total,omitempty"`
 	Index     int         `json:"index,omitempty"`
@@ -248,21 +326,22 @@ type sweepEvent struct {
 	Key       string      `json:"key,omitempty"`
 	Cached    bool        `json:"cached,omitempty"`
 	Result    *resultWire `json:"result,omitempty"`
+	OK        bool        `json:"ok,omitempty"`
 	Error     string      `json:"error,omitempty"`
 }
 
 // handleSweep serves POST /v1/sweep: a JSON array of SpecWire
-// documents in, NDJSON out. The batch runs through the unified
-// Runner.RunAll — shared cache, deduplication, worker pool — with the
-// engine's progress callback streamed to the client as each spec
-// completes (cache-hit cells complete without executing, so they emit
-// no progress line). Disconnecting cancels the batch: running specs
-// finish, unstarted specs are abandoned.
+// documents in, NDJSON out (see sweepEvent for the line contract).
+// The batch runs through the unified Runner.RunAll — shared cache,
+// deduplication, worker pool — with the engine's progress callback
+// streamed to the client as each spec completes (cache-hit cells
+// complete without executing, so they emit no progress line).
+// Disconnecting cancels the batch — running specs finish, unstarted
+// specs are abandoned — and kills the stream: nothing further is
+// encoded or flushed at a dead client.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var specs []harness.Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
-	if err := dec.Decode(&specs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, maxSweepBody, &specs) {
 		return
 	}
 	if len(specs) == 0 {
@@ -270,18 +349,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(ev sweepEvent) {
-		// An Encode error means the client is gone; the request
-		// context's cancellation already winds the batch down.
-		enc.Encode(ev)
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	// From here on the 200 header is committed and the stream itself
+	// is the error channel: write failures kill the stream (the
+	// request context's cancellation winds the batch down), and an
+	// engine-level failure becomes the terminal error event.
+	stream := newNDJSONStream(w)
 
 	s.metrics.inflight.Add(1)
 	results, err := s.runner.RunAll(specs,
@@ -298,22 +370,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if p.Err != nil {
 				ev.Error = p.Err.Error()
 			}
-			emit(ev)
+			stream.emit(ev)
 		}))
 	s.metrics.inflight.Add(-1)
 
 	for i, res := range results {
+		if !stream.alive() {
+			return
+		}
 		ev := sweepEvent{Event: "result", Index: i, Result: wireResult(res)}
 		if key, kerr := s.runner.Key(specs[i]); kerr == nil {
 			ev.Key = key.String()
 		}
-		emit(ev)
+		stream.emit(ev)
 	}
-	done := sweepEvent{Event: "done", Total: len(specs)}
 	if err != nil {
-		done.Error = err.Error()
+		stream.emit(sweepEvent{Event: "error", Total: len(specs), Error: err.Error()})
+		return
 	}
-	emit(done)
+	stream.emit(sweepEvent{Event: "done", Total: len(specs), OK: true})
 }
 
 // handleFigure serves GET /v1/figures/{fig}: the rendered paper
@@ -356,7 +431,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, ok := s.cache.Get(key)
+	res, ok := s.results.Get(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cached result for key %s", key))
 		return
@@ -367,6 +442,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.render(w, s.cache)
+	if s.store != nil {
+		renderStoreMetrics(w, s.store)
+	}
+	if s.cluster != nil {
+		renderClusterMetrics(w, s.cluster)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

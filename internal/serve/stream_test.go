@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// dyingWriter is a ResponseWriter whose connection breaks after a
+// fixed number of successful writes — the server-side view of a
+// client that disconnected mid-stream.
+type dyingWriter struct {
+	header   http.Header
+	okWrites int // writes that succeed before the pipe breaks
+	writes   int // total Write calls observed
+}
+
+func (w *dyingWriter) Header() http.Header { return w.header }
+func (w *dyingWriter) WriteHeader(int)     {}
+func (w *dyingWriter) Write(b []byte) (int, error) {
+	w.writes++
+	if w.writes > w.okWrites {
+		return 0, errors.New("write tcp: broken pipe")
+	}
+	return len(b), nil
+}
+
+// TestSweepStopsWritingToDeadClient (regression): once a stream write
+// has failed, handleSweep must stop encoding and flushing — the old
+// emit ignored Encode errors and kept hammering the dead connection
+// with every remaining progress, result and done line.
+func TestSweepStopsWritingToDeadClient(t *testing.T) {
+	s := New(Config{EPCPages: testEPC, Seed: 7, Workers: 2})
+	var specs []string
+	for seed := 1; seed <= 4; seed++ {
+		specs = append(specs, fmt.Sprintf(`{"workload":"Empty","mode":"Vanilla","size":"Low","seed":%d}`, seed))
+	}
+	body := "[" + strings.Join(specs, ",") + "]"
+
+	w := &dyingWriter{header: http.Header{}, okWrites: 1}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+	s.handleSweep(w, req)
+
+	// One successful write, then the one that discovered the broken
+	// pipe; a handler still emitting after that would show up as the
+	// remaining ~8 progress/result/done lines.
+	if w.writes > w.okWrites+1 {
+		t.Fatalf("handler wrote %d times to a stream dead after %d writes", w.writes, w.okWrites)
+	}
+}
+
+// TestSweepEngineErrorEmitsTerminalErrorEvent (regression): when
+// RunAll fails at the engine level after the 200 header is committed,
+// the stream must end with an explicit {"event":"error",...} line —
+// not a bare done line a client could mistake for a completed batch.
+func TestSweepEngineErrorEmitsTerminalErrorEvent(t *testing.T) {
+	s := New(Config{EPCPages: testEPC, Seed: 7, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the batch is cut short before any spec starts
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep",
+		strings.NewReader(`[{"workload":"Empty","mode":"Vanilla","size":"Low"}]`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handleSweep(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 (the stream itself carries the failure)", rec.Code)
+	}
+	var events []sweepEvent
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var ev sweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := events[len(events)-1]
+	if last.Event != "error" || !strings.Contains(last.Error, context.Canceled.Error()) {
+		t.Fatalf("terminal event = %+v, want event=error naming the cancellation", last)
+	}
+	for _, ev := range events {
+		if ev.Event == "done" {
+			t.Fatal("failed batch also emitted a done event")
+		}
+	}
+}
+
+// TestOversizedBody413 (regression): bodies over the MaxBytesReader
+// caps must surface as 413 naming the limit, not a generic 400.
+func TestOversizedBody413(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		path  string
+		limit int
+	}{
+		{"/v1/run", maxRunBody},
+		{"/v1/sweep", maxSweepBody},
+	}
+	for _, c := range cases {
+		body := bytes.Repeat([]byte(" "), c.limit+1)
+		resp, err := http.Post(ts.URL+c.path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatalf("%s: decoding error body: %v", c.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", c.path, resp.StatusCode)
+		}
+		if !strings.Contains(payload["error"], fmt.Sprint(c.limit)) {
+			t.Errorf("%s: error %q does not name the %d-byte limit", c.path, payload["error"], c.limit)
+		}
+	}
+}
+
+// TestSweepDoneOK: a completed batch's terminal line carries ok:true,
+// the marker distinguishing it from a truncated stream.
+func TestSweepDoneOK(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`[{"workload":"Empty","mode":"Vanilla","size":"Low"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last sweepEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if last.Event != "done" || !last.OK || last.Error != "" {
+		t.Fatalf("terminal event = %+v, want done with ok:true", last)
+	}
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workerPollWait is how long each worker poll dwells at the
+// coordinator waiting for work.
+const workerPollWait = 10 * time.Second
+
+// workerRetryDelay paces reconnection attempts after a failed
+// register, poll or results post.
+const workerRetryDelay = time.Second
+
+// Worker turns a daemon into a sweep-cluster execution node: it
+// registers with a coordinator, long-polls for spec batches routed to
+// its key shard, executes them through the daemon's own Runner — so a
+// warm local cache or store still short-circuits simulation — and
+// streams each result back the moment it completes.
+//
+// The loop is crash-only: any transport failure (coordinator down,
+// poll rejected, results post broken) backs off and starts over from
+// registration. Results lost in a failed post are not retried — the
+// coordinator's TTL sweep reroutes the orphaned tasks, and results
+// are content-addressed, so re-execution converges on identical
+// bytes.
+type Worker struct {
+	server      *Server
+	coordinator string // base URL, e.g. http://127.0.0.1:8643
+	id          string
+	jobs        int
+	client      *http.Client
+
+	executed  atomic.Uint64 // specs executed for the coordinator
+	postFails atomic.Uint64 // result posts that died mid-stream
+}
+
+// NewWorker returns a worker that executes on s's runner for the
+// coordinator at the given base URL. id must be unique per worker
+// process (the daemon uses its listen address).
+func NewWorker(s *Server, coordinator, id string) *Worker {
+	jobs := cap(s.slots)
+	return &Worker{
+		server:      s,
+		coordinator: coordinator,
+		id:          id,
+		jobs:        jobs,
+		client:      &http.Client{},
+	}
+}
+
+// Run drives the register/poll/execute loop until ctx is cancelled.
+// It always returns nil on cancellation; transient failures are
+// logged and retried, never fatal.
+func (w *Worker) Run(ctx context.Context) error {
+	registered := false
+	for ctx.Err() == nil {
+		if !registered {
+			if err := w.register(ctx); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				log.Printf("sgxgauged: worker %s: register: %v (retrying)", w.id, err)
+				sleepCtx(ctx, workerRetryDelay)
+				continue
+			}
+			registered = true
+			log.Printf("sgxgauged: worker %s: registered with %s", w.id, w.coordinator)
+		}
+		batch, err := w.poll(ctx)
+		switch {
+		case ctx.Err() != nil:
+			return nil
+		case err == errUnknownWorker:
+			// Coordinator restarted or expired us; re-register.
+			registered = false
+			continue
+		case err != nil:
+			log.Printf("sgxgauged: worker %s: poll: %v (retrying)", w.id, err)
+			registered = false
+			sleepCtx(ctx, workerRetryDelay)
+			continue
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if err := w.executeBatch(ctx, batch); err != nil {
+			w.postFails.Add(1)
+			log.Printf("sgxgauged: worker %s: results post: %v (coordinator will reroute)", w.id, err)
+			sleepCtx(ctx, workerRetryDelay)
+		}
+	}
+	return nil
+}
+
+// register announces the worker to the coordinator.
+func (w *Worker) register(ctx context.Context) error {
+	var resp registerResponse
+	return w.post(ctx, "/v1/cluster/register", registerRequest{Worker: w.id}, &resp)
+}
+
+// poll long-polls the coordinator for the next batch of assignments.
+func (w *Worker) poll(ctx context.Context) ([]taskAssignment, error) {
+	var resp pollResponse
+	req := pollRequest{Worker: w.id, Max: w.jobs, WaitMS: workerPollWait.Milliseconds()}
+	if err := w.post(ctx, "/v1/cluster/poll", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Specs, nil
+}
+
+// executeBatch runs the batch's specs concurrently (up to the
+// worker-pool size) and streams each result line back over one
+// chunked NDJSON POST as it completes, so the coordinator can settle
+// early keys while later ones are still simulating.
+func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.coordinator+"/v1/cluster/results?worker="+w.id, pr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+
+	postErr := make(chan error, 1)
+	go func() {
+		resp, err := w.client.Do(req)
+		if err != nil {
+			// Unblock any encoder still writing into the pipe.
+			pr.CloseWithError(err)
+			postErr <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			postErr <- fmt.Errorf("serve: results post: coordinator returned %s", resp.Status)
+			return
+		}
+		postErr <- nil
+	}()
+
+	var mu sync.Mutex // serializes result lines onto the pipe
+	enc := json.NewEncoder(pw)
+	sem := make(chan struct{}, w.jobs)
+	var wg sync.WaitGroup
+	for _, t := range batch {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t taskAssignment) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			line, err := w.executeOne(t)
+			if err != nil {
+				log.Printf("sgxgauged: worker %s: spec %s: %v (dropped; coordinator will reroute)", w.id, t.Key, err)
+				return
+			}
+			mu.Lock()
+			// An encode failure means the post died; the goroutine
+			// above reports it and the coordinator reroutes.
+			enc.Encode(line)
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	pw.Close()
+	return <-postErr
+}
+
+// executeOne runs one assignment through the local runner and shapes
+// the result for the wire. A spec's own failure travels inside the
+// result line; only transport-level trouble (an undecodable spec, an
+// unencodable result) is an error.
+func (w *Worker) executeOne(t taskAssignment) (resultLine, error) {
+	spec, err := t.Spec.Spec()
+	if err != nil {
+		return resultLine{}, fmt.Errorf("serve: bad assignment spec: %w", err)
+	}
+	// Run, not localRun: the worker's runner owns caching here, so a
+	// result already in its memory cache or on-disk store is served
+	// without booting a machine.
+	res, err := w.server.runner.Run(spec)
+	if err != nil || res == nil {
+		return resultLine{}, fmt.Errorf("serve: executing assignment: %w", err)
+	}
+	w.executed.Add(1)
+	return resultLine{Key: t.Key, Result: res.Wire()}, nil
+}
+
+// post sends one JSON request and decodes the JSON response into out.
+// An errUnknownWorker response is returned as that sentinel so the
+// loop re-registers.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return errUnknownWorker
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("serve: %s: coordinator returned %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
