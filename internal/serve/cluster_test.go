@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -15,6 +16,7 @@ import (
 
 	"sgxgauge/internal/harness"
 	"sgxgauge/internal/store"
+	"sgxgauge/internal/workloads"
 )
 
 // startCoordinator boots a coordinator daemon on an ephemeral
@@ -291,8 +293,14 @@ func TestClusterCoalescing(t *testing.T) {
 		t.Fatalf("coalesced counter = %d, want 1", got)
 	}
 
+	// The worker must pull the task before its result is acceptable.
+	if _, err := c.poll(context.Background(), "w1", 4, 0); err != nil {
+		t.Fatal(err)
+	}
 	res := &harness.Result{Name: "Empty"}
-	c.complete("w1", key, res, now)
+	if !c.complete("w1", key, res, now) {
+		t.Fatal("owning worker's result for its pulled task was not accepted")
+	}
 	select {
 	case <-t1.done:
 	default:
@@ -382,17 +390,306 @@ func TestClusterRequeueOnWorkerDeath(t *testing.T) {
 	}
 }
 
-// TestClusterUnknownWorkerPoll: polling without registering is a 404
-// telling the worker to register, not a hang or a 500.
+// TestClusterUnknownWorkerPoll: polling (or heartbeating) without
+// registering is a 404 telling the worker to register, not a hang or
+// a 500.
 func TestClusterUnknownWorkerPoll(t *testing.T) {
 	_, cts := startCoordinator(t, Config{})
-	resp, err := http.Post(cts.URL+"/v1/cluster/poll", "application/json",
-		strings.NewReader(`{"worker":"ghost","max":1,"wait_ms":0}`))
+	for _, path := range []string{"/v1/cluster/poll", "/v1/cluster/heartbeat"} {
+		resp, err := http.Post(cts.URL+path, "application/json",
+			strings.NewReader(`{"worker":"ghost","max":1,"wait_ms":0}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestClusterResultValidation: a result reaches a task only from the
+// live worker that pulled it, and only when it identifies as the
+// task's spec. Everything else is stale or rejected — and a mismatch
+// from the owning worker fails the task loudly instead of leaving it
+// assigned forever.
+func TestClusterResultValidation(t *testing.T) {
+	c := newCluster(time.Minute)
+	now := time.Now()
+	c.register("w1", now)
+
+	spec := harness.Spec{Workload: mustWorkload(t, "Empty")}
+	key, err := harness.SpecKey(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	task, _, local := c.submit(key, spec, now)
+	if local {
+		t.Fatal("submit fell back to local execution with a live worker")
+	}
+	good := &harness.Result{Name: "Empty"}
+
+	// Routed but never pulled: rejected, task still queued.
+	if c.complete("w1", key, good, now) {
+		t.Fatal("accepted a result for a task the worker never pulled")
+	}
+	if got := c.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	if task.finished {
+		t.Fatal("rejected result finished the task")
+	}
+
+	// Pulled by w1; a post from a different live worker is stale.
+	if _, err := c.poll(context.Background(), "w1", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.register("w2", now)
+	if c.complete("w2", key, good, now) {
+		t.Fatal("accepted a result from a worker that does not own the task")
+	}
+	if got := c.stale.Load(); got != 1 {
+		t.Fatalf("stale counter = %d, want 1", got)
+	}
+	if task.finished {
+		t.Fatal("non-owner's result finished the task")
+	}
+
+	// The owner posting a result for the wrong spec fails the task.
+	if c.complete("w1", key, &harness.Result{Name: "BTree"}, now) {
+		t.Fatal("accepted a result naming the wrong workload")
+	}
+	if !task.finished || task.err == nil || task.res != nil {
+		t.Fatalf("mismatched result left task finished=%v err=%v res=%v, want a loud failure",
+			task.finished, task.err, task.res)
+	}
+
+	// A fresh task for the same key completes normally end to end
+	// (with two workers it shards by the key's leading byte).
+	task2, created, _ := c.submit(key, spec, now)
+	if !created || task2 == task {
+		t.Fatal("failed task was not retired from the pending map")
+	}
+	owner := []string{"w1", "w2"}[int(key[0])%2]
+	if _, err := c.poll(context.Background(), owner, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.complete(owner, key, good, now) {
+		t.Fatal("owning worker's matching result was not accepted")
+	}
+	if task2.res != good || task2.err != nil {
+		t.Fatalf("task settled with res=%v err=%v", task2.res, task2.err)
+	}
+}
+
+// TestClusterResultsPostPoisonRejected: the unauthenticated results
+// endpoint cannot be used to seed the shared cache and persistent
+// store with fabricated results — a post for a key the coordinator
+// never dispatched is dropped whether or not the poster's worker id
+// is registered.
+func TestClusterResultsPostPoisonRejected(t *testing.T) {
+	coord, cts := startCoordinator(t, Config{Store: func() *store.Store {
+		st, err := store.Open(t.TempDir(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}()})
+	resp, err := http.Post(cts.URL+"/v1/cluster/register", "application/json",
+		strings.NewReader(`{"worker":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+
+	key := strings.Repeat("ab", 32)
+	line, err := json.Marshal(resultLine{Key: key, Result: (&harness.Result{Name: "Empty", Attempts: 1}).Wire()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, worker := range []string{"w1", "ghost"} {
+		resp, err := http.Post(cts.URL+"/v1/cluster/results?worker="+worker,
+			"application/x-ndjson", strings.NewReader(string(line)+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr resultsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if rr.Accepted != 0 {
+			t.Errorf("poison post as %q: accepted %d results, want 0", worker, rr.Accepted)
+		}
+	}
+	if got := coord.cluster.stale.Load(); got != 2 {
+		t.Errorf("stale counter = %d, want 2", got)
+	}
+
+	// The fabricated result reached neither the cache nor the store.
+	resp, err = http.Get(cts.URL + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("status %d, want 404", resp.StatusCode)
+		t.Fatalf("/v1/results/%s: status %d, want 404 (poisoned entry served)", key, resp.StatusCode)
+	}
+	if n := coord.store.Len(); n != 0 {
+		t.Fatalf("store holds %d entries after poison posts, want 0", n)
+	}
+}
+
+// TestWorkerReregistersAfterFailedResultsPost: a worker whose results
+// post dies must re-register — polling again under the old
+// registration would keep the dropped batch assigned at the
+// coordinator forever.
+func TestWorkerReregistersAfterFailedResultsPost(t *testing.T) {
+	ws := New(Config{EPCPages: testEPC, Seed: 7, Workers: 2})
+	spec := ws.runner.Normalize(harness.Spec{Workload: mustWorkload(t, "Empty"), Size: workloads.Low, Seed: 1})
+	key, err := harness.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := spec.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment := taskAssignment{Key: key.String(), Spec: wire}
+
+	var registers, posts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		registers.Add(1)
+		writeJSON(w, http.StatusOK, registerResponse{Workers: 1, TTLMS: 60_000})
+	})
+	mux.HandleFunc("POST /v1/cluster/poll", func(w http.ResponseWriter, r *http.Request) {
+		resp := pollResponse{}
+		if registers.Load() == 1 && posts.Load() == 0 {
+			resp.Specs = []taskAssignment{assignment}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, heartbeatResponse{OK: true})
+	})
+	mux.HandleFunc("POST /v1/cluster/results", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if posts.Add(1) == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, resultsResponse{Accepted: 0})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	wk := NewWorker(ws, ts.URL, "w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wk.Run(ctx)
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for registers.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never re-registered after a failed results post (registers=%d, postFails=%d)",
+				registers.Load(), wk.postFails.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := wk.postFails.Load(); got < 1 {
+		t.Fatalf("postFails = %d, want >= 1", got)
+	}
+}
+
+// TestClusterHeartbeat: a heartbeat refreshes liveness without
+// pulling work, so a worker stuck simulating one long spec outlives
+// the TTL; silence after the last beat still expires it.
+func TestClusterHeartbeat(t *testing.T) {
+	const ttl = time.Minute
+	c := newCluster(ttl)
+	t0 := time.Now()
+	c.register("w1", t0)
+
+	t1 := t0.Add(ttl - time.Second)
+	if !c.heartbeat("w1", t1) {
+		t.Fatal("heartbeat for a registered worker reported unknown")
+	}
+	// Past the original TTL, alive only because of the beat.
+	if n := c.liveWorkers(t0.Add(ttl + time.Second)); n != 1 {
+		t.Fatalf("live workers past the registration TTL = %d, want 1 (heartbeat ignored)", n)
+	}
+	if n := c.liveWorkers(t1.Add(ttl + time.Second)); n != 0 {
+		t.Fatalf("live workers past the heartbeat TTL = %d, want 0", n)
+	}
+	if c.heartbeat("w1", t1.Add(ttl+2*time.Second)) {
+		t.Fatal("heartbeat for an expired worker reported registered")
+	}
+}
+
+// TestClusterPollDwellClamped: an idle long-poll returns before the
+// TTL can expire the polling worker — otherwise a short TTL would
+// churn idle workers through expiry and re-registration.
+func TestClusterPollDwellClamped(t *testing.T) {
+	c := newCluster(time.Second)
+	c.register("w1", time.Now())
+	start := time.Now()
+	batch, err := c.poll(context.Background(), "w1", 1, 10*time.Second)
+	if err != nil || len(batch) != 0 {
+		t.Fatalf("poll = %v, %v; want a clean empty batch", batch, err)
+	}
+	if d := time.Since(start); d >= time.Second {
+		t.Fatalf("idle poll dwelled %v, at or past the 1s TTL", d)
+	}
+	if n := c.liveWorkers(time.Now()); n != 1 {
+		t.Fatalf("worker expired during its own idle long-poll (live=%d)", n)
+	}
+}
+
+// TestResultLineDecoderLimits: the results stream has no whole-body
+// cap — a batch of results far larger than any fixed request limit
+// decodes line by line — while a single line over maxResultLine is a
+// clear error rather than unbounded buffering.
+func TestResultLineDecoderLimits(t *testing.T) {
+	line, err := json.Marshal(resultLine{Key: strings.Repeat("ab", 32),
+		Result: (&harness.Result{Name: "Empty", Attempts: 1}).Wire()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line = append(line, '\n')
+	want := (10<<20)/len(line) + 1 // stream well past the old 8 MiB body cap
+	d := newResultLineDecoder(strings.NewReader(strings.Repeat(string(line), want)))
+	got := 0
+	for {
+		_, res, err := d.next()
+		if err == errDecodeDone {
+			break
+		}
+		if err != nil {
+			t.Fatalf("line %d: %v", got, err)
+		}
+		if res.Name != "Empty" {
+			t.Fatalf("line %d decoded Name %q", got, res.Name)
+		}
+		got++
+	}
+	if got != want {
+		t.Fatalf("decoded %d lines, want %d", got, want)
+	}
+
+	big := `{"key":"` + strings.Repeat("a", maxResultLine) + `"}`
+	d = newResultLineDecoder(strings.NewReader(big))
+	if _, _, err := d.next(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized line error = %v, want a limit error", err)
 	}
 }

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -29,13 +31,16 @@ const maxPollWait = 30 * time.Second
 // shard and coalesces duplicate in-flight keys so a spec requested by
 // ten concurrent sweeps crosses the wire — and simulates — once.
 //
-// Failure semantics: a worker that stops polling past the TTL is
-// expired and its queued and assigned tasks reroute to the surviving
-// workers; with no workers left a task is orphaned until either a new
-// worker registers or a waiting request claims it for local
-// execution. Results are content-addressed, so a late result from an
-// expired worker is still accepted if its task is somehow open, and
-// counted as stale otherwise.
+// Failure semantics: a worker that stops polling (or heartbeating)
+// past the TTL is expired and its queued and assigned tasks reroute
+// to the surviving workers; with no workers left a task is orphaned
+// until either a new worker registers or a waiting request claims it
+// for local execution. A result is accepted only from the live worker
+// the task is currently assigned to, and only when it matches the
+// task's spec — anything else is dropped as stale (late, reassigned,
+// replayed) or rejected (mislabeled, forged) without touching the
+// cache or store. Results are content-addressed, so dropping a
+// duplicate loses nothing.
 type cluster struct {
 	ttl time.Duration
 
@@ -54,7 +59,8 @@ type cluster struct {
 	requeued   atomic.Uint64 // task reroutes after a worker expiry
 	coalesced  atomic.Uint64 // submissions that joined an open task
 	localRuns  atomic.Uint64 // orphaned tasks claimed for local execution
-	stale      atomic.Uint64 // results for keys with no open task
+	stale      atomic.Uint64 // results for closed tasks or from non-owners
+	rejected   atomic.Uint64 // results inconsistent with their task's spec
 }
 
 // clusterWorker is one registered worker's dispatch state.
@@ -241,6 +247,11 @@ func (c *cluster) poll(ctx context.Context, id string, max int, wait time.Durati
 	if wait > maxPollWait {
 		wait = maxPollWait
 	}
+	// Dwelling longer than the TTL would expire an idle worker inside
+	// its own long-poll; returning by ttl/2 keeps lastSeen fresh.
+	if wait > c.ttl/2 {
+		wait = c.ttl / 2
+	}
 	deadline := time.Now().Add(wait)
 	for {
 		now := time.Now()
@@ -281,25 +292,77 @@ func (c *cluster) poll(ctx context.Context, id string, max int, wait time.Durati
 }
 
 // complete finishes the open task for key with a worker-computed
-// result. Unknown, finished, and locally claimed keys — a replay, or
-// a late result racing the waiter that already took the task over —
-// count as stale and are dropped; results are content-addressed, so
+// result, reporting whether the result was accepted. Acceptance
+// requires that the posting worker is live, currently owns the task,
+// actually pulled it, and that the result identifies as the task's
+// spec — the results endpoint is unauthenticated, so anything a
+// worker posts is validated against the coordinator's own record of
+// what it handed out before it can reach the shared cache and store.
+// Unknown, finished, locally claimed and reassigned keys count as
+// stale; a never-pulled key or a result naming the wrong
+// workload/mode counts as rejected. Results are content-addressed, so
 // dropping a duplicate loses nothing.
-func (c *cluster) complete(workerID string, key harness.Key, res *harness.Result, now time.Time) {
+func (c *cluster) complete(workerID string, key harness.Key, res *harness.Result, now time.Time) bool {
 	c.mu.Lock()
-	if w, ok := c.workers[workerID]; ok {
+	w, live := c.workers[workerID]
+	if live {
 		w.lastSeen = now
-		delete(w.assigned, key)
 	}
-	t, ok := c.pending[key]
-	if !ok || t.finished || t.claimed {
+	t, open := c.pending[key]
+	if !open || t.finished || t.claimed || !live || t.worker != workerID {
+		if live {
+			delete(w.assigned, key)
+		}
 		c.mu.Unlock()
 		c.stale.Add(1)
-		return
+		return false
+	}
+	if _, pulled := w.assigned[key]; !pulled {
+		// Routed but never pulled: the task is still queued and will
+		// execute normally; this post cannot be its result.
+		c.mu.Unlock()
+		c.rejected.Add(1)
+		return false
+	}
+	if !resultMatchesSpec(res, t.spec) {
+		// The owning worker posted a result that cannot be this
+		// task's. Fail the task loudly rather than leave it assigned
+		// forever (the worker keeps polling, so it never expires) or
+		// reroute it back into the same buggy worker's shard.
+		c.finishLocked(t, nil, fmt.Errorf("serve: worker %s posted a result inconsistent with the spec for key %s", workerID, key))
+		c.mu.Unlock()
+		c.rejected.Add(1)
+		return false
 	}
 	c.finishLocked(t, res, nil)
 	c.mu.Unlock()
 	c.completed.Add(1)
+	return true
+}
+
+// resultMatchesSpec checks that a posted result plausibly came from
+// executing spec: the workload name and mode it identifies as must be
+// the spec's own. The spec key itself cannot be recomputed from a
+// result, so this is a consistency check, not a proof — it catches
+// mislabeled keys from buggy workers and casually forged posts.
+func resultMatchesSpec(res *harness.Result, spec harness.Spec) bool {
+	return res != nil && spec.Workload != nil &&
+		res.Name == spec.Workload.Name() && res.Mode == spec.Mode
+}
+
+// heartbeat refreshes a worker's lastSeen without pulling work,
+// reporting whether the worker is (still) registered. Workers beat
+// while executing a batch so specs slower than the TTL do not expire
+// them mid-run.
+func (c *cluster) heartbeat(id string, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	w, ok := c.workers[id]
+	if ok {
+		w.lastSeen = now
+	}
+	return ok
 }
 
 // finish settles a locally executed (claimed) task.
@@ -390,9 +453,21 @@ type registerRequest struct {
 	Worker string `json:"worker"`
 }
 
-// registerResponse acknowledges a registration.
+// registerResponse acknowledges a registration and advertises the
+// coordinator's worker TTL so the worker can pace its heartbeats.
 type registerResponse struct {
-	Workers int `json:"workers"`
+	Workers int   `json:"workers"`
+	TTLMS   int64 `json:"ttl_ms"`
+}
+
+// heartbeatRequest is the POST /v1/cluster/heartbeat body.
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// heartbeatResponse acknowledges a keep-alive.
+type heartbeatResponse struct {
+	OK bool `json:"ok"`
 }
 
 // pollRequest is the POST /v1/cluster/poll body.
@@ -435,7 +510,23 @@ func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := s.cluster.register(req.Worker, time.Now())
-	writeJSON(w, http.StatusOK, registerResponse{Workers: n})
+	writeJSON(w, http.StatusOK, registerResponse{Workers: n, TTLMS: s.cluster.ttl.Milliseconds()})
+}
+
+// handleClusterHeartbeat serves POST /v1/cluster/heartbeat: a
+// keep-alive workers send while a batch executes, since neither
+// polling nor the results stream touches the coordinator during a
+// long simulation. Unknown workers get 404 so they re-register.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeBody(w, r, maxRunBody, &req) {
+		return
+	}
+	if !s.cluster.heartbeat(req.Worker, time.Now()) {
+		writeError(w, http.StatusNotFound, errUnknownWorker)
+		return
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{OK: true})
 }
 
 // handleClusterPoll serves POST /v1/cluster/poll: a long-poll that
@@ -471,11 +562,16 @@ func (s *Server) handleClusterPoll(w http.ResponseWriter, r *http.Request) {
 // handleClusterResults serves POST /v1/cluster/results: an NDJSON
 // stream of completed results, accepted incrementally so a sweep
 // waiting on an early key unblocks before the worker's whole batch
-// lands. Accepted results enter the coordinator's cache (and store)
-// exactly like locally computed ones.
+// lands. The stream as a whole is unbounded — it is consumed line by
+// line, and a batch of full-fidelity results (timelines, op stats)
+// can legitimately run far past any fixed body cap — but each line is
+// capped at maxResultLine. A result reaches the shared cache (and
+// store) only after the cluster validates it against the task the
+// posting worker actually holds; stale and rejected lines are dropped
+// without being counted as accepted.
 func (s *Server) handleClusterResults(w http.ResponseWriter, r *http.Request) {
 	workerID := r.URL.Query().Get("worker")
-	dec := newResultLineDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec := newResultLineDecoder(r.Body)
 	accepted := 0
 	for {
 		key, res, err := dec.next()
@@ -486,10 +582,12 @@ func (s *Server) handleClusterResults(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if res.Err == nil {
-			res = s.results.Add(key, res)
+		if !s.cluster.complete(workerID, key, res, time.Now()) {
+			continue
 		}
-		s.cluster.complete(workerID, key, res, time.Now())
+		if res.Err == nil {
+			s.results.Add(key, res)
+		}
 		accepted++
 	}
 	writeJSON(w, http.StatusOK, resultsResponse{Accepted: accepted})
@@ -498,35 +596,53 @@ func (s *Server) handleClusterResults(w http.ResponseWriter, r *http.Request) {
 // errDecodeDone is resultLineDecoder's clean end-of-stream marker.
 var errDecodeDone = errors.New("serve: result stream complete")
 
+// maxResultLine caps one line of a results stream. The cap is per
+// line, not per stream: memory is bounded by the largest single
+// result, while a long batch of large results streams through
+// unimpeded.
+const maxResultLine = 8 << 20
+
 // resultLineDecoder reads one resultLine per call from an NDJSON
 // stream, rehydrating the canonical wire form into a harness.Result.
 type resultLineDecoder struct {
-	dec *json.Decoder
+	sc *bufio.Scanner
 }
 
 func newResultLineDecoder(r io.Reader) *resultLineDecoder {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	return &resultLineDecoder{dec: dec}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxResultLine)
+	return &resultLineDecoder{sc: sc}
 }
 
 // next returns the stream's next key/result pair, errDecodeDone at
 // clean end of stream, or the first malformed line's error.
 func (d *resultLineDecoder) next() (harness.Key, *harness.Result, error) {
-	var line resultLine
-	if err := d.dec.Decode(&line); err != nil {
-		if err == io.EOF {
-			return harness.Key{}, nil, errDecodeDone
+	for d.sc.Scan() {
+		raw := bytes.TrimSpace(d.sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var line resultLine
+		if err := dec.Decode(&line); err != nil {
+			return harness.Key{}, nil, fmt.Errorf("serve: bad result line: %w", err)
+		}
+		key, err := harness.ParseKey(line.Key)
+		if err != nil {
+			return harness.Key{}, nil, err
+		}
+		res, err := line.Result.Result()
+		if err != nil {
+			return harness.Key{}, nil, err
+		}
+		return key, res, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			err = fmt.Errorf("serve: result line exceeds the %d-byte limit", maxResultLine)
 		}
 		return harness.Key{}, nil, fmt.Errorf("serve: bad result line: %w", err)
 	}
-	key, err := harness.ParseKey(line.Key)
-	if err != nil {
-		return harness.Key{}, nil, err
-	}
-	res, err := line.Result.Result()
-	if err != nil {
-		return harness.Key{}, nil, err
-	}
-	return key, res, nil
+	return harness.Key{}, nil, errDecodeDone
 }

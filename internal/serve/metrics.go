@@ -162,9 +162,12 @@ func renderClusterMetrics(w io.Writer, c *cluster) {
 	fmt.Fprintln(w, "# HELP sgxgauged_cluster_local_runs_total Tasks executed on the coordinator itself (no live worker owned them).")
 	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_local_runs_total counter")
 	fmt.Fprintf(w, "sgxgauged_cluster_local_runs_total %d\n", c.localRuns.Load())
-	fmt.Fprintln(w, "# HELP sgxgauged_cluster_stale_results_total Worker results for keys with no open task.")
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_stale_results_total Worker results for closed tasks or from workers that no longer own them.")
 	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_stale_results_total counter")
 	fmt.Fprintf(w, "sgxgauged_cluster_stale_results_total %d\n", c.stale.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_rejected_results_total Worker results inconsistent with their task's spec, dropped before reaching the cache.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_rejected_results_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_rejected_results_total %d\n", c.rejected.Load())
 }
 
 // sortedKeys returns the map's keys in sorted order.

@@ -64,7 +64,10 @@ type Server struct {
 	cache   *Cache
 	metrics *metrics
 	flight  *flight
-	slots   chan struct{}
+	// slots bounds concurrent local simulation (localRun holds one
+	// slot per run); remote dispatch on a coordinator is not bounded
+	// by it.
+	slots chan struct{}
 	// results is the full lookup stack requests read and write: the
 	// in-memory cache alone, or — with Config.Store — the cache tiered
 	// over the persistent store.
@@ -119,15 +122,24 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// localRun executes one spec in-process through the shared Runner.
-// The server is the cache layer on this path — execute (or the
-// engine, on the sweep path) already probed and will store the result
-// — so the spec is marked hook-bearing to keep the engine from
-// probing the shared cache a second time (which would double-count
-// every miss on /metrics). On a coordinator the marker also keeps the
-// nested Run clear of the remote executor: hook-bearing specs always
-// run in-process.
+// localRun executes one spec in-process through the shared Runner,
+// holding one worker-pool slot for the duration — the slots semaphore
+// bounds genuinely local simulation only, so a coordinator's remote
+// dispatch (which just waits on the fleet) is never capped by the
+// coordinator's own core count. The server is the cache layer on this
+// path — execute (or the engine, on the sweep path) already probed
+// and will store the result — so the spec is marked hook-bearing to
+// keep the engine from probing the shared cache a second time (which
+// would double-count every miss on /metrics). On a coordinator the
+// marker also keeps the nested Run clear of the remote executor:
+// hook-bearing specs always run in-process.
 func (s *Server) localRun(spec harness.Spec) (*harness.Result, error) {
+	s.slots <- struct{}{}
+	s.metrics.busy.Add(1)
+	defer func() {
+		s.metrics.busy.Add(-1)
+		<-s.slots
+	}()
 	spec.Hooks = harness.Hooks{OnMachine: func(*sgx.Machine) {}}
 	return s.runner.Run(spec)
 }
@@ -146,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 		// Poll is deliberately uninstrumented: its long-poll dwell time
 		// would swamp the latency summary with idle waiting.
 		mux.HandleFunc("POST /v1/cluster/poll", s.handleClusterPoll)
+		mux.HandleFunc("POST /v1/cluster/heartbeat", s.instrument("/v1/cluster/heartbeat", s.handleClusterHeartbeat))
 		mux.HandleFunc("POST /v1/cluster/results", s.instrument("/v1/cluster/results", s.handleClusterResults))
 	}
 	return mux
@@ -180,12 +193,12 @@ func (s *Server) execute(ctx context.Context, spec harness.Spec) (key harness.Ke
 			defer s.leaders.Done()
 			s.metrics.inflight.Add(1)
 			defer s.metrics.inflight.Add(-1)
-			s.slots <- struct{}{}
-			s.metrics.busy.Add(1)
 			s.metrics.runs.Add(1)
+			// No slot is taken here: localRun acquires one itself, so
+			// a coordinator's remote dispatch — which only waits on
+			// the fleet — runs as wide as the fleet, not as wide as
+			// the coordinator's worker pool.
 			res, err := s.runSpec(spec)
-			s.metrics.busy.Add(-1)
-			<-s.slots
 			// The runner has already cached successful results; the
 			// Add here only matters when a test's fake runSpec
 			// bypasses the runner. Put-if-absent keeps one canonical

@@ -29,16 +29,23 @@ const workerRetryDelay = time.Second
 //
 // The loop is crash-only: any transport failure (coordinator down,
 // poll rejected, results post broken) backs off and starts over from
-// registration. Results lost in a failed post are not retried — the
-// coordinator's TTL sweep reroutes the orphaned tasks, and results
-// are content-addressed, so re-execution converges on identical
-// bytes.
+// registration. Results lost in a failed post are not retried as
+// results — the worker re-registers, which drops its previous
+// incarnation at the coordinator and immediately reroutes every task
+// it still held; results are content-addressed, so re-execution
+// converges on identical bytes. While a batch executes, a background
+// heartbeat keeps the registration alive so a single spec that
+// simulates longer than the coordinator's TTL does not get the whole
+// batch rerouted mid-run.
 type Worker struct {
 	server      *Server
 	coordinator string // base URL, e.g. http://127.0.0.1:8643
 	id          string
 	jobs        int
 	client      *http.Client
+	// heartbeatEvery paces keep-alives during batch execution; set
+	// from the coordinator's advertised TTL at registration.
+	heartbeatEvery time.Duration
 
 	executed  atomic.Uint64 // specs executed for the coordinator
 	postFails atomic.Uint64 // result posts that died mid-stream
@@ -50,11 +57,12 @@ type Worker struct {
 func NewWorker(s *Server, coordinator, id string) *Worker {
 	jobs := cap(s.slots)
 	return &Worker{
-		server:      s,
-		coordinator: coordinator,
-		id:          id,
-		jobs:        jobs,
-		client:      &http.Client{},
+		server:         s,
+		coordinator:    coordinator,
+		id:             id,
+		jobs:           jobs,
+		client:         &http.Client{},
+		heartbeatEvery: DefaultWorkerTTL / 3,
 	}
 }
 
@@ -95,17 +103,52 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		if err := w.executeBatch(ctx, batch); err != nil {
 			w.postFails.Add(1)
-			log.Printf("sgxgauged: worker %s: results post: %v (coordinator will reroute)", w.id, err)
+			// Re-register rather than keep polling: polling would
+			// refresh lastSeen and keep the dropped batch assigned
+			// forever, while re-registration drops this incarnation at
+			// the coordinator and reroutes every task it held.
+			registered = false
+			log.Printf("sgxgauged: worker %s: results post: %v (re-registering so the coordinator reroutes)", w.id, err)
 			sleepCtx(ctx, workerRetryDelay)
 		}
 	}
 	return nil
 }
 
-// register announces the worker to the coordinator.
+// register announces the worker to the coordinator and adopts its
+// advertised TTL as the heartbeat cadence (a third of the TTL, so two
+// beats can be lost before expiry).
 func (w *Worker) register(ctx context.Context) error {
 	var resp registerResponse
-	return w.post(ctx, "/v1/cluster/register", registerRequest{Worker: w.id}, &resp)
+	if err := w.post(ctx, "/v1/cluster/register", registerRequest{Worker: w.id}, &resp); err != nil {
+		return err
+	}
+	if resp.TTLMS > 0 {
+		every := time.Duration(resp.TTLMS) * time.Millisecond / 3
+		if every < 100*time.Millisecond {
+			every = 100 * time.Millisecond
+		}
+		w.heartbeatEvery = every
+	}
+	return nil
+}
+
+// heartbeatLoop posts keep-alives until ctx is cancelled. Failures are
+// ignored: an expired registration surfaces on the next poll as
+// errUnknownWorker, and a dead transport surfaces on the results post.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(w.heartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var resp heartbeatResponse
+			//sgxlint:ignore droppederr keep-alives are best-effort; an expired registration surfaces on the next poll, a dead transport on the results post
+			w.post(ctx, "/v1/cluster/heartbeat", heartbeatRequest{Worker: w.id}, &resp)
+		}
+	}
 }
 
 // poll long-polls the coordinator for the next batch of assignments.
@@ -123,6 +166,14 @@ func (w *Worker) poll(ctx context.Context) ([]taskAssignment, error) {
 // chunked NDJSON POST as it completes, so the coordinator can settle
 // early keys while later ones are still simulating.
 func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error {
+	// Keep the registration alive while the batch simulates: the
+	// results stream only touches the coordinator as lines land, so a
+	// single spec slower than the TTL would otherwise expire the
+	// worker and reroute the whole batch.
+	hbCtx, stopHeartbeat := context.WithCancel(ctx)
+	defer stopHeartbeat()
+	go w.heartbeatLoop(hbCtx)
+
 	pr, pw := io.Pipe()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		w.coordinator+"/v1/cluster/results?worker="+w.id, pr)
