@@ -5,19 +5,33 @@
 //
 //	sgxgauged [-addr host:port] [-epc pages] [-seed n] [-j workers]
 //	          [-cache entries] [-drain timeout]
+//	          [-store.dir dir] [-store.fsync]
+//	          [-journal.dir dir] [-journal.fsync]
+//	          [-admission.max specs]
+//	          [-coordinator [-worker.ttl d] [-task.retries n] | -worker url]
 //
 // Endpoints:
 //
 //	POST /v1/run            run one spec (SpecWire JSON in, result out)
-//	POST /v1/sweep          run a spec list, NDJSON progress stream out
+//	POST /v1/sweep          run a spec list, NDJSON job/progress/result stream out
+//	GET  /v1/jobs/{id}      reattach to a live or recovered job's result stream
 //	GET  /v1/figures/{fig}  regenerate a paper figure/table (2-10, t2, t4, t5)
 //	GET  /v1/results/{key}  content-addressed result lookup (SHA-256 of the spec)
 //	GET  /metrics           Prometheus text metrics
-//	GET  /healthz           liveness probe
+//	GET  /healthz           role-aware liveness (503 while a journal replay runs)
 //
 // Identical specs are cached and concurrent identical requests
-// coalesce onto one run; see README "Serving" for the wire schema and
-// curl examples.
+// coalesce onto one run. With -journal.dir every accepted job is
+// write-ahead-logged: a killed daemon restarted on the same
+// directories replays unfinished jobs (store-warm tasks do not
+// re-simulate) and clients reattach by job ID. Jobs past the
+// -admission.max queue high-water mark are shed with 429 +
+// Retry-After. With -coordinator, execution farms out to registered
+// workers (-worker url on each): tasks carry per-attempt retry
+// budgets and are poisoned — failed with their attempt history —
+// past -task.retries; a SIGTERM'd worker drains its in-flight batch
+// and deregisters. See README "Serving" for the wire schema and curl
+// examples, and DESIGN.md paragraph 10 for the architecture.
 package main
 
 import (

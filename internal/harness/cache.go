@@ -178,6 +178,7 @@ func (r *Runner) RunAll(specs []Spec, opts ...Option) ([]*Result, error) {
 	var missCacheable []bool
 	missPos := map[Key]int{} // key -> index in missSpecs
 
+	hits := 0
 	for i, spec := range specs {
 		spec = r.normalize(spec)
 		key, kerr := SpecKey(spec)
@@ -185,6 +186,21 @@ func (r *Runner) RunAll(specs []Spec, opts ...Option) ([]*Result, error) {
 		if cacheable {
 			if res, ok := cache.Get(key); ok {
 				out[i] = res
+				hits++
+				// Cache-hit events precede the engine batch and are
+				// emitted from this single goroutine, so the serialized-
+				// callback contract holds without extra locking.
+				if o.progressCached && o.progress != nil {
+					o.progress(Progress{
+						Completed: hits,
+						Total:     len(specs),
+						Index:     i,
+						Name:      res.Name,
+						Mode:      spec.Mode,
+						Err:       res.Err,
+						Cached:    true,
+					})
+				}
 				continue
 			}
 			if j, dup := missPos[key]; dup {

@@ -31,16 +31,21 @@ type Progress struct {
 	Wall time.Duration
 	// Err is non-nil when the spec failed or panicked.
 	Err error
+	// Cached marks a spec served from the runner's result cache
+	// without executing. Such events are emitted only when the batch
+	// opts in via ProgressCached.
+	Cached bool
 }
 
 type engineOpts struct {
-	workers  int
-	progress func(Progress)
-	retries  int
-	backoff  time.Duration
-	clock    Clock
-	ctx      context.Context
-	exec     func(Spec) (*Result, error)
+	workers        int
+	progress       func(Progress)
+	progressCached bool
+	retries        int
+	backoff        time.Duration
+	clock          Clock
+	ctx            context.Context
+	exec           func(Spec) (*Result, error)
 }
 
 // Option configures a Runner.RunAll batch (and the Run/Get wrappers
@@ -55,6 +60,16 @@ func Workers(n int) Option {
 // OnProgress registers fn to be called after each spec completes.
 func OnProgress(fn func(Progress)) Option {
 	return func(o *engineOpts) { o.progress = fn }
+}
+
+// ProgressCached makes RunAll emit a progress event (Cached: true)
+// for every spec it serves straight from the result cache, before the
+// engine batch starts. The default — cache hits are silent — is kept
+// for interactive progress bars, where "N specs ran" should mean N
+// simulations; journaling consumers opt in so a warm resume still
+// records every task as it lands.
+func ProgressCached() Option {
+	return func(o *engineOpts) { o.progressCached = true }
 }
 
 // Retry re-runs a spec up to n extra times when it fails with a

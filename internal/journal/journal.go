@@ -1,0 +1,603 @@
+// Package journal is the daemon's write-ahead log for accepted work.
+//
+// Every job the sgxgauged API admits — a /v1/run spec, a /v1/sweep
+// batch, a figure render — is recorded here before execution starts,
+// and every task completion is appended as it lands, so a crashed
+// daemon restarted on the same -journal.dir can re-enqueue exactly
+// the work that had not finished. The journal records *intent*, not
+// results: result payloads live in the content-addressed store
+// (internal/store), and a replayed task whose result is already on
+// disk short-circuits through the cache without re-simulating.
+//
+// The package follows internal/store's durability discipline:
+//
+//   - One append-only NDJSON file per job under <dir>/jobs/<id>.ndjson.
+//     Appends are single write(2) calls of one full line, so a crash
+//     can tear at most the final line, which replay tolerates.
+//   - Every record carries a versioned envelope ({"format":1,...});
+//     records from a different format are skipped, never misread.
+//   - Corruption is quarantined, never fatal: a bad record mid-file is
+//     skipped (and counted), a file whose job header is unreadable is
+//     moved to <dir>/quarantine/ and replay continues with the rest.
+//   - Rewrites (compaction) are atomic temp+rename; fsync is opt-in,
+//     matching the store's -store.fsync posture.
+//
+// Finished jobs are compacted — the file is rewritten as one job
+// header, one record per distinct task, and a terminal done record —
+// and pruned oldest-first beyond Options.KeepFinished, bounding the
+// directory at a constant number of files per retired job.
+//
+// The journal also keeps the poison quarantine: a task that exhausts
+// its cluster retry budget is written to <dir>/poisoned/<key>.json
+// with its attempt history, and every poisoned key is loaded at Open
+// so a restarted coordinator fails the spec fast instead of feeding
+// it back to the fleet.
+package journal
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sgxgauge/internal/harness"
+)
+
+// formatVersion is the record envelope version this build writes.
+const formatVersion = 1
+
+// DefaultKeepFinished is how many compacted finished jobs Replay
+// retains before pruning oldest-first.
+const DefaultKeepFinished = 512
+
+// Options configures a Journal.
+type Options struct {
+	// Fsync makes every append and compaction sync file and directory
+	// before returning, trading append latency for power-loss
+	// durability; off, the journal still survives process crashes
+	// (the write buffer is the kernel's, not the process's).
+	Fsync bool
+	// KeepFinished bounds how many finished jobs Replay retains
+	// (0 selects DefaultKeepFinished).
+	KeepFinished int
+}
+
+// Job is the journaled identity of one accepted API job.
+type Job struct {
+	// ID is the stable job identifier clients reattach by. It is used
+	// as a filename stem and must match NewID's alphabet.
+	ID string `json:"id"`
+	// Kind is the API surface that accepted the job: "run", "sweep"
+	// or "figure".
+	Kind string `json:"kind"`
+	// CreatedUnix orders jobs across restarts (host wall clock,
+	// seconds). It is operational metadata only and never touches
+	// simulated time.
+	CreatedUnix int64 `json:"created_unix"`
+	// Specs are the job's tasks in input order, in canonical wire
+	// form. Empty for figure jobs.
+	Specs []harness.SpecWire `json:"specs,omitempty"`
+	// Figure names the experiment for figure jobs.
+	Figure string `json:"figure,omitempty"`
+}
+
+// TaskDone records one task completion within a job.
+type TaskDone struct {
+	// Index is the task's position in Job.Specs.
+	Index int `json:"index"`
+	// Key is the task's canonical cache key (hex), when the spec has
+	// one; results for it live in the store under the same key.
+	Key string `json:"key,omitempty"`
+	// Error carries the task's own failure, if any. A failed task is
+	// still done — failures are not re-run by replay.
+	Error string `json:"error,omitempty"`
+}
+
+// JobState is one job as reconstructed by Replay.
+type JobState struct {
+	Job Job
+	// Done maps task index -> completion record for every task that
+	// landed before the crash (or finish).
+	Done map[int]TaskDone
+	// Finished reports whether a terminal done record was journaled.
+	Finished bool
+	// Err is the job-level error from the done record, if any.
+	Err string
+}
+
+// PoisonRecord is one quarantined task in <dir>/poisoned/.
+type PoisonRecord struct {
+	Format int `json:"format"`
+	// Key is the task's canonical cache key (hex).
+	Key string `json:"key"`
+	// Spec is the poisoned spec in wire form, for postmortems.
+	Spec *harness.SpecWire `json:"spec,omitempty"`
+	// Attempts is the task's attempt history, oldest first.
+	Attempts []string `json:"attempts,omitempty"`
+}
+
+// record is the decode union of every journal record type.
+type record struct {
+	Format int    `json:"format"`
+	Type   string `json:"type"`
+	Job    *Job   `json:"job,omitempty"`
+	Index  int    `json:"index"`
+	Key    string `json:"key,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Journal is an open write-ahead log rooted at one directory. Methods
+// are safe for concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu sync.Mutex
+	// poisoned maps key hex -> quarantine record. guarded by mu
+	poisoned map[string]PoisonRecord
+
+	records     atomic.Uint64 // records appended by this process
+	replayed    atomic.Uint64 // unfinished jobs returned by Replay
+	quarantined atomic.Uint64 // corrupt records skipped or files quarantined
+}
+
+// Open opens (creating if needed) the journal rooted at dir and loads
+// the poison quarantine.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.KeepFinished <= 0 {
+		opts.KeepFinished = DefaultKeepFinished
+	}
+	for _, sub := range []string{jobsDir, quarantineDir, poisonedDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("journal: create %s: %w", sub, err)
+		}
+	}
+	j := &Journal{dir: dir, opts: opts, poisoned: make(map[string]PoisonRecord)}
+	if err := j.loadPoisoned(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+const (
+	jobsDir       = "jobs"
+	quarantineDir = "quarantine"
+	poisonedDir   = "poisoned"
+)
+
+// Dir returns the journal's root directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// NewID returns a fresh job identifier: "j-" plus 12 random bytes in
+// hex. IDs double as filename stems, so the alphabet is fixed.
+func NewID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform entropy source is
+		// broken; there is no meaningful fallback for an identifier
+		// that must not collide across restarts.
+		panic(fmt.Sprintf("journal: entropy source unavailable: %v", err))
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// validID reports whether id is safe to use as a filename stem.
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (j *Journal) jobPath(id string) string {
+	return filepath.Join(j.dir, jobsDir, id+".ndjson")
+}
+
+// Begin journals acceptance of a job. It must be called before any
+// Task record for the job, and before the job starts executing — the
+// whole point of a write-ahead log.
+func (j *Journal) Begin(job Job) error {
+	if !validID(job.ID) {
+		return fmt.Errorf("journal: invalid job id %q", job.ID)
+	}
+	if job.Kind == "" {
+		return fmt.Errorf("journal: job %s has no kind", job.ID)
+	}
+	return j.append(job.ID, record{Format: formatVersion, Type: "job", Job: &job})
+}
+
+// Task journals one task completion within job id.
+func (j *Journal) Task(id string, td TaskDone) error {
+	if !validID(id) {
+		return fmt.Errorf("journal: invalid job id %q", id)
+	}
+	return j.append(id, record{Format: formatVersion, Type: "task", Index: td.Index, Key: td.Key, Error: td.Error})
+}
+
+// Finish journals job completion (jobErr carries a job-level failure,
+// "" for success) and compacts the job file to its canonical minimal
+// form. The done record is durable even when compaction fails.
+func (j *Journal) Finish(id string, jobErr string) error {
+	if !validID(id) {
+		return fmt.Errorf("journal: invalid job id %q", id)
+	}
+	if err := j.append(id, record{Format: formatVersion, Type: "done", Error: jobErr}); err != nil {
+		return err
+	}
+	return j.compact(id)
+}
+
+// append writes one record as a single NDJSON line.
+func (j *Journal) append(id string, rec record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode %s record: %w", rec.Type, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.OpenFile(j.jobPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open job %s: %w", id, err)
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if werr == nil && j.opts.Fsync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("journal: append to job %s: %w", id, werr)
+	}
+	j.records.Add(1)
+	return nil
+}
+
+// compact rewrites a finished job file as job header + one record per
+// distinct task index (sorted) + done record, atomically.
+func (j *Journal) compact(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	path := j.jobPath(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: compact job %s: %w", id, err)
+	}
+	state, bad := parseJob(data)
+	j.quarantined.Add(uint64(bad))
+	if state == nil {
+		return fmt.Errorf("journal: compact job %s: unreadable job header", id)
+	}
+	var buf strings.Builder
+	writeRec := func(rec record) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		return nil
+	}
+	if err := writeRec(record{Format: formatVersion, Type: "job", Job: &state.Job}); err != nil {
+		return fmt.Errorf("journal: compact job %s: %w", id, err)
+	}
+	idxs := make([]int, 0, len(state.Done))
+	for idx := range state.Done {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		td := state.Done[idx]
+		if err := writeRec(record{Format: formatVersion, Type: "task", Index: td.Index, Key: td.Key, Error: td.Error}); err != nil {
+			return fmt.Errorf("journal: compact job %s: %w", id, err)
+		}
+	}
+	if err := writeRec(record{Format: formatVersion, Type: "done", Error: state.Err}); err != nil {
+		return fmt.Errorf("journal: compact job %s: %w", id, err)
+	}
+	if err := j.writeAtomic(path, []byte(buf.String())); err != nil {
+		return fmt.Errorf("journal: compact job %s: %w", id, err)
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via temp+rename in path's
+// directory, with opt-in fsync of both file and directory.
+func (j *Journal) writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil && j.opts.Fsync {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		// Best-effort cleanup of the temp file after the real error.
+		_ = os.Remove(tmpName)
+		return werr
+	}
+	if j.opts.Fsync {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// parseJob decodes one job file. It returns the reconstructed state
+// (nil when no usable job header exists) and how many corrupt records
+// were skipped. A torn final line — no trailing newline, produced by
+// a crash mid-append — is ignored without counting: it is the
+// expected crash artifact, not corruption.
+func parseJob(data []byte) (state *JobState, bad int) {
+	lines := strings.Split(string(data), "\n")
+	torn := ""
+	if n := len(lines); n > 0 && lines[n-1] != "" {
+		torn = lines[n-1]
+		lines = lines[:n-1]
+	} else if n > 0 {
+		lines = lines[:n-1]
+	}
+	if torn != "" {
+		// A complete JSON record that merely lost its newline still
+		// counts; a half-written one is dropped silently.
+		var rec record
+		if err := json.Unmarshal([]byte(torn), &rec); err == nil {
+			lines = append(lines, torn)
+		}
+	}
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			bad++
+			continue
+		}
+		if rec.Format != formatVersion {
+			bad++
+			continue
+		}
+		switch rec.Type {
+		case "job":
+			if state != nil || rec.Job == nil || !validID(rec.Job.ID) {
+				bad++
+				continue
+			}
+			state = &JobState{Job: *rec.Job, Done: make(map[int]TaskDone)}
+		case "task":
+			if state == nil {
+				bad++
+				continue
+			}
+			state.Done[rec.Index] = TaskDone{Index: rec.Index, Key: rec.Key, Error: rec.Error}
+		case "done":
+			if state == nil {
+				bad++
+				continue
+			}
+			state.Finished = true
+			state.Err = rec.Error
+		default:
+			bad++
+		}
+	}
+	return state, bad
+}
+
+// Replay reads every job file, quarantining unreadable ones, prunes
+// finished jobs beyond KeepFinished (oldest first), and returns the
+// surviving states ordered by creation time then ID. The replayed
+// counter reflects the unfinished jobs returned — the ones a caller
+// will re-enqueue.
+func (j *Journal) Replay() ([]*JobState, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	dir := filepath.Join(j.dir, jobsDir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: scan jobs: %w", err)
+	}
+	var states []*JobState
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".ndjson") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: read %s: %w", name, err)
+		}
+		state, bad := parseJob(data)
+		j.quarantined.Add(uint64(bad))
+		if state == nil {
+			j.quarantineFile(path)
+			continue
+		}
+		if state.Job.ID+".ndjson" != name {
+			// A header naming a different job than its file is as
+			// untrustworthy as no header.
+			j.quarantineFile(path)
+			continue
+		}
+		states = append(states, state)
+	}
+	sort.Slice(states, func(a, b int) bool {
+		if states[a].Job.CreatedUnix != states[b].Job.CreatedUnix {
+			return states[a].Job.CreatedUnix < states[b].Job.CreatedUnix
+		}
+		return states[a].Job.ID < states[b].Job.ID
+	})
+
+	// Prune finished jobs beyond the keep budget, oldest first.
+	var finished []*JobState
+	for _, s := range states {
+		if s.Finished {
+			finished = append(finished, s)
+		}
+	}
+	if excess := len(finished) - j.opts.KeepFinished; excess > 0 {
+		drop := make(map[string]bool, excess)
+		for _, s := range finished[:excess] {
+			drop[s.Job.ID] = true
+			if err := os.Remove(j.jobPath(s.Job.ID)); err != nil {
+				return nil, fmt.Errorf("journal: prune job %s: %w", s.Job.ID, err)
+			}
+		}
+		kept := states[:0]
+		for _, s := range states {
+			if !drop[s.Job.ID] {
+				kept = append(kept, s)
+			}
+		}
+		states = kept
+	}
+	for _, s := range states {
+		if !s.Finished {
+			j.replayed.Add(1)
+		}
+	}
+	return states, nil
+}
+
+// quarantineFile moves an unreadable job file aside, falling back to
+// removal so one stuck file cannot wedge replay forever.
+func (j *Journal) quarantineFile(path string) {
+	j.quarantined.Add(1)
+	dst := filepath.Join(j.dir, quarantineDir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		// Best-effort: the file is already counted and skipped.
+		_ = os.Remove(path)
+	}
+}
+
+// Poison quarantines a task key with its attempt history. The record
+// is durable before Poison returns and is reloaded by every future
+// Open, so a poisoned spec stays fenced across restarts.
+func (j *Journal) Poison(rec PoisonRecord) error {
+	if _, err := harness.ParseKey(rec.Key); err != nil {
+		return fmt.Errorf("journal: poison: %w", err)
+	}
+	rec.Format = formatVersion
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("journal: encode poison record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	path := filepath.Join(j.dir, poisonedDir, rec.Key+".json")
+	if err := j.writeAtomic(path, append(data, '\n')); err != nil {
+		return fmt.Errorf("journal: poison %s: %w", rec.Key, err)
+	}
+	j.poisoned[rec.Key] = rec
+	j.records.Add(1)
+	return nil
+}
+
+// Poisoned returns a copy of the poison quarantine, keyed by hex key.
+func (j *Journal) Poisoned() map[string]PoisonRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]PoisonRecord, len(j.poisoned))
+	for k, v := range j.poisoned {
+		out[k] = v
+	}
+	return out
+}
+
+// loadPoisoned scans <dir>/poisoned/ at Open, quarantining records
+// that no longer decode.
+func (j *Journal) loadPoisoned() error {
+	dir := filepath.Join(j.dir, poisonedDir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("journal: scan poisoned: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("journal: read %s: %w", name, err)
+		}
+		var rec PoisonRecord
+		if derr := json.Unmarshal(data, &rec); derr != nil || rec.Format != formatVersion || rec.Key+".json" != name {
+			j.quarantineFile(path)
+			continue
+		}
+		if _, kerr := harness.ParseKey(rec.Key); kerr != nil {
+			j.quarantineFile(path)
+			continue
+		}
+		j.poisoned[rec.Key] = rec
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the journal's counters.
+type Stats struct {
+	// Records counts records appended by this process (job, task,
+	// done and poison records alike).
+	Records uint64
+	// Replayed counts unfinished jobs returned by Replay — the jobs a
+	// restart re-enqueued.
+	Replayed uint64
+	// Quarantined counts corrupt records skipped and unreadable files
+	// moved aside.
+	Quarantined uint64
+	// Poisoned is the current size of the poison quarantine.
+	Poisoned int
+}
+
+// Stats returns the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	poisoned := len(j.poisoned)
+	j.mu.Unlock()
+	return Stats{
+		Records:     j.records.Load(),
+		Replayed:    j.replayed.Load(),
+		Quarantined: j.quarantined.Load(),
+		Poisoned:    poisoned,
+	}
+}

@@ -272,7 +272,7 @@ func TestClusterWorkerStoreWarm(t *testing.T) {
 // one task — the second joins rather than re-dispatching — and one
 // completion settles every waiter.
 func TestClusterCoalescing(t *testing.T) {
-	c := newCluster(time.Minute)
+	c := newCluster(time.Minute, 0, 0, nil)
 	now := time.Now()
 	c.register("w1", now)
 
@@ -321,7 +321,7 @@ func TestClusterCoalescing(t *testing.T) {
 // survivors a waiter claims it for local execution.
 func TestClusterRequeueOnWorkerDeath(t *testing.T) {
 	const ttl = time.Minute
-	c := newCluster(ttl)
+	c := newCluster(ttl, 0, time.Millisecond, nil)
 	t0 := time.Now()
 	c.register("w1", t0)
 	c.register("w2", t0)
@@ -363,11 +363,26 @@ func TestClusterRequeueOnWorkerDeath(t *testing.T) {
 	if n := c.liveWorkers(t2); n != 1 {
 		t.Fatalf("live workers after w1 expiry = %d, want 1", n)
 	}
+	if got := c.retries.Load(); got != 1 {
+		t.Fatalf("retries counter = %d, want 1 (expiry of a pulled task charges the budget)", got)
+	}
+	// The failed attempt parks the task for its backoff; the reroute
+	// onto w2 lands when the (1ms-base) delay elapses.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		owner := task.worker
+		c.mu.Unlock()
+		if owner == "w2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task rerouted to %q, want w2", owner)
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if got := c.requeued.Load(); got != 1 {
 		t.Fatalf("requeued counter = %d, want 1", got)
-	}
-	if task.worker != "w2" {
-		t.Fatalf("task rerouted to %q, want w2", task.worker)
 	}
 
 	// w2 dies too: the waiting request claims the orphan and runs it
@@ -414,7 +429,7 @@ func TestClusterUnknownWorkerPoll(t *testing.T) {
 // from the owning worker fails the task loudly instead of leaving it
 // assigned forever.
 func TestClusterResultValidation(t *testing.T) {
-	c := newCluster(time.Minute)
+	c := newCluster(time.Minute, 0, 0, nil)
 	now := time.Now()
 	c.register("w1", now)
 
@@ -617,7 +632,7 @@ func TestWorkerReregistersAfterFailedResultsPost(t *testing.T) {
 // the TTL; silence after the last beat still expires it.
 func TestClusterHeartbeat(t *testing.T) {
 	const ttl = time.Minute
-	c := newCluster(ttl)
+	c := newCluster(ttl, 0, time.Millisecond, nil)
 	t0 := time.Now()
 	c.register("w1", t0)
 
@@ -641,7 +656,7 @@ func TestClusterHeartbeat(t *testing.T) {
 // TTL can expire the polling worker — otherwise a short TTL would
 // churn idle workers through expiry and re-registration.
 func TestClusterPollDwellClamped(t *testing.T) {
-	c := newCluster(time.Second)
+	c := newCluster(time.Second, 0, 0, nil)
 	c.register("w1", time.Now())
 	start := time.Now()
 	batch, err := c.poll(context.Background(), "w1", 1, 10*time.Second)
@@ -671,7 +686,7 @@ func TestResultLineDecoderLimits(t *testing.T) {
 	d := newResultLineDecoder(strings.NewReader(strings.Repeat(string(line), want)))
 	got := 0
 	for {
-		_, res, err := d.next()
+		_, res, _, err := d.next()
 		if err == errDecodeDone {
 			break
 		}
@@ -689,7 +704,7 @@ func TestResultLineDecoderLimits(t *testing.T) {
 
 	big := `{"key":"` + strings.Repeat("a", maxResultLine) + `"}`
 	d = newResultLineDecoder(strings.NewReader(big))
-	if _, _, err := d.next(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+	if _, _, _, err := d.next(); err == nil || !strings.Contains(err.Error(), "exceeds") {
 		t.Fatalf("oversized line error = %v, want a limit error", err)
 	}
 }

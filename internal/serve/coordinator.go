@@ -8,13 +8,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sgxgauge/internal/harness"
+	"sgxgauge/internal/journal"
 )
 
 // DefaultWorkerTTL is how long a registered worker may go without
@@ -24,6 +27,22 @@ const DefaultWorkerTTL = 15 * time.Second
 
 // maxPollWait caps a worker's requested long-poll duration.
 const maxPollWait = 30 * time.Second
+
+// DefaultTaskRetries is the per-task retry budget: how many failed
+// attempts (worker expiries while assigned, worker-reported
+// failures, lost incarnations) a task absorbs before it is
+// quarantined as poisoned instead of rerouted again.
+const DefaultTaskRetries = 3
+
+// DefaultRetryBase is the base delay of the exponential retry
+// backoff; retry n parks the task for roughly base<<(n-1), jittered.
+const DefaultRetryBase = 250 * time.Millisecond
+
+// maxRetryDelay caps the exponential backoff.
+const maxRetryDelay = 15 * time.Second
+
+// maxTaskHistory bounds a task's recorded attempt history.
+const maxTaskHistory = 32
 
 // cluster is the coordinator's dispatcher: registered workers pull
 // spec batches, execute them on their own machines, and stream
@@ -42,25 +61,37 @@ const maxPollWait = 30 * time.Second
 // cache or store. Results are content-addressed, so dropping a
 // duplicate loses nothing.
 type cluster struct {
-	ttl time.Duration
+	ttl        time.Duration
+	maxRetries int
+	retryBase  time.Duration
+	// journal receives poison records (nil = in-memory quarantine
+	// only).
+	journal *journal.Journal
 
 	mu sync.Mutex
 	// workers holds the live fleet by id. // guarded by mu
 	workers map[string]*clusterWorker
 	// pending holds the one open task per key (the coalescing map,
-	// spanning queued, assigned and orphaned tasks). // guarded by mu
+	// spanning queued, assigned, parked and orphaned tasks).
+	// // guarded by mu
 	pending map[harness.Key]*clusterTask
 	// orphans are tasks routed nowhere: no live worker owned their
 	// shard when they were (re)routed. // guarded by mu
 	orphans []*clusterTask
+	// poisoned maps quarantined keys to the failure message their
+	// submissions fail fast with. // guarded by mu
+	poisoned map[harness.Key]string
 
-	dispatched atomic.Uint64 // tasks handed to a worker
-	completed  atomic.Uint64 // tasks finished by a worker result
-	requeued   atomic.Uint64 // task reroutes after a worker expiry
-	coalesced  atomic.Uint64 // submissions that joined an open task
-	localRuns  atomic.Uint64 // orphaned tasks claimed for local execution
-	stale      atomic.Uint64 // results for closed tasks or from non-owners
-	rejected   atomic.Uint64 // results inconsistent with their task's spec
+	dispatched    atomic.Uint64 // tasks handed to a worker
+	completed     atomic.Uint64 // tasks finished by a worker result
+	requeued      atomic.Uint64 // task reroutes after a worker expiry
+	coalesced     atomic.Uint64 // submissions that joined an open task
+	localRuns     atomic.Uint64 // orphaned tasks claimed for local execution
+	stale         atomic.Uint64 // results for closed tasks or from non-owners
+	rejected      atomic.Uint64 // results inconsistent with their task's spec
+	retries       atomic.Uint64 // failed attempts charged against retry budgets
+	poisonedTotal atomic.Uint64 // tasks quarantined after exhausting their budget
+	drained       atomic.Uint64 // workers that deregistered gracefully
 }
 
 // clusterWorker is one registered worker's dispatch state.
@@ -82,28 +113,80 @@ type clusterWorker struct {
 type clusterTask struct {
 	key  harness.Key
 	spec harness.Spec
-	// worker is the owning worker's id, "" while orphaned.
+	// worker is the owning worker's id, "" while orphaned or parked.
 	worker string
 	// claimed marks an orphaned task a waiter took for local
 	// execution; finished guards against double completion (a local
 	// claim racing a late worker result).
 	claimed  bool
 	finished bool
+	// parked marks a task sitting out its retry backoff; an AfterFunc
+	// reroutes it when the delay elapses (or a waiter claims it
+	// first — parked tasks look orphaned to claimOrphan).
+	parked bool
+	// retries counts failed attempts charged against the budget.
+	retries int
+	// history records the task's routing and failure history, oldest
+	// first, capped at maxTaskHistory.
+	history []string
 
 	done chan struct{}
 	res  *harness.Result
 	err  error
 }
 
-func newCluster(ttl time.Duration) *cluster {
+// noteLocked appends one attempt-history entry. caller holds mu.
+func (t *clusterTask) noteLocked(entry string) {
+	if len(t.history) >= maxTaskHistory {
+		t.history = append(t.history[:0], t.history[len(t.history)-maxTaskHistory+1:]...)
+	}
+	t.history = append(t.history, entry)
+}
+
+func newCluster(ttl time.Duration, maxRetries int, retryBase time.Duration, jl *journal.Journal) *cluster {
 	if ttl <= 0 {
 		ttl = DefaultWorkerTTL
 	}
-	return &cluster{
-		ttl:     ttl,
-		workers: make(map[string]*clusterWorker),
-		pending: make(map[harness.Key]*clusterTask),
+	switch {
+	case maxRetries == 0:
+		maxRetries = DefaultTaskRetries
+	case maxRetries < 0:
+		maxRetries = 0
 	}
+	if retryBase <= 0 {
+		retryBase = DefaultRetryBase
+	}
+	// Preload the persisted quarantine so poisoned specs fail fast
+	// across restarts instead of burning a fresh budget each boot.
+	poisoned := make(map[harness.Key]string)
+	if jl != nil {
+		for hexKey, rec := range jl.Poisoned() {
+			key, err := harness.ParseKey(hexKey)
+			if err != nil {
+				continue
+			}
+			poisoned[key] = poisonMessage(key, len(rec.Attempts), rec.Attempts)
+		}
+	}
+	return &cluster{
+		ttl:        ttl,
+		maxRetries: maxRetries,
+		retryBase:  retryBase,
+		journal:    jl,
+		workers:    make(map[string]*clusterWorker),
+		pending:    make(map[harness.Key]*clusterTask),
+		poisoned:   poisoned,
+	}
+}
+
+// poisonMessage renders the failure a poisoned key's submissions are
+// answered with, attempt history included.
+func poisonMessage(key harness.Key, attempts int, history []string) string {
+	msg := fmt.Sprintf("serve: task %s poisoned after %d failed attempts", key, attempts)
+	if len(history) > 0 {
+		msg += " [" + strings.Join(history, "; ") + "]"
+	}
+	return msg
 }
 
 // register adds (or resets) a worker. Re-registration under a live id
@@ -115,7 +198,11 @@ func (c *cluster) register(id string, now time.Time) int {
 	defer c.mu.Unlock()
 	c.expireLocked(now)
 	if prev, ok := c.workers[id]; ok {
-		c.dropWorkerLocked(prev)
+		delete(c.workers, id)
+		// The previous incarnation's pulled tasks died with it; charge
+		// their retry budgets like an expiry. Queued tasks were never
+		// attempted and reroute free.
+		c.dropWorkerLocked(prev, fmt.Sprintf("worker %s re-registered (previous incarnation dropped)", id), true)
 	}
 	c.workers[id] = &clusterWorker{
 		id:       id,
@@ -138,6 +225,16 @@ func (c *cluster) submit(key harness.Key, spec harness.Spec, now time.Time) (t *
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(now)
+	if msg, ok := c.poisoned[key]; ok {
+		// Quarantined: fail fast with the recorded attempt history
+		// instead of burning another budget. The failure travels as a
+		// failed result (not an engine error) so callers surface it per
+		// spec and nothing reaches the cache or store.
+		t = &clusterTask{key: key, spec: spec, finished: true, done: make(chan struct{})}
+		t.res = poisonResult(spec, msg)
+		close(t.done)
+		return t, false, false
+	}
 	if t, ok := c.pending[key]; ok {
 		c.coalesced.Add(1)
 		return t, false, false
@@ -209,28 +306,133 @@ func (c *cluster) expireLocked(now time.Time) {
 	for id, w := range c.workers {
 		if now.Sub(w.lastSeen) > c.ttl {
 			delete(c.workers, id)
-			c.dropWorkerLocked(w)
+			c.dropWorkerLocked(w, fmt.Sprintf("worker %s expired after TTL", id), true)
 		}
 	}
 }
 
 // dropWorkerLocked reroutes a removed worker's queued and assigned
 // tasks. The caller has already removed it from the fleet map, so
-// rerouting lands elsewhere (or on the orphan list). caller holds mu.
-func (c *cluster) dropWorkerLocked(w *clusterWorker) {
-	tasks := w.queue
+// rerouting lands elsewhere (or on the orphan list). Queued tasks were
+// never attempted and always reroute free; assigned (pulled) tasks are
+// charged a retry when penalizeAssigned is set — an expiry or lost
+// incarnation means the attempt failed — but not on a graceful drain,
+// where the worker handed the task back untouched. caller holds mu.
+func (c *cluster) dropWorkerLocked(w *clusterWorker, reason string, penalizeAssigned bool) {
+	queued := w.queue
+	assigned := make([]*clusterTask, 0, len(w.assigned))
 	for _, t := range w.assigned {
-		tasks = append(tasks, t)
+		assigned = append(assigned, t)
 	}
 	w.queue = nil
 	w.assigned = make(map[harness.Key]*clusterTask)
-	for _, t := range tasks {
+	for _, t := range queued {
 		if t.finished || t.claimed {
 			continue
 		}
+		t.worker = ""
+		t.noteLocked(reason + " (task queued, rerouted)")
 		c.requeued.Add(1)
 		c.routeLocked(t)
 	}
+	for _, t := range assigned {
+		if t.finished || t.claimed {
+			continue
+		}
+		t.worker = ""
+		if penalizeAssigned {
+			c.retryLocked(t, reason)
+			continue
+		}
+		t.noteLocked(reason + " (task rerouted, no penalty)")
+		c.requeued.Add(1)
+		c.routeLocked(t)
+	}
+}
+
+// retryLocked charges one failed attempt against t's budget: within
+// budget the task parks for an exponential, key-jittered backoff and
+// then reroutes; past it the task is poisoned. caller holds mu.
+func (c *cluster) retryLocked(t *clusterTask, reason string) {
+	t.retries++
+	t.noteLocked(fmt.Sprintf("attempt %d failed: %s", t.retries, reason))
+	c.retries.Add(1)
+	if t.retries > c.maxRetries {
+		c.poisonLocked(t)
+		return
+	}
+	c.requeued.Add(1)
+	t.parked = true
+	delay := retryDelay(c.retryBase, t.retries, t.key)
+	time.AfterFunc(delay, func() { c.unpark(t) })
+}
+
+// unpark ends a task's backoff and routes it onto the current fleet.
+func (c *cluster) unpark(t *clusterTask) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.finished || t.claimed || !t.parked {
+		return
+	}
+	t.parked = false
+	c.routeLocked(t)
+}
+
+// retryDelay is the backoff before retry n (1-based): base<<(n-1)
+// capped at maxRetryDelay, with a deterministic ±25% jitter drawn from
+// the task key so identical retry storms across a fleet of specs
+// de-synchronize the same way on every run.
+func retryDelay(base time.Duration, retry int, key harness.Key) time.Duration {
+	d := base
+	for i := 1; i < retry && d < maxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > maxRetryDelay {
+		d = maxRetryDelay
+	}
+	jitter := d / 4 * time.Duration(int(key[1])-128) / 128
+	d += jitter
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// poisonLocked quarantines a task that exhausted its retry budget: it
+// finishes with a failed result carrying the attempt history, future
+// submissions of its key fail fast, and the quarantine is persisted
+// through the journal when one is attached. caller holds mu.
+func (c *cluster) poisonLocked(t *clusterTask) {
+	msg := poisonMessage(t.key, t.retries, t.history)
+	c.poisoned[t.key] = msg
+	c.poisonedTotal.Add(1)
+	c.finishLocked(t, poisonResult(t.spec, msg), nil)
+	if c.journal == nil {
+		return
+	}
+	rec := journal.PoisonRecord{Key: t.key.String(), Attempts: append([]string(nil), t.history...)}
+	if wire, err := t.spec.Wire(); err == nil {
+		rec.Spec = &wire
+	}
+	jl := c.journal
+	// Persist off the lock; losing the record on crash only means the
+	// budget is re-burned once after restart.
+	go func() {
+		if err := jl.Poison(rec); err != nil {
+			log.Printf("serve: persisting poison record for %s: %v", rec.Key, err)
+		}
+	}()
+}
+
+// poisonResult is the failed result a poisoned task finishes with. It
+// travels as a spec failure (Result.Err), not an engine error, so a
+// sweep carries it alongside healthy rows and nothing caches it.
+func poisonResult(spec harness.Spec, msg string) *harness.Result {
+	res := &harness.Result{Mode: spec.Mode, Err: errors.New(msg)}
+	if spec.Workload != nil {
+		res.Name = spec.Workload.Name()
+	}
+	return res
 }
 
 // poll long-polls for up to max tasks routed to worker id, blocking
@@ -365,6 +567,53 @@ func (c *cluster) heartbeat(id string, now time.Time) bool {
 	return ok
 }
 
+// fail records a worker-reported execution failure for the open task
+// on key, charging its retry budget, and reports whether the failure
+// was attributed. Validation mirrors complete: only the live owner of
+// a pulled task may fail it.
+func (c *cluster) fail(workerID string, key harness.Key, reason string, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, live := c.workers[workerID]
+	if live {
+		w.lastSeen = now
+	}
+	t, open := c.pending[key]
+	if !open || t.finished || t.claimed || !live || t.worker != workerID {
+		if live {
+			delete(w.assigned, key)
+		}
+		c.stale.Add(1)
+		return false
+	}
+	if _, pulled := w.assigned[key]; !pulled {
+		c.rejected.Add(1)
+		return false
+	}
+	delete(w.assigned, key)
+	t.worker = ""
+	c.retryLocked(t, fmt.Sprintf("worker %s reported failure: %s", workerID, reason))
+	return true
+}
+
+// deregister removes a draining worker and reroutes everything it
+// held with no retry penalty: the worker finished (and posted) its
+// in-flight batch before deregistering, so whatever remains was never
+// attempted. Reports whether the worker was registered.
+func (c *cluster) deregister(id string, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	w, ok := c.workers[id]
+	if !ok {
+		return false
+	}
+	delete(c.workers, id)
+	c.drained.Add(1)
+	c.dropWorkerLocked(w, fmt.Sprintf("worker %s drained", id), false)
+	return true
+}
+
 // finish settles a locally executed (claimed) task.
 func (c *cluster) finish(t *clusterTask, res *harness.Result, err error) {
 	c.mu.Lock()
@@ -489,9 +738,24 @@ type pollResponse struct {
 }
 
 // resultLine is one NDJSON line of a POST /v1/cluster/results body.
+// Failed, when non-empty, reports that the worker could not execute
+// the spec at all (decode failure, harness panic) — Result is absent
+// and the coordinator charges the task's retry budget instead of
+// leaving it assigned forever.
 type resultLine struct {
 	Key    string             `json:"key"`
 	Result harness.ResultWire `json:"result"`
+	Failed string             `json:"failed,omitempty"`
+}
+
+// deregisterRequest is the POST /v1/cluster/deregister body.
+type deregisterRequest struct {
+	Worker string `json:"worker"`
+}
+
+// deregisterResponse acknowledges a graceful drain.
+type deregisterResponse struct {
+	OK bool `json:"ok"`
 }
 
 // resultsResponse acknowledges a results stream.
@@ -574,13 +838,19 @@ func (s *Server) handleClusterResults(w http.ResponseWriter, r *http.Request) {
 	dec := newResultLineDecoder(r.Body)
 	accepted := 0
 	for {
-		key, res, err := dec.next()
+		key, res, failed, err := dec.next()
 		if err == errDecodeDone {
 			break
 		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		if failed != "" {
+			// The worker could not execute the spec; charge the retry
+			// budget (reroute or poison) rather than count it accepted.
+			s.cluster.fail(workerID, key, failed, time.Now())
+			continue
 		}
 		if !s.cluster.complete(workerID, key, res, time.Now()) {
 			continue
@@ -591,6 +861,28 @@ func (s *Server) handleClusterResults(w http.ResponseWriter, r *http.Request) {
 		accepted++
 	}
 	writeJSON(w, http.StatusOK, resultsResponse{Accepted: accepted})
+}
+
+// handleClusterDeregister serves POST /v1/cluster/deregister: a
+// draining worker's goodbye after it has finished and posted its final
+// batch. Its remaining queued work reroutes immediately — and with no
+// retry penalty — instead of waiting out the TTL. Unknown workers get
+// 404 (already expired, or the coordinator restarted); drain treats
+// that as success.
+func (s *Server) handleClusterDeregister(w http.ResponseWriter, r *http.Request) {
+	var req deregisterRequest
+	if !decodeBody(w, r, maxRunBody, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty worker id"))
+		return
+	}
+	if !s.cluster.deregister(req.Worker, time.Now()) {
+		writeError(w, http.StatusNotFound, errUnknownWorker)
+		return
+	}
+	writeJSON(w, http.StatusOK, deregisterResponse{OK: true})
 }
 
 // errDecodeDone is resultLineDecoder's clean end-of-stream marker.
@@ -614,9 +906,11 @@ func newResultLineDecoder(r io.Reader) *resultLineDecoder {
 	return &resultLineDecoder{sc: sc}
 }
 
-// next returns the stream's next key/result pair, errDecodeDone at
-// clean end of stream, or the first malformed line's error.
-func (d *resultLineDecoder) next() (harness.Key, *harness.Result, error) {
+// next returns the stream's next key/result pair (or key/failure
+// pair, when the worker reported it could not execute the spec),
+// errDecodeDone at clean end of stream, or the first malformed line's
+// error.
+func (d *resultLineDecoder) next() (harness.Key, *harness.Result, string, error) {
 	for d.sc.Scan() {
 		raw := bytes.TrimSpace(d.sc.Bytes())
 		if len(raw) == 0 {
@@ -626,23 +920,26 @@ func (d *resultLineDecoder) next() (harness.Key, *harness.Result, error) {
 		dec.DisallowUnknownFields()
 		var line resultLine
 		if err := dec.Decode(&line); err != nil {
-			return harness.Key{}, nil, fmt.Errorf("serve: bad result line: %w", err)
+			return harness.Key{}, nil, "", fmt.Errorf("serve: bad result line: %w", err)
 		}
 		key, err := harness.ParseKey(line.Key)
 		if err != nil {
-			return harness.Key{}, nil, err
+			return harness.Key{}, nil, "", err
+		}
+		if line.Failed != "" {
+			return key, nil, line.Failed, nil
 		}
 		res, err := line.Result.Result()
 		if err != nil {
-			return harness.Key{}, nil, err
+			return harness.Key{}, nil, "", err
 		}
-		return key, res, nil
+		return key, res, "", nil
 	}
 	if err := d.sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
 			err = fmt.Errorf("serve: result line exceeds the %d-byte limit", maxResultLine)
 		}
-		return harness.Key{}, nil, fmt.Errorf("serve: bad result line: %w", err)
+		return harness.Key{}, nil, "", fmt.Errorf("serve: bad result line: %w", err)
 	}
-	return harness.Key{}, nil, errDecodeDone
+	return harness.Key{}, nil, "", errDecodeDone
 }

@@ -11,8 +11,8 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
+	"sgxgauge/internal/journal"
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/store"
 )
@@ -34,17 +34,34 @@ func Main(args []string) error {
 	seed := fs.Int64("seed", 1, "base random seed for specs that leave it zero")
 	workers := fs.Int("j", 0, "concurrent simulated runs (0 = GOMAXPROCS)")
 	cacheN := fs.Int("cache", DefaultCacheEntries, "max cached results")
-	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	drain := fs.Duration("drain", DefaultDrain, "graceful-shutdown budget for in-flight requests (and a worker's in-flight batch)")
 	storeDir := fs.String("store.dir", "", "directory for the persistent result store (empty = memory only)")
 	storeFsync := fs.Bool("store.fsync", false, "fsync persistent-store writes (durability over write latency)")
 	coordinator := fs.Bool("coordinator", false, "serve as sweep-cluster coordinator: farm runs out to registered workers")
 	workerFor := fs.String("worker", "", "coordinator base URL to pull and execute spec batches for")
 	workerTTL := fs.Duration("worker.ttl", DefaultWorkerTTL, "coordinator only: how long a silent worker keeps its work")
+	journalDir := fs.String("journal.dir", "", "directory for the crash-recovery job journal (empty = jobs die with the process)")
+	journalFsync := fs.Bool("journal.fsync", false, "fsync journal appends (durability over write latency)")
+	maxQueue := fs.Int("admission.max", DefaultMaxQueue, "admission high-water mark: queued specs beyond which new jobs get 429")
+	taskRetries := fs.Int("task.retries", DefaultTaskRetries, "coordinator only: failed attempts before a task is poisoned (negative = poison on first failure)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *coordinator && *workerFor != "" {
 		return errors.New("sgxgauged: -coordinator and -worker are mutually exclusive")
+	}
+	if *workerTTL <= 0 {
+		return fmt.Errorf("sgxgauged: -worker.ttl must be positive (got %v)", *workerTTL)
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("sgxgauged: -drain must be positive (got %v)", *drain)
+	}
+	if !*coordinator {
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "worker.ttl" {
+				log.Printf("sgxgauged: -worker.ttl has no effect without -coordinator")
+			}
+		})
 	}
 
 	var st *store.Store
@@ -56,7 +73,23 @@ func Main(args []string) error {
 		}
 		log.Printf("sgxgauged: result store at %s (%d entries)", st.Dir(), st.Len())
 	}
+	var jl *journal.Journal
+	if *journalDir != "" {
+		var err error
+		jl, err = journal.Open(*journalDir, journal.Options{Fsync: *journalFsync})
+		if err != nil {
+			return fmt.Errorf("sgxgauged: opening journal: %w", err)
+		}
+		log.Printf("sgxgauged: job journal at %s", jl.Dir())
+	}
 
+	role := "standalone"
+	switch {
+	case *coordinator:
+		role = "coordinator"
+	case *workerFor != "":
+		role = "worker"
+	}
 	s := New(Config{
 		EPCPages:     *epcPages,
 		Seed:         *seed,
@@ -65,6 +98,10 @@ func Main(args []string) error {
 		Store:        st,
 		Coordinator:  *coordinator,
 		WorkerTTL:    *workerTTL,
+		Journal:      jl,
+		Role:         role,
+		MaxQueue:     *maxQueue,
+		TaskRetries:  *taskRetries,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -77,18 +114,25 @@ func Main(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	role := "standalone"
-	switch {
-	case *coordinator:
-		role = "coordinator"
-	case *workerFor != "":
-		role = "worker for " + *workerFor
+	logRole := role
+	if *workerFor != "" {
+		logRole = "worker for " + *workerFor
 	}
-	log.Printf("sgxgauged: serving on http://%s (epc=%d pages, seed=%d, %s)", ln.Addr(), *epcPages, *seed, role)
+	log.Printf("sgxgauged: serving on http://%s (epc=%d pages, seed=%d, %s)", ln.Addr(), *epcPages, *seed, logRole)
+
+	// Replay the journal after the listener is up: healthz holds 503
+	// (recovering) until Recover returns, so clients cannot race the
+	// replay, while recovered jobs re-enqueue behind the warm store.
+	go func() {
+		if err := s.Recover(); err != nil {
+			log.Printf("sgxgauged: journal recovery: %v", err)
+		}
+	}()
 
 	workerDone := make(chan struct{})
 	if *workerFor != "" {
 		wk := NewWorker(s, *workerFor, ln.Addr().String())
+		wk.Drain = *drain
 		go func() {
 			defer close(workerDone)
 			// Run only returns on ctx cancellation; transient

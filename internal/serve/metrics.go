@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sgxgauge/internal/journal"
 	"sgxgauge/internal/store"
 )
 
@@ -28,10 +29,11 @@ type metrics struct {
 	// latCount counts latency observations per path. // guarded by mu
 	latCount map[string]uint64
 
-	busy      atomic.Int64  // occupied worker-pool slots
-	inflight  atomic.Int64  // run requests executing or queued
-	runs      atomic.Uint64 // specs actually executed
-	coalesced atomic.Uint64 // requests that joined an in-flight run
+	busy              atomic.Int64  // occupied worker-pool slots
+	inflight          atomic.Int64  // run requests executing or queued
+	runs              atomic.Uint64 // specs actually executed
+	coalesced         atomic.Uint64 // requests that joined an in-flight run
+	admissionRejected atomic.Uint64 // jobs shed with 429 past the queue high-water mark
 }
 
 func newMetrics(workers int) *metrics {
@@ -115,6 +117,36 @@ func (m *metrics) render(w io.Writer, cache *Cache) {
 	fmt.Fprintln(w, "# HELP sgxgauged_runs_coalesced_total Requests served by joining an identical in-flight run.")
 	fmt.Fprintln(w, "# TYPE sgxgauged_runs_coalesced_total counter")
 	fmt.Fprintf(w, "sgxgauged_runs_coalesced_total %d\n", m.coalesced.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_admission_rejected_total Jobs shed with 429 because the queue was past its high-water mark.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_admission_rejected_total counter")
+	fmt.Fprintf(w, "sgxgauged_admission_rejected_total %d\n", m.admissionRejected.Load())
+}
+
+// renderAdmissionMetrics appends the admission queue-depth gauge.
+func renderAdmissionMetrics(w io.Writer, depth int64, maxQueue int) {
+	fmt.Fprintln(w, "# HELP sgxgauged_queue_depth Specs admitted and not yet finished.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_queue_depth gauge")
+	fmt.Fprintf(w, "sgxgauged_queue_depth %d\n", depth)
+	fmt.Fprintln(w, "# HELP sgxgauged_queue_high_water Admission high-water mark (429 past this depth).")
+	fmt.Fprintln(w, "# TYPE sgxgauged_queue_high_water gauge")
+	fmt.Fprintf(w, "sgxgauged_queue_high_water %d\n", maxQueue)
+}
+
+// renderJournalMetrics appends the crash-recovery journal's series.
+func renderJournalMetrics(w io.Writer, jl *journal.Journal) {
+	st := jl.Stats()
+	fmt.Fprintln(w, "# HELP sgxgauged_journal_records_total Records appended to the job journal.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_journal_records_total counter")
+	fmt.Fprintf(w, "sgxgauged_journal_records_total %d\n", st.Records)
+	fmt.Fprintln(w, "# HELP sgxgauged_journal_replayed_total Unfinished jobs re-enqueued by startup replay.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_journal_replayed_total counter")
+	fmt.Fprintf(w, "sgxgauged_journal_replayed_total %d\n", st.Replayed)
+	fmt.Fprintln(w, "# HELP sgxgauged_journal_quarantined_total Corrupt journal records and files set aside during replay.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_journal_quarantined_total counter")
+	fmt.Fprintf(w, "sgxgauged_journal_quarantined_total %d\n", st.Quarantined)
+	fmt.Fprintln(w, "# HELP sgxgauged_journal_poisoned Poison records currently quarantined.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_journal_poisoned gauge")
+	fmt.Fprintf(w, "sgxgauged_journal_poisoned %d\n", st.Poisoned)
 }
 
 // renderStoreMetrics appends the persistent result store's series:
@@ -168,6 +200,15 @@ func renderClusterMetrics(w io.Writer, c *cluster) {
 	fmt.Fprintln(w, "# HELP sgxgauged_cluster_rejected_results_total Worker results inconsistent with their task's spec, dropped before reaching the cache.")
 	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_rejected_results_total counter")
 	fmt.Fprintf(w, "sgxgauged_cluster_rejected_results_total %d\n", c.rejected.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_task_retries_total Failed task attempts charged against retry budgets.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_task_retries_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_task_retries_total %d\n", c.retries.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_poisoned_tasks_total Tasks quarantined after exhausting their retry budget.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_poisoned_tasks_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_poisoned_tasks_total %d\n", c.poisonedTotal.Load())
+	fmt.Fprintln(w, "# HELP sgxgauged_cluster_drained_workers_total Workers that deregistered gracefully.")
+	fmt.Fprintln(w, "# TYPE sgxgauged_cluster_drained_workers_total counter")
+	fmt.Fprintf(w, "sgxgauged_cluster_drained_workers_total %d\n", c.drained.Load())
 }
 
 // sortedKeys returns the map's keys in sorted order.

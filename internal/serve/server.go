@@ -23,9 +23,11 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgxgauge/internal/harness"
+	"sgxgauge/internal/journal"
 	"sgxgauge/internal/perf"
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/store"
@@ -55,6 +57,24 @@ type Config struct {
 	// WorkerTTL is how long the coordinator lets a worker go silent
 	// before rerouting its work (0 = DefaultWorkerTTL).
 	WorkerTTL time.Duration
+	// Journal, when non-nil, is the write-ahead log every accepted
+	// job is recorded in before it executes. A server configured with
+	// a Journal answers /healthz with 503 until Recover has replayed
+	// it — callers must invoke Recover exactly once after New.
+	Journal *journal.Journal
+	// Role labels this daemon on /healthz ("standalone",
+	// "coordinator", "worker"); empty derives it from Coordinator.
+	Role string
+	// MaxQueue is the admission high-water mark in specs
+	// (0 = DefaultMaxQueue).
+	MaxQueue int
+	// TaskRetries is the per-task retry budget a coordinator spends
+	// before quarantining the task as poisoned (0 =
+	// DefaultTaskRetries, negative = no retries).
+	TaskRetries int
+	// RetryBase is the base delay of the exponential retry backoff
+	// (0 = DefaultRetryBase).
+	RetryBase time.Duration
 }
 
 // Server is the daemon: an http.Handler plus the run machinery behind
@@ -82,9 +102,30 @@ type Server struct {
 	// timing. The default runs through the shared Runner; a
 	// coordinator farms it to the worker fleet.
 	runSpec func(harness.Spec) (*harness.Result, error)
-	// leaders tracks detached singleflight leader goroutines so
-	// Drain can wait for them after the HTTP listener stops.
+	// leaders tracks detached singleflight leader goroutines and
+	// detached jobs so Drain can wait for them after the HTTP
+	// listener stops.
 	leaders sync.WaitGroup
+
+	// journal is the write-ahead log (nil without Config.Journal).
+	journal *journal.Journal
+	// role labels this daemon on /healthz.
+	role string
+	// maxQueue is the admission high-water mark in specs.
+	maxQueue int
+	// queued is the admission gauge: specs admitted but not yet
+	// finished, across every resident job.
+	queued atomic.Int64
+	// recovering is set from New until Recover finishes replaying the
+	// journal; /healthz reports 503 while it holds.
+	recovering atomic.Bool
+
+	jobsMu sync.Mutex
+	// jobs is the reattach registry by job ID. guarded by jobsMu
+	jobs map[string]*job
+	// finishedJobs orders finished job IDs oldest-first for eviction.
+	// guarded by jobsMu
+	finishedJobs []string
 }
 
 // New returns a ready-to-serve daemon.
@@ -98,14 +139,29 @@ func New(cfg Config) *Server {
 	r.Seed = cfg.Seed
 	r.Jobs = workers
 
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	role := cfg.Role
+	if role == "" {
+		role = "standalone"
+		if cfg.Coordinator {
+			role = "coordinator"
+		}
+	}
 	s := &Server{
-		runner:  r,
-		cache:   cache,
-		metrics: newMetrics(workers),
-		flight:  newFlight(),
-		slots:   make(chan struct{}, workers),
-		results: cache,
-		store:   cfg.Store,
+		runner:   r,
+		cache:    cache,
+		metrics:  newMetrics(workers),
+		flight:   newFlight(),
+		slots:    make(chan struct{}, workers),
+		results:  cache,
+		store:    cfg.Store,
+		journal:  cfg.Journal,
+		role:     role,
+		maxQueue: maxQueue,
+		jobs:     make(map[string]*job),
 	}
 	if cfg.Store != nil {
 		s.results = store.NewTiered(cache, cfg.Store)
@@ -113,11 +169,16 @@ func New(cfg Config) *Server {
 	r.Cache = s.results
 	s.runSpec = s.localRun
 	if cfg.Coordinator {
-		s.cluster = newCluster(cfg.WorkerTTL)
+		s.cluster = newCluster(cfg.WorkerTTL, cfg.TaskRetries, cfg.RetryBase, cfg.Journal)
 		// Every execution path — /v1/run, sweeps, figures — now draws
 		// on the fleet through the coalescing dispatcher.
 		r.Exec = s.execRemote
 		s.runSpec = s.execRemote
+	}
+	if cfg.Journal != nil {
+		// Refuse traffic until Recover has replayed the log; a job
+		// accepted mid-replay could race its own recovered twin.
+		s.recovering.Store(true)
 	}
 	return s
 }
@@ -150,6 +211,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("GET /v1/figures/{fig}", s.instrument("/v1/figures", s.handleFigure))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
 	mux.HandleFunc("GET /v1/results/{key}", s.instrument("/v1/results", s.handleResult))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -160,6 +222,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /v1/cluster/poll", s.handleClusterPoll)
 		mux.HandleFunc("POST /v1/cluster/heartbeat", s.instrument("/v1/cluster/heartbeat", s.handleClusterHeartbeat))
 		mux.HandleFunc("POST /v1/cluster/results", s.instrument("/v1/cluster/results", s.handleClusterResults))
+		mux.HandleFunc("POST /v1/cluster/deregister", s.instrument("/v1/cluster/deregister", s.handleClusterDeregister))
 	}
 	return mux
 }
@@ -299,38 +362,72 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool
 // handleRun serves POST /v1/run: one SpecWire document in, one
 // runResponse out. A spec's own failure is still a 200 — the run
 // happened and its degraded measurements are the payload — while
-// malformed specs are 400, oversized ones 413, and engine failures
-// 500.
+// malformed specs are 400, oversized ones 413, shed jobs 429, and
+// engine failures 500. A cache hit answers directly; a miss becomes
+// a journaled job executing detached from this connection, so a
+// disconnected client's run still finishes, lands in the cache, and
+// stays reattachable by job ID.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var spec harness.Spec
 	if !decodeBody(w, r, maxRunBody, &spec) {
 		return
 	}
-	key, res, cached, err := s.execute(r.Context(), spec)
-	switch {
-	case errors.Is(err, errBadSpec):
-		writeError(w, http.StatusBadRequest, err)
-		return
-	case err != nil && r.Context().Err() != nil:
-		// Client gone; nothing to write. The detached leader still
-		// finishes the run and caches it.
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+	key, err := s.runner.Key(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", errBadSpec, err))
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{Key: key.String(), Cached: cached, Result: wireResult(res)})
+	if res, ok := s.results.Get(key); ok {
+		writeJSON(w, http.StatusOK, runResponse{Key: key.String(), Cached: true, Result: wireResult(res)})
+		return
+	}
+	jb, err := s.startJob("run", []harness.Spec{spec}, "")
+	if err != nil {
+		writeJobError(w, err, s)
+		return
+	}
+	if !jb.waitDone(r.Context()) {
+		// Client gone; nothing to write. The detached job still
+		// finishes the run and caches it.
+		return
+	}
+	if term := jb.terminalEvent(); term.Event == "error" {
+		writeError(w, http.StatusInternalServerError, errors.New(term.Error))
+		return
+	}
+	ev, ok := jb.resultEvent(0)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("serve: job finished without a result"))
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{Key: ev.Key, Cached: ev.Cached, Result: ev.Result})
 }
 
-// sweepEvent is one NDJSON line of a /v1/sweep response: a progress
-// event as each spec completes, then one result line per spec in
-// input order, then exactly one terminal line — {"event":"done",
-// "ok":true,...} when the batch completed, or {"event":"error",...}
-// when the engine cut it short (cancellation mid-batch). A stream
-// that ends without either terminal line was truncated by the
-// transport; clients must treat it as incomplete.
+// writeJobError maps a startJob failure onto the wire: 429 with a
+// Retry-After hint for admission shedding, 500 for journal trouble.
+func writeJobError(w http.ResponseWriter, err error, s *Server) {
+	if errors.Is(err, errOverloaded) {
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter()))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// sweepEvent is one NDJSON line of a /v1/sweep (or /v1/jobs) response:
+// a {"event":"job"} header naming the job ID clients reattach by,
+// progress events as specs complete (cache-hit specs included, marked
+// "cached":true), then one result line per spec in input order, then
+// exactly one terminal line — {"event":"done","ok":true,...} when the
+// batch completed, or {"event":"error",...} when it failed as a
+// whole. A stream that ends without either terminal line was
+// truncated by the transport; clients must treat it as incomplete and
+// may reattach via GET /v1/jobs/{id}?from=N to stream the results
+// they have not yet received — the job itself runs detached and
+// survives the disconnect.
 type sweepEvent struct {
-	Event     string      `json:"event"` // "progress", "result", "done", "error"
+	Event     string      `json:"event"` // "job", "progress", "result", "done", "error"
+	JobID     string      `json:"id,omitempty"`
 	Completed int         `json:"completed,omitempty"`
 	Total     int         `json:"total,omitempty"`
 	Index     int         `json:"index,omitempty"`
@@ -345,13 +442,13 @@ type sweepEvent struct {
 
 // handleSweep serves POST /v1/sweep: a JSON array of SpecWire
 // documents in, NDJSON out (see sweepEvent for the line contract).
-// The batch runs through the unified Runner.RunAll — shared cache,
-// deduplication, worker pool — with the engine's progress callback
-// streamed to the client as each spec completes (cache-hit cells
-// complete without executing, so they emit no progress line).
-// Disconnecting cancels the batch — running specs finish, unstarted
-// specs are abandoned — and kills the stream: nothing further is
-// encoded or flushed at a dead client.
+// The batch becomes a journaled job running detached through the
+// unified Runner.RunAll — shared cache, deduplication, worker pool —
+// and this handler is merely the job's first attached stream: the
+// {"event":"job"} header names the job ID, then every event follows
+// as the job appends it. Disconnecting kills the stream but not the
+// batch — the job finishes into the cache and store, and the client
+// reattaches via GET /v1/jobs/{id} to collect what it missed.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var specs []harness.Spec
 	if !decodeBody(w, r, maxSweepBody, &specs) {
@@ -361,65 +458,68 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("serve: empty spec list"))
 		return
 	}
-
-	// From here on the 200 header is committed and the stream itself
-	// is the error channel: write failures kill the stream (the
-	// request context's cancellation winds the batch down), and an
-	// engine-level failure becomes the terminal error event.
-	stream := newNDJSONStream(w)
-
-	s.metrics.inflight.Add(1)
-	results, err := s.runner.RunAll(specs,
-		harness.WithContext(r.Context()),
-		harness.OnProgress(func(p harness.Progress) {
-			ev := sweepEvent{
-				Event:     "progress",
-				Completed: p.Completed,
-				Total:     p.Total,
-				Index:     p.Index,
-				Name:      p.Name,
-				Mode:      p.Mode.String(),
-			}
-			if p.Err != nil {
-				ev.Error = p.Err.Error()
-			}
-			stream.emit(ev)
-		}))
-	s.metrics.inflight.Add(-1)
-
-	for i, res := range results {
-		if !stream.alive() {
-			return
-		}
-		ev := sweepEvent{Event: "result", Index: i, Result: wireResult(res)}
-		if key, kerr := s.runner.Key(specs[i]); kerr == nil {
-			ev.Key = key.String()
-		}
-		stream.emit(ev)
-	}
+	jb, err := s.startJob("sweep", specs, "")
 	if err != nil {
-		stream.emit(sweepEvent{Event: "error", Total: len(specs), Error: err.Error()})
+		writeJobError(w, err, s)
 		return
 	}
-	stream.emit(sweepEvent{Event: "done", Total: len(specs), OK: true})
+
+	// From here on the 200 header is committed and the stream itself
+	// is the error channel: a write failure kills the stream (never
+	// the job), and a job-level failure becomes the terminal error
+	// event.
+	stream := newNDJSONStream(w)
+	if !stream.emit(sweepEvent{Event: "job", JobID: jb.id, Total: len(specs)}) {
+		return
+	}
+	idx := 0
+	for {
+		evs, finished, wake := jb.snapshotFrom(idx)
+		for _, ev := range evs {
+			idx++
+			if !stream.emit(ev) {
+				return
+			}
+		}
+		if finished {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // handleFigure serves GET /v1/figures/{fig}: the rendered paper
-// figure or table as plain text. Runs behind it go through the shared
-// runner, so regenerating a figure twice is all cache hits.
+// figure or table as plain text. The render runs as a journaled
+// detached job — a disconnect does not abandon it, and a crashed
+// daemon re-renders on replay with the store keeping its runs warm —
+// while this handler waits for the result. Runs behind it go through
+// the shared runner, so regenerating a figure twice is all cache hits.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	fig := r.PathValue("fig")
 	if !knownFigure(fig) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown figure %q (valid: 2-10, t2, t4, t5)", fig))
 		return
 	}
-	out, err := harness.RenderFigure(s.runner, fig)
+	jb, err := s.startJob("figure", nil, fig)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeJobError(w, err, s)
+		return
+	}
+	if !jb.waitDone(r.Context()) {
+		// Client gone; the render finishes detached and warms the
+		// cache for the next request.
+		return
+	}
+	if term := jb.terminalEvent(); term.Event == "error" {
+		writeError(w, http.StatusInternalServerError, errors.New(term.Error))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, out)
+	fmt.Fprint(w, jb.figureOutput())
 }
 
 // knownFigure reports whether fig labels at least one registered
@@ -455,17 +555,61 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.render(w, s.cache)
+	renderAdmissionMetrics(w, s.queued.Load(), s.maxQueue)
 	if s.store != nil {
 		renderStoreMetrics(w, s.store)
 	}
 	if s.cluster != nil {
 		renderClusterMetrics(w, s.cluster)
 	}
+	if s.journal != nil {
+		renderJournalMetrics(w, s.journal)
+	}
 }
 
+// healthzResponse is the GET /healthz body: enough operational state
+// for a load balancer or operator to judge whether this daemon should
+// receive sweeps right now.
+type healthzResponse struct {
+	Status string `json:"status"` // "ok" or "recovering"
+	Role   string `json:"role"`   // "standalone", "coordinator", "worker"
+	// Workers is the live registered fleet (coordinator only).
+	Workers int `json:"workers"`
+	// QueueDepth is the admission gauge: admitted, unfinished specs.
+	QueueDepth int64 `json:"queue_depth"`
+	// Jobs is the number of resident (live or reattachable) jobs.
+	Jobs int `json:"jobs"`
+	// Journal reports the write-ahead log state: "none" (not
+	// configured), "recovering" (replay still re-enqueuing) or "ok".
+	Journal string `json:"journal"`
+}
+
+// handleHealthz serves GET /healthz: role-aware liveness. While the
+// journal replay is still re-enqueuing jobs the response is 503, so
+// load balancers keep sweeps away from a half-recovered coordinator.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	resp := healthzResponse{
+		Status:     "ok",
+		Role:       s.role,
+		QueueDepth: s.queued.Load(),
+		Journal:    "none",
+	}
+	if s.cluster != nil {
+		resp.Workers = s.cluster.liveWorkers(time.Now())
+	}
+	s.jobsMu.Lock()
+	resp.Jobs = len(s.jobs)
+	s.jobsMu.Unlock()
+	code := http.StatusOK
+	if s.journal != nil {
+		resp.Journal = "ok"
+		if s.recovering.Load() {
+			resp.Status = "recovering"
+			resp.Journal = "recovering"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, resp)
 }
 
 // instrument wraps a handler with request counting and latency

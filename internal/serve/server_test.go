@@ -86,9 +86,15 @@ func TestHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
-		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, hz)
+	}
+	if hz.Role != "standalone" || hz.Journal != "none" {
+		t.Fatalf("healthz role=%q journal=%q, want standalone/none", hz.Role, hz.Journal)
 	}
 }
 
@@ -346,9 +352,17 @@ func TestSweepStreaming(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var progress, results int
+	var jobs, progress, results int
 	for _, ev := range events {
 		switch ev.Event {
+		case "job":
+			jobs++
+			if ev.JobID == "" || ev.Total != 2 {
+				t.Errorf("job header = %+v, want an ID and total=2", ev)
+			}
+			if progress+results > 0 {
+				t.Error("job header after other events")
+			}
 		case "progress":
 			progress++
 			if results > 0 {
@@ -370,8 +384,8 @@ func TestSweepStreaming(t *testing.T) {
 			t.Errorf("unknown event %q", ev.Event)
 		}
 	}
-	if progress != 2 || results != 2 {
-		t.Fatalf("got %d progress, %d result events, want 2 each", progress, results)
+	if jobs != 1 || progress != 2 || results != 2 {
+		t.Fatalf("got %d job, %d progress, %d result events, want 1/2/2", jobs, progress, results)
 	}
 	if events[len(events)-1].Event != "done" {
 		t.Fatal("stream does not end with a done event")

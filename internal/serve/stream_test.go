@@ -56,24 +56,51 @@ func TestSweepStopsWritingToDeadClient(t *testing.T) {
 	}
 }
 
-// TestSweepEngineErrorEmitsTerminalErrorEvent (regression): when
-// RunAll fails at the engine level after the 200 header is committed,
-// the stream must end with an explicit {"event":"error",...} line —
-// not a bare done line a client could mistake for a completed batch.
-func TestSweepEngineErrorEmitsTerminalErrorEvent(t *testing.T) {
+// TestSweepDisconnectDetachesJob: a client that disconnects mid-sweep
+// no longer cancels the batch — the job runs detached to completion,
+// and a reattach via GET /v1/jobs/{id} streams every result exactly
+// once, ending with the terminal done line. (This inverts the old
+// contract, where the request context was the batch's lifetime.)
+func TestSweepDisconnectDetachesJob(t *testing.T) {
 	s := New(Config{EPCPages: testEPC, Seed: 7, Workers: 2})
 	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // the batch is cut short before any spec starts
+	cancel() // the client is gone before the first event lands
 	req := httptest.NewRequest(http.MethodPost, "/v1/sweep",
 		strings.NewReader(`[{"workload":"Empty","mode":"Vanilla","size":"Low"}]`)).WithContext(ctx)
 	rec := httptest.NewRecorder()
 	s.handleSweep(rec, req)
 
 	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d, want 200 (the stream itself carries the failure)", rec.Code)
+		t.Fatalf("status %d, want 200", rec.Code)
 	}
-	var events []sweepEvent
 	sc := bufio.NewScanner(rec.Body)
+	if !sc.Scan() {
+		t.Fatal("aborted stream carried no job header")
+	}
+	var header sweepEvent
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		t.Fatal(err)
+	}
+	if header.Event != "job" || header.JobID == "" {
+		t.Fatalf("first line = %+v, want a job header naming the job ID", header)
+	}
+
+	jb, ok := s.lookupJob(header.JobID)
+	if !ok {
+		t.Fatalf("job %s not registered for reattach", header.JobID)
+	}
+	jb.waitDone(context.Background())
+	if term := jb.terminalEvent(); term.Event != "done" || !term.OK {
+		t.Fatalf("terminal = %+v, want done ok:true (disconnect must not cancel the batch)", term)
+	}
+
+	// Reattach: every result exactly once, then the terminal line.
+	req2 := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+header.JobID, nil)
+	req2.SetPathValue("id", header.JobID)
+	rec2 := httptest.NewRecorder()
+	s.handleJob(rec2, req2)
+	var events []sweepEvent
+	sc = bufio.NewScanner(rec2.Body)
 	for sc.Scan() {
 		var ev sweepEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
@@ -81,17 +108,20 @@ func TestSweepEngineErrorEmitsTerminalErrorEvent(t *testing.T) {
 		}
 		events = append(events, ev)
 	}
-	if len(events) == 0 {
-		t.Fatal("empty stream")
-	}
-	last := events[len(events)-1]
-	if last.Event != "error" || !strings.Contains(last.Error, context.Canceled.Error()) {
-		t.Fatalf("terminal event = %+v, want event=error naming the cancellation", last)
-	}
+	results := 0
 	for _, ev := range events {
-		if ev.Event == "done" {
-			t.Fatal("failed batch also emitted a done event")
+		if ev.Event == "result" {
+			results++
+			if ev.Result == nil || ev.Result.Error != "" {
+				t.Fatalf("reattached result = %+v, want a clean result", ev)
+			}
 		}
+	}
+	if results != 1 {
+		t.Fatalf("reattach streamed %d results, want exactly 1", results)
+	}
+	if last := events[len(events)-1]; last.Event != "done" || !last.OK {
+		t.Fatalf("reattach terminal = %+v, want done ok:true", last)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -20,6 +21,15 @@ const workerPollWait = 10 * time.Second
 // workerRetryDelay paces reconnection attempts after a failed
 // register, poll or results post.
 const workerRetryDelay = time.Second
+
+// DefaultDrain is the default graceful-shutdown budget: how long
+// in-flight work (HTTP requests on a server, the executing batch on a
+// worker) may finish after SIGINT/SIGTERM.
+const DefaultDrain = 30 * time.Second
+
+// deregisterTimeout bounds the goodbye post a draining worker sends
+// after its final batch.
+const deregisterTimeout = 2 * time.Second
 
 // Worker turns a daemon into a sweep-cluster execution node: it
 // registers with a coordinator, long-polls for spec batches routed to
@@ -46,6 +56,11 @@ type Worker struct {
 	// heartbeatEvery paces keep-alives during batch execution; set
 	// from the coordinator's advertised TTL at registration.
 	heartbeatEvery time.Duration
+	// Drain bounds how long an in-flight batch may keep executing —
+	// and its results post stay open — after Run's context is
+	// cancelled, so a SIGTERM'd worker lands finished work at the
+	// coordinator instead of forcing re-simulation elsewhere.
+	Drain time.Duration
 
 	executed  atomic.Uint64 // specs executed for the coordinator
 	postFails atomic.Uint64 // result posts that died mid-stream
@@ -63,6 +78,7 @@ func NewWorker(s *Server, coordinator, id string) *Worker {
 		jobs:           jobs,
 		client:         &http.Client{},
 		heartbeatEvery: DefaultWorkerTTL / 3,
+		Drain:          DefaultDrain,
 	}
 }
 
@@ -71,11 +87,12 @@ func NewWorker(s *Server, coordinator, id string) *Worker {
 // logged and retried, never fatal.
 func (w *Worker) Run(ctx context.Context) error {
 	registered := false
+loop:
 	for ctx.Err() == nil {
 		if !registered {
 			if err := w.register(ctx); err != nil {
 				if ctx.Err() != nil {
-					return nil
+					break
 				}
 				log.Printf("sgxgauged: worker %s: register: %v (retrying)", w.id, err)
 				sleepCtx(ctx, workerRetryDelay)
@@ -87,7 +104,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		batch, err := w.poll(ctx)
 		switch {
 		case ctx.Err() != nil:
-			return nil
+			// Cancelled mid-poll (the idle worker's common drain path);
+			// fall through to the goodbye below.
+			break loop
 		case err == errUnknownWorker:
 			// Coordinator restarted or expired us; re-register.
 			registered = false
@@ -112,7 +131,28 @@ func (w *Worker) Run(ctx context.Context) error {
 			sleepCtx(ctx, workerRetryDelay)
 		}
 	}
+	// Graceful drain: the batch (if any) has finished and posted under
+	// the drain budget above; tell the coordinator goodbye so our
+	// queued work reroutes immediately instead of waiting out the TTL.
+	w.deregister()
 	return nil
+}
+
+// deregister posts the drain goodbye on a fresh short-lived context
+// (Run's own context is already cancelled by the time this runs).
+// Best-effort: a coordinator that already expired us answers 404,
+// which is the same outcome.
+func (w *Worker) deregister() {
+	ctx, cancel := context.WithTimeout(context.Background(), deregisterTimeout)
+	defer cancel()
+	var resp deregisterResponse
+	err := w.post(ctx, "/v1/cluster/deregister", deregisterRequest{Worker: w.id}, &resp)
+	switch {
+	case err == nil, err == errUnknownWorker:
+		log.Printf("sgxgauged: worker %s: deregistered", w.id)
+	default:
+		log.Printf("sgxgauged: worker %s: deregister: %v (coordinator will expire us by TTL)", w.id, err)
+	}
 }
 
 // register announces the worker to the coordinator and adopts its
@@ -166,16 +206,41 @@ func (w *Worker) poll(ctx context.Context) ([]taskAssignment, error) {
 // chunked NDJSON POST as it completes, so the coordinator can settle
 // early keys while later ones are still simulating.
 func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error {
+	// Drain semantics: once ctx is cancelled (SIGTERM) the in-flight
+	// batch keeps executing and the results post stays open for up to
+	// w.Drain, so finished work lands at the coordinator instead of
+	// being re-simulated elsewhere. batchCtx outlives ctx for exactly
+	// that window; past it the post is torn down and the coordinator
+	// reroutes whatever never arrived.
+	batchCtx, cancelBatch := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancelBatch()
+	batchDone := make(chan struct{})
+	defer close(batchDone)
+	go func() {
+		select {
+		case <-batchDone:
+		case <-ctx.Done():
+			t := time.NewTimer(w.Drain)
+			defer t.Stop()
+			select {
+			case <-batchDone:
+			case <-t.C:
+				cancelBatch()
+			}
+		}
+	}()
+
 	// Keep the registration alive while the batch simulates: the
 	// results stream only touches the coordinator as lines land, so a
 	// single spec slower than the TTL would otherwise expire the
-	// worker and reroute the whole batch.
-	hbCtx, stopHeartbeat := context.WithCancel(ctx)
+	// worker and reroute the whole batch. Beats follow batchCtx so a
+	// draining worker stays registered until its final post lands.
+	hbCtx, stopHeartbeat := context.WithCancel(batchCtx)
 	defer stopHeartbeat()
 	go w.heartbeatLoop(hbCtx)
 
 	pr, pw := io.Pipe()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	req, err := http.NewRequestWithContext(batchCtx, http.MethodPost,
 		w.coordinator+"/v1/cluster/results?worker="+w.id, pr)
 	if err != nil {
 		return err
@@ -210,10 +275,9 @@ func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error
 		go func(t taskAssignment) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			line, err := w.executeOne(t)
-			if err != nil {
-				log.Printf("sgxgauged: worker %s: spec %s: %v (dropped; coordinator will reroute)", w.id, t.Key, err)
-				return
+			line := w.executeOne(t)
+			if line.Failed != "" {
+				log.Printf("sgxgauged: worker %s: spec %s: %s (reporting failure; coordinator charges its retry budget)", w.id, t.Key, line.Failed)
 			}
 			mu.Lock()
 			// An encode failure means the post died; the goroutine
@@ -229,22 +293,27 @@ func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error
 
 // executeOne runs one assignment through the local runner and shapes
 // the result for the wire. A spec's own failure travels inside the
-// result line; only transport-level trouble (an undecodable spec, an
-// unencodable result) is an error.
-func (w *Worker) executeOne(t taskAssignment) (resultLine, error) {
+// result line; trouble executing at all (an undecodable spec, an
+// engine error) travels as a failed line, so the coordinator charges
+// the task's retry budget instead of leaving it assigned to us
+// forever.
+func (w *Worker) executeOne(t taskAssignment) resultLine {
 	spec, err := t.Spec.Spec()
 	if err != nil {
-		return resultLine{}, fmt.Errorf("serve: bad assignment spec: %w", err)
+		return resultLine{Key: t.Key, Failed: fmt.Sprintf("bad assignment spec: %v", err)}
 	}
 	// Run, not localRun: the worker's runner owns caching here, so a
 	// result already in its memory cache or on-disk store is served
 	// without booting a machine.
 	res, err := w.server.runner.Run(spec)
 	if err != nil || res == nil {
-		return resultLine{}, fmt.Errorf("serve: executing assignment: %w", err)
+		if err == nil {
+			err = errors.New("runner returned no result")
+		}
+		return resultLine{Key: t.Key, Failed: err.Error()}
 	}
 	w.executed.Add(1)
-	return resultLine{Key: t.Key, Result: res.Wire()}, nil
+	return resultLine{Key: t.Key, Result: res.Wire()}
 }
 
 // post sends one JSON request and decodes the JSON response into out.
