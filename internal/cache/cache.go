@@ -17,8 +17,21 @@ type LLC struct {
 	sets    int
 	ways    int
 	setMask uint64
-	tags    []uint64 // sets*ways entries; 0 means invalid
-	next    []uint8  // per-set round-robin pointer
+	setBits uint
+	// tags holds, per slot, the line's set-relative tag (line with the
+	// set-index bits shifted out) biased by 1; 0 means invalid. Within
+	// a set that remainder identifies the line uniquely, and 32 bits
+	// cover any simulated address below 2^(38+log2 sets) bytes — far
+	// beyond the simulator's address space. Packing 16 ways into one
+	// 64-byte cache line keeps the way scan to a single real memory
+	// touch.
+	tags []uint32 // sets*ways entries; 0 means invalid
+	next []uint8  // per-set round-robin pointer
+	// mru is the way of each set's most recent hit or install. It is
+	// probed before the way scan; a pure lookup-order hint (like the
+	// `last` shortcut) that never changes what Access returns or
+	// which victim a miss picks.
+	mru []uint8
 	// last is the biased tag (line+1) of the most recent Access, or 0.
 	// A repeat of the same line with no intervening Access is always a
 	// hit — hits never move tags, and the previous Access left the
@@ -48,12 +61,18 @@ func NewLLC(totalBytes int, ways int) *LLC {
 		p *= 2
 	}
 	sets = p
+	setBits := uint(0)
+	for 1<<setBits < sets {
+		setBits++
+	}
 	return &LLC{
 		sets:    sets,
 		ways:    ways,
 		setMask: uint64(sets - 1),
-		tags:    make([]uint64, sets*ways),
+		setBits: setBits,
+		tags:    make([]uint32, sets*ways),
 		next:    make([]uint8, sets),
+		mru:     make([]uint8, sets),
 	}
 }
 
@@ -79,32 +98,93 @@ func (c *LLC) Access(line uint64) bool {
 	c.last = tag
 	set := int(line & c.setMask)
 	base := set * c.ways
-	for i := 0; i < c.ways; i++ {
-		if c.tags[base+i] == tag {
+	st := uint32(line>>c.setBits) + 1
+	w := c.tags[base : base+c.ways]
+	if w[c.mru[set]] == st {
+		c.hits++
+		return true
+	}
+	for i, t := range w {
+		if t == st {
 			c.hits++
+			c.mru[set] = uint8(i)
 			return true
 		}
 	}
 	c.misses++
 	v := int(c.next[set])
-	c.tags[base+v] = tag
-	c.next[set] = uint8((v + 1) % c.ways)
+	w[v] = st
+	nv := v + 1
+	if nv == c.ways {
+		nv = 0
+	}
+	c.next[set] = uint8(nv)
+	c.mru[set] = uint8(v)
 	return false
 }
+
+// NoteStreakHits records n hits that the caller proved without a
+// lookup: immediate repeats of the most recently accessed line. Such
+// repeats always take the `last` shortcut in Access — a hit that
+// reads no tags and moves no state — so batching them into one
+// counter add leaves the cache's state and statistics exactly as n
+// Access calls would have.
+func (c *LLC) NoteStreakHits(n uint64) { c.hits += n }
 
 // AccessRun performs Access on n consecutive lines starting at line
 // and returns how many hit and how many missed. It is the bulk
 // equivalent of calling Access in a loop and leaves identical cache
 // state and statistics; the machine's fast path uses it to charge a
 // whole intra-page run of lines in one call.
+//
+// The body is Access unrolled across the run with the bookkeeping
+// kept in locals: only the first line can take the `last` shortcut
+// (consecutive lines never repeat), and the final `last` is the run's
+// last line — exactly what n sequential Access calls leave behind.
 func (c *LLC) AccessRun(line uint64, n uint64) (hits, misses uint64) {
-	for i := uint64(0); i < n; i++ {
-		if c.Access(line + i) {
-			hits++
-		} else {
-			misses++
-		}
+	if n == 0 {
+		return 0, 0
 	}
+	i := uint64(0)
+	if line+1 == c.last {
+		hits++
+		i++
+	}
+	for ; i < n; i++ {
+		ln := line + i
+		set := int(ln & c.setMask)
+		base := set * c.ways
+		st := uint32(ln>>c.setBits) + 1
+		w := c.tags[base : base+c.ways]
+		if w[c.mru[set]] == st {
+			hits++
+			continue
+		}
+		found := false
+		for k, t := range w {
+			if t == st {
+				c.mru[set] = uint8(k)
+				hits++
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		misses++
+		v := int(c.next[set])
+		w[v] = st
+		nv := v + 1
+		if nv == c.ways {
+			nv = 0
+		}
+		c.next[set] = uint8(nv)
+		c.mru[set] = uint8(v)
+	}
+	c.last = line + n // biased tag of the run's final line
+	c.hits += hits
+	c.misses += misses
 	return hits, misses
 }
 
@@ -113,11 +193,13 @@ func (c *LLC) AccessRun(line uint64, n uint64) (hits, misses uint64) {
 func (c *LLC) InvalidateRange(line uint64, n uint64) {
 	c.last = 0
 	for i := uint64(0); i < n; i++ {
-		tag := line + i + 1
-		base := int((line+i)&c.setMask) * c.ways
-		for w := 0; w < c.ways; w++ {
-			if c.tags[base+w] == tag {
-				c.tags[base+w] = 0
+		ln := line + i
+		st := uint32(ln>>c.setBits) + 1
+		base := int(ln&c.setMask) * c.ways
+		w := c.tags[base : base+c.ways]
+		for k, t := range w {
+			if t == st {
+				w[k] = 0
 				break
 			}
 		}

@@ -117,6 +117,60 @@ func hitCount(c *LLC, n uint64) int {
 	return hits
 }
 
+// TestAccessRunMatchesAccessLoop drives two identical caches with a
+// random interleaving of runs — one through AccessRun, the other
+// through the equivalent Access loop — and demands identical hit and
+// miss counts per run plus identical full state (tags, round-robin
+// pointers, `last` shortcut) throughout. AccessRun's contract is
+// exactly "Access in a loop"; this pins it against the bulk path's
+// unrolled internals.
+func TestAccessRunMatchesAccessLoop(t *testing.T) {
+	a := NewLLC(16*1024, 4) // small: plenty of conflict evictions
+	b := NewLLC(16*1024, 4)
+	rng := uint64(0x1234abcd)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	for step := 0; step < 20000; step++ {
+		line := next(4 * uint64(a.Sets()))
+		n := next(130) // runs up to two pages of lines, incl. n == 0
+		gh, gm := a.AccessRun(line, n)
+		var wh, wm uint64
+		for i := uint64(0); i < n; i++ {
+			if b.Access(line + i) {
+				wh++
+			} else {
+				wm++
+			}
+		}
+		if gh != wh || gm != wm {
+			t.Fatalf("step %d: AccessRun(%d, %d) = %d hits %d misses, Access loop %d/%d",
+				step, line, n, gh, gm, wh, wm)
+		}
+		if a.last != b.last {
+			t.Fatalf("step %d: last = %d want %d", step, a.last, b.last)
+		}
+		ah, am := a.Stats()
+		bh, bm := b.Stats()
+		if ah != bh || am != bm {
+			t.Fatalf("step %d: stats %d/%d want %d/%d", step, ah, am, bh, bm)
+		}
+		for i := range a.tags {
+			if a.tags[i] != b.tags[i] {
+				t.Fatalf("step %d: tags[%d] = %d want %d", step, i, a.tags[i], b.tags[i])
+			}
+		}
+		for i := range a.next {
+			if a.next[i] != b.next[i] {
+				t.Fatalf("step %d: next[%d] = %d want %d", step, i, a.next[i], b.next[i])
+			}
+		}
+	}
+}
+
 func TestRepeatedAccessAlwaysHitsProperty(t *testing.T) {
 	c := NewLLC(256*1024, 16)
 	f := func(line uint64) bool {

@@ -43,6 +43,12 @@ func (c *L1) Access(line uint64) bool {
 	return false
 }
 
+// NoteStreakHits records n hits the caller proved without a lookup:
+// immediate repeats of a line that is present. A repeat hit reads the
+// same slot and moves no state, so this leaves the cache exactly as n
+// Access calls would have.
+func (c *L1) NoteStreakHits(n uint64) { c.hits += n }
+
 // InvalidateRange removes n consecutive lines starting at line.
 func (c *L1) InvalidateRange(line uint64, n uint64) {
 	for i := uint64(0); i < n; i++ {

@@ -120,9 +120,11 @@ type EPCMEntry struct {
 	Valid bool
 }
 
+// slot is one EPC page slot. It holds no frame pointer: slot i's data
+// lives in the arena at frames[i], so the slot table is index-based
+// and the per-slot state the eviction sweep walks stays compact.
 type slot struct {
 	id         mem.PageID
-	frame      *mem.Frame
 	referenced bool
 	used       bool
 }
@@ -133,18 +135,36 @@ type EPC struct {
 	capacity int
 	engine   *mee.Engine
 	backing  *mem.BackingStore
-	pool     *mem.Pool
 	counters *perf.Counters
 
-	slots    []slot
-	resident map[mem.PageID]int
+	// crypt amortizes MEE cipher/HMAC setup across every seal and
+	// unseal the EPC performs (see mee.Batch); outputs are
+	// byte-identical to the per-call engine path.
+	crypt *mee.Batch
+
+	slots []slot
+	// frames is the arena backing the slot table: slot i's page data
+	// is frames[i]. Pointers into the arena (Lookup results, the
+	// machine's page memos) dangle when Resize rebuilds it; the resize
+	// hook bounds that lifetime.
+	frames   []mem.Frame
+	resident *pageIdx
 	free     []int
 	hand     int
+
+	// evict-batch scratch, reused across eviction storms.
+	evIdx    []int
+	evIDs    []mem.PageID
+	evVers   []uint64
+	evFrames []*mem.Frame
+	evSealed []*mem.SealedPage
 
 	// versions holds, per page, the version number used for the most
 	// recent seal. Load-back must present exactly this version; any
 	// other version is a rollback.
-	versions map[mem.PageID]uint64
+	versions *verIdx
+	// verScratch collects IDs for verIdx.dropEnclave sweeps.
+	verScratch []mem.PageID
 
 	ops [numOps]OpStats
 
@@ -188,11 +208,12 @@ func New(capacityPages int, engine *mee.Engine, backing *mem.BackingStore, count
 		capacity: capacityPages,
 		engine:   engine,
 		backing:  backing,
-		pool:     &mem.Pool{},
 		counters: counters,
+		crypt:    engine.NewBatch(),
 		slots:    make([]slot, capacityPages),
-		resident: make(map[mem.PageID]int, capacityPages),
-		versions: make(map[mem.PageID]uint64),
+		frames:   make([]mem.Frame, capacityPages),
+		resident: newPageIdx(capacityPages),
+		versions: newVerIdx(),
 		jitter:   0x9e3779b97f4a7c15,
 	}
 	e.free = make([]int, capacityPages)
@@ -206,7 +227,7 @@ func New(capacityPages int, engine *mee.Engine, backing *mem.BackingStore, count
 func (e *EPC) Capacity() int { return e.capacity }
 
 // Resident returns the number of pages currently in the EPC.
-func (e *EPC) Resident() int { return len(e.resident) }
+func (e *EPC) Resident() int { return e.resident.len() }
 
 // SetEvictHook registers fn to be invoked for each page evicted from
 // the EPC (the machine uses this to invalidate TLB entries).
@@ -249,7 +270,7 @@ func (e *EPC) OpStatsFor(op Op) OpStats { return e.ops[op] }
 // EPCMLookup returns the EPCM entry for the page, valid only while the
 // page is resident. The TLB fill path consults this (paper Figure 1).
 func (e *EPC) EPCMLookup(id mem.PageID) EPCMEntry {
-	if idx, ok := e.resident[id]; ok {
+	if idx, ok := e.resident.get(id); ok {
 		return EPCMEntry{Owner: id.Enclave, VPN: id.VPN, Valid: e.slots[idx].used}
 	}
 	return EPCMEntry{}
@@ -258,28 +279,45 @@ func (e *EPC) EPCMLookup(id mem.PageID) EPCMEntry {
 // Lookup returns the frame for id when resident, marking it recently
 // used for the CLOCK policy.
 func (e *EPC) Lookup(id mem.PageID) (*mem.Frame, bool) {
-	idx, ok := e.resident[id]
+	idx, ok := e.resident.get(id)
 	if !ok {
 		return nil, false
 	}
 	e.slots[idx].referenced = true
-	return e.slots[idx].frame, true
+	return &e.frames[idx], true
 }
 
 // LookupRef is Lookup plus a pointer to the slot's CLOCK reference
 // bit, letting the machine's memoized fast path mark later hits on
 // the same page recently-used without re-running the resident lookup.
-// The pointer is valid only until the page leaves the EPC or the slot
-// table is rebuilt (see SetResizeHook); the machine's TLB-shootdown
-// and resize hooks bound both lifetimes.
+// The pointer — like the frame pointer, which aliases the slot arena —
+// is valid only until the page leaves the EPC or the slot table is
+// rebuilt (see SetResizeHook); the machine's TLB-shootdown and resize
+// hooks bound both lifetimes.
 func (e *EPC) LookupRef(id mem.PageID) (*mem.Frame, *bool, bool) {
-	idx, ok := e.resident[id]
+	idx, ok := e.resident.get(id)
 	if !ok {
 		return nil, nil, false
 	}
 	s := &e.slots[idx]
 	s.referenced = true
-	return s.frame, &s.referenced, true
+	return &e.frames[idx], &s.referenced, true
+}
+
+// WalkResolve is the page-walk combination of Lookup, EPCMLookup and
+// LookupRef in a single residency probe: frame, CLOCK reference-bit
+// pointer, and the EPCM entry to verify while the TLB entry is
+// installed. The machine's fast path uses it to finish a walk with one
+// map access instead of three; the simulated semantics (reference bit
+// set, same EPCM contents) are identical.
+func (e *EPC) WalkResolve(id mem.PageID) (*mem.Frame, *bool, EPCMEntry, bool) {
+	idx, ok := e.resident.get(id)
+	if !ok {
+		return nil, nil, EPCMEntry{}, false
+	}
+	s := &e.slots[idx]
+	s.referenced = true
+	return &e.frames[idx], &s.referenced, EPCMEntry{Owner: id.Enclave, VPN: id.VPN, Valid: s.used}, true
 }
 
 // nextJitter returns a small deterministic latency perturbation in
@@ -317,7 +355,7 @@ func (e *EPC) tick() {
 // panics if the page is already resident — callers must Lookup first.
 // A full EPC with no evictable page yields ErrEPCExhausted.
 func (e *EPC) AllocPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (*mem.Frame, error) {
-	if _, ok := e.resident[id]; ok {
+	if _, ok := e.resident.get(id); ok {
 		panic(fmt.Sprintf("epc: AllocPage of resident page (%v)", id))
 	}
 	if len(e.free) == 0 {
@@ -327,9 +365,10 @@ func (e *EPC) AllocPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageI
 	}
 	idx := e.free[len(e.free)-1]
 	e.free = e.free[:len(e.free)-1]
-	f := e.pool.Get()
-	e.slots[idx] = slot{id: id, frame: f, referenced: true, used: true}
-	e.resident[id] = idx
+	e.slots[idx] = slot{id: id, referenced: true, used: true}
+	e.resident.put(id, idx)
+	f := &e.frames[idx]
+	f.Data = [mem.PageSize]byte{} // arena frames carry a prior occupant's data
 
 	lat := costs.EPCAlloc + e.nextJitter(costs.EPCAlloc)
 	clk.Advance(lat)
@@ -340,17 +379,91 @@ func (e *EPC) AllocPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageI
 }
 
 // evictBatch writes back BatchEvictPages victims chosen by CLOCK.
+//
+// It runs in two phases so the MEE work of the whole storm is batched
+// (through the long-lived crypt batch, byte-identical to
+// mee.SealBatch): phase 1 picks and detaches every victim — clearing
+// the slot before the next pick, exactly as the one-at-a-time path
+// did, so the CLOCK victim sequence is unchanged — and phase 2 seals
+// all victims in pick order, then publishes and charges each one in
+// that same order (backing store, integrity tree, EWB latency and
+// jitter, eviction hook, timeline tick). Every externally observable
+// sequence — victim order, version numbers, jitter draws, hook
+// invocations, counter and clock values at each hook — is identical
+// to evicting the pages one at a time.
 func (e *EPC) evictBatch(clk *cycles.Clock, costs *cycles.CostModel) error {
 	n := BatchEvictPages
-	if n > len(e.resident) {
-		n = len(e.resident)
+	if n > e.resident.len() {
+		n = e.resident.len()
 	}
+	e.evIdx = e.evIdx[:0]
+	e.evIDs = e.evIDs[:0]
+	e.evVers = e.evVers[:0]
+	e.evFrames = e.evFrames[:0]
 	for i := 0; i < n; i++ {
-		if err := e.evictOne(clk, costs); err != nil {
-			return err
+		idx := e.pickVictim()
+		if idx < 0 {
+			return ErrEPCExhausted
 		}
+		s := &e.slots[idx]
+		id := s.id
+		ver := e.versions.get(id) + 1
+		e.versions.set(id, ver)
+		e.evIdx = append(e.evIdx, idx)
+		e.evIDs = append(e.evIDs, id)
+		e.evVers = append(e.evVers, ver)
+		e.evFrames = append(e.evFrames, &e.frames[idx])
+		*s = slot{}
+		e.resident.del(id)
+		e.free = append(e.free, idx)
+	}
+	if cap(e.evSealed) < n {
+		e.evSealed = make([]*mem.SealedPage, n)
+	}
+	e.evSealed = e.evSealed[:n]
+	for i := range e.evSealed {
+		// Recycle a retired sealed page if the store has one, and
+		// seal through the EPC's long-lived batch — same bytes as
+		// mee.SealBatch, without re-deriving the AEAD per storm.
+		sp := e.backing.Reserve()
+		if sp == nil {
+			sp = &mem.SealedPage{}
+		}
+		e.crypt.SealPageInto(sp, e.evIDs[i], e.evVers[i], e.evFrames[i])
+		e.evSealed[i] = sp
+	}
+	for i, sp := range e.evSealed {
+		e.backing.Put(sp)
+		if e.tree != nil {
+			if err := e.tree.Update(e.evIDs[i], sp.MAC); err != nil {
+				return fmt.Errorf("epc: integrity tree: %w", err)
+			}
+			clk.Advance(uint64(e.tree.UncachedLevels()) * costs.TreeLevel)
+		}
+		e.chargeEWB(clk, costs, e.evIDs[i])
 	}
 	return nil
+}
+
+// chargeEWB charges one page's EWB driver latency and fires the
+// eviction hook — the tail every eviction path shares.
+func (e *EPC) chargeEWB(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) {
+	// The driver spends the full EWB latency (recorded for Figure 7),
+	// but most of it overlaps execution: evictions run in 16-page
+	// batches ahead of demand, so the faulting thread only pays the
+	// synchronous share.
+	lat := costs.EWBPage + e.nextJitter(costs.EWBPage)
+	share := costs.AsyncEvictShare
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	clk.Advance(cycles.SatU64(float64(lat) * share))
+	e.ops[OpEWB].add(lat)
+	e.counters.Inc(perf.EPCEvictions)
+	if e.onEvict != nil {
+		e.onEvict(id)
+	}
+	e.tick()
 }
 
 // pickVictim runs the CLOCK sweep: clear reference bits until an
@@ -360,7 +473,10 @@ func (e *EPC) pickVictim() int {
 	for sweep := 0; sweep < 2*e.capacity; sweep++ {
 		s := &e.slots[e.hand]
 		cur := e.hand
-		e.hand = (e.hand + 1) % e.capacity
+		e.hand++
+		if e.hand == e.capacity {
+			e.hand = 0
+		}
 		if !s.used {
 			continue
 		}
@@ -388,9 +504,13 @@ func (e *EPC) sealOut(clk *cycles.Clock, costs *cycles.CostModel, idx int) error
 	s := &e.slots[idx]
 	id := s.id
 
-	ver := e.versions[id] + 1
-	e.versions[id] = ver
-	sp := e.engine.SealPage(id, ver, s.frame)
+	ver := e.versions.get(id) + 1
+	e.versions.set(id, ver)
+	sp := e.backing.Reserve()
+	if sp == nil {
+		sp = &mem.SealedPage{}
+	}
+	e.crypt.SealPageInto(sp, id, ver, &e.frames[idx])
 	e.backing.Put(sp)
 	if e.tree != nil {
 		if err := e.tree.Update(id, sp.MAC); err != nil {
@@ -399,27 +519,11 @@ func (e *EPC) sealOut(clk *cycles.Clock, costs *cycles.CostModel, idx int) error
 		clk.Advance(uint64(e.tree.UncachedLevels()) * costs.TreeLevel)
 	}
 
-	e.pool.Put(s.frame)
 	*s = slot{}
-	delete(e.resident, id)
+	e.resident.del(id)
 	e.free = append(e.free, idx)
 
-	// The driver spends the full EWB latency (recorded for Figure 7),
-	// but most of it overlaps execution: evictions run in 16-page
-	// batches ahead of demand, so the faulting thread only pays the
-	// synchronous share.
-	lat := costs.EWBPage + e.nextJitter(costs.EWBPage)
-	share := costs.AsyncEvictShare
-	if share <= 0 || share > 1 {
-		share = 1
-	}
-	clk.Advance(cycles.SatU64(float64(lat) * share))
-	e.ops[OpEWB].add(lat)
-	e.counters.Inc(perf.EPCEvictions)
-	if e.onEvict != nil {
-		e.onEvict(id)
-	}
-	e.tick()
+	e.chargeEWB(clk, costs, id)
 	return nil
 }
 
@@ -428,7 +532,7 @@ func (e *EPC) sealOut(clk *cycles.Clock, costs *cycles.CostModel, idx int) error
 // a chosen victim in the untrusted store deterministically; the
 // ballooning path uses it to shrink capacity.
 func (e *EPC) EvictPage(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (bool, error) {
-	idx, ok := e.resident[id]
+	idx, ok := e.resident.get(id)
 	if !ok {
 		return false, nil
 	}
@@ -454,20 +558,23 @@ func (e *EPC) Resize(clk *cycles.Clock, costs *cycles.CostModel, newCapacity int
 	if newCapacity == e.capacity {
 		return nil
 	}
-	for len(e.resident) > newCapacity {
+	for e.resident.len() > newCapacity {
 		if err := e.evictOne(clk, costs); err != nil {
 			return err
 		}
 	}
-	// Rebuild the slot table at the new capacity, compacting resident
-	// pages in slot order so the rebuild is deterministic.
+	// Rebuild the slot table (and its frame arena) at the new
+	// capacity, compacting resident pages in slot order so the rebuild
+	// is deterministic.
 	newSlots := make([]slot, newCapacity)
-	newResident := make(map[mem.PageID]int, newCapacity)
+	newFrames := make([]mem.Frame, newCapacity)
+	newResident := newPageIdx(newCapacity)
 	next := 0
 	for i := range e.slots {
 		if e.slots[i].used {
 			newSlots[next] = e.slots[i]
-			newResident[e.slots[i].id] = next
+			newFrames[next] = e.frames[i]
+			newResident.put(e.slots[i].id, next)
 			next++
 		}
 	}
@@ -476,6 +583,7 @@ func (e *EPC) Resize(clk *cycles.Clock, costs *cycles.CostModel, newCapacity int
 		free = append(free, i)
 	}
 	e.slots = newSlots
+	e.frames = newFrames
 	e.resident = newResident
 	e.free = free
 	e.capacity = newCapacity
@@ -496,22 +604,24 @@ func (e *EPC) loadBack(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID
 			return nil, err
 		}
 	}
-	f := e.pool.Get()
+	// Peek the slot the page would land in and decrypt straight into
+	// its arena frame; the slot is only claimed on success, so a
+	// verification failure leaves the EPC state untouched (the dirtied
+	// free frame is zeroed by the next AllocPage).
+	idx := e.free[len(e.free)-1]
+	f := &e.frames[idx]
 	if e.tree != nil {
 		if err := e.tree.Verify(id, sp.MAC); err != nil {
-			e.pool.Put(f)
 			return nil, err
 		}
 		clk.Advance(uint64(e.tree.UncachedLevels()) * costs.TreeLevel)
 	}
-	if err := e.engine.UnsealPage(sp, e.versions[id], f); err != nil {
-		e.pool.Put(f)
+	if err := e.crypt.UnsealPage(sp, e.versions.get(id), f); err != nil {
 		return nil, err
 	}
-	idx := e.free[len(e.free)-1]
 	e.free = e.free[:len(e.free)-1]
-	e.slots[idx] = slot{id: id, frame: f, referenced: true, used: true}
-	e.resident[id] = idx
+	e.slots[idx] = slot{id: id, referenced: true, used: true}
+	e.resident.put(id, idx)
 	e.backing.Delete(id)
 
 	lat := costs.ELDUPage + e.nextJitter(costs.ELDUPage)
@@ -529,7 +639,7 @@ func (e *EPC) loadBack(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID
 // was sealed out but is no longer in the backing store was dropped by
 // the untrusted OS: that is ErrPageLost, not a fresh allocation.
 func (e *EPC) Fault(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (*mem.Frame, bool, error) {
-	if _, ok := e.resident[id]; ok {
+	if _, ok := e.resident.get(id); ok {
 		panic(fmt.Sprintf("epc: Fault on resident page (%v)", id))
 	}
 	start := clk.Cycles()
@@ -542,7 +652,7 @@ func (e *EPC) Fault(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (
 	if sp := e.backing.Get(id); sp != nil {
 		f, err = e.loadBack(clk, costs, id, sp)
 		loaded = true
-	} else if e.versions[id] > 0 {
+	} else if e.versions.get(id) > 0 {
 		return nil, false, fmt.Errorf("%w (%v)", ErrPageLost, id)
 	} else {
 		f, err = e.AllocPage(clk, costs, id)
@@ -560,17 +670,16 @@ func (e *EPC) Fault(clk *cycles.Clock, costs *cycles.CostModel, id mem.PageID) (
 // lines are invalidated — pages already evicted had theirs shot down
 // on the way out.
 func (e *EPC) Remove(id mem.PageID) {
-	if idx, ok := e.resident[id]; ok {
-		e.pool.Put(e.slots[idx].frame)
+	if idx, ok := e.resident.get(id); ok {
 		e.slots[idx] = slot{}
-		delete(e.resident, id)
+		e.resident.del(id)
 		e.free = append(e.free, idx)
 		if e.onRemove != nil {
 			e.onRemove(id)
 		}
 	}
 	e.backing.Delete(id)
-	delete(e.versions, id)
+	e.versions.del(id)
 }
 
 // RemoveEnclave discards every page (resident or sealed) belonging to
@@ -587,19 +696,13 @@ func (e *EPC) RemoveEnclave(enclave uint32) {
 			continue
 		}
 		id := s.id
-		e.pool.Put(s.frame)
 		*s = slot{}
-		delete(e.resident, id)
+		e.resident.del(id)
 		e.free = append(e.free, idx)
 		if e.onRemove != nil {
 			e.onRemove(id)
 		}
 	}
 	e.backing.DropEnclave(enclave)
-	//sgxlint:ignore determinism delete-only sweep: the map state after the loop is the same for every iteration order, and nothing observable happens per iteration
-	for id := range e.versions {
-		if id.Enclave == enclave {
-			delete(e.versions, id)
-		}
-	}
+	e.verScratch = e.versions.dropEnclave(enclave, e.verScratch)
 }

@@ -1,0 +1,120 @@
+package epc
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgxgauge/internal/mem"
+)
+
+// TestPageIdxMatchesMap churns a pageIdx and a reference map with the
+// same random put/del/get stream and demands identical contents
+// throughout — in particular across backward-shift deletions inside
+// long probe clusters.
+func TestPageIdxMatchesMap(t *testing.T) {
+	const capacity = 128
+	p := newPageIdx(capacity)
+	ref := make(map[mem.PageID]int)
+	rng := rand.New(rand.NewSource(42))
+
+	// Small ID universe forces dense clusters and frequent re-put of
+	// deleted keys.
+	randID := func() mem.PageID {
+		return mem.PageID{Enclave: uint32(rng.Intn(3)), VPN: uint64(rng.Intn(200))}
+	}
+
+	for step := 0; step < 200000; step++ {
+		id := randID()
+		switch rng.Intn(3) {
+		case 0:
+			if len(ref) < capacity {
+				idx := rng.Intn(1 << 20)
+				p.put(id, idx)
+				ref[id] = idx
+			}
+		case 1:
+			p.del(id)
+			delete(ref, id)
+		case 2:
+			got, ok := p.get(id)
+			want, wok := ref[id]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("step %d: get(%v) = %d,%v want %d,%v", step, id, got, ok, want, wok)
+			}
+		}
+		if p.len() != len(ref) {
+			t.Fatalf("step %d: len = %d want %d", step, p.len(), len(ref))
+		}
+	}
+	// Full sweep at the end: every reference entry is retrievable.
+	for id, want := range ref {
+		if got, ok := p.get(id); !ok || got != want {
+			t.Fatalf("final: get(%v) = %d,%v want %d", id, got, ok, want)
+		}
+	}
+}
+
+// TestVerIdxMatchesMap churns a verIdx and a reference map with the
+// same random set/del/get/dropEnclave stream and demands identical
+// contents throughout, across growth and backward-shift deletion.
+func TestVerIdxMatchesMap(t *testing.T) {
+	p := newVerIdx()
+	ref := make(map[mem.PageID]uint64)
+	rng := rand.New(rand.NewSource(7))
+
+	randID := func() mem.PageID {
+		return mem.PageID{Enclave: uint32(rng.Intn(3)), VPN: uint64(rng.Intn(300))}
+	}
+
+	var scratch []mem.PageID
+	for step := 0; step < 200000; step++ {
+		id := randID()
+		switch rng.Intn(4) {
+		case 0:
+			v := uint64(rng.Intn(1 << 20))
+			v++ // versions are never 0
+			p.set(id, v)
+			ref[id] = v
+		case 1:
+			p.del(id)
+			delete(ref, id)
+		case 2:
+			if got, want := p.get(id), ref[id]; got != want {
+				t.Fatalf("step %d: get(%v) = %d want %d", step, id, got, want)
+			}
+		case 3:
+			if rng.Intn(100) != 0 {
+				continue // occasional enclave teardown
+			}
+			enc := uint32(rng.Intn(3))
+			scratch = p.dropEnclave(enc, scratch)
+			for rid := range ref {
+				if rid.Enclave == enc {
+					delete(ref, rid)
+				}
+			}
+		}
+		if p.n != len(ref) {
+			t.Fatalf("step %d: n = %d want %d", step, p.n, len(ref))
+		}
+	}
+	for id, want := range ref {
+		if got := p.get(id); got != want {
+			t.Fatalf("final: get(%v) = %d want %d", id, got, want)
+		}
+	}
+}
+
+// TestPageIdxOverCapacityPanics pins the bookkeeping guard.
+func TestPageIdxOverCapacityPanics(t *testing.T) {
+	p := newPageIdx(4)
+	// Table size is 16; the guard trips at load > 1/2.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity put did not panic")
+		}
+	}()
+	for i := 0; i < 16; i++ {
+		p.put(mem.PageID{VPN: uint64(i)}, i)
+	}
+}

@@ -94,3 +94,34 @@ func TestWorkloadFastSlowEquivalence(t *testing.T) {
 		t.Run(name, func(t *testing.T) { runDifferential(t, spec) })
 	}
 }
+
+// TestExtentWorkloadFastSlowEquivalence runs every workload that
+// emits compiled access-stream extents (ExtentPlan) through the same
+// whole-run differential: the bulk-charged extent path versus
+// SlowPath's per-access replay must be bit-identical in cycles,
+// counters and functional output — also under mid-run chaos, where
+// the machine must fall back to per-access replay with the same
+// results.
+func TestExtentWorkloadFastSlowEquivalence(t *testing.T) {
+	for _, name := range []string{"BFS", "PageRank", "HashJoin", "XSBench"} {
+		w, err := suite.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name+"-native", func(t *testing.T) {
+			runDifferential(t, Spec{
+				Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC,
+			})
+		})
+		t.Run(name+"-native-chaos", func(t *testing.T) {
+			runDifferential(t, Spec{
+				Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC,
+				Seed: 5,
+				Chaos: &chaos.Config{
+					Seed: 23, Rate: 0.01,
+					AEXStorm: true, EPCBalloon: true,
+				},
+			})
+		})
+	}
+}

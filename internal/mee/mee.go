@@ -5,8 +5,11 @@
 // encrypts EPC traffic; on an EPC eviction (EWB) the page is encrypted
 // and MACed, and on load-back (ELDU) it is decrypted and
 // integrity-checked (paper §2.2). This package performs that work for
-// real: AES-128-CTR for confidentiality, HMAC-SHA-256 for integrity,
-// and a per-page version counter for freshness (rollback protection).
+// real: AES-128-GCM over the page — counter-mode confidentiality plus
+// a Carter-Wegman (GHASH) authentication tag, the same MAC family the
+// hardware MEE uses — and a per-page version counter for freshness
+// (rollback protection). The page identity and version are bound into
+// both the nonce and the additional authenticated data.
 //
 // It also provides the "sealing" primitive of Appendix E: data
 // encrypted under a platform key that only the same platform (here,
@@ -61,8 +64,9 @@ func New(seed uint64) *Engine {
 	return &e
 }
 
-// nonce derives the 16-byte CTR IV for a page from its identity and
-// version, guaranteeing a unique key stream per (page, version).
+// nonce derives the 16-byte GCM nonce for a page from its identity
+// and version; every (page, version) pair gets a distinct nonce so key
+// streams and tags are never reused.
 func nonce(id mem.PageID, version uint64) [aes.BlockSize]byte {
 	var iv [aes.BlockSize]byte
 	binary.LittleEndian.PutUint32(iv[0:4], id.Enclave)
@@ -71,51 +75,82 @@ func nonce(id mem.PageID, version uint64) [aes.BlockSize]byte {
 	return iv
 }
 
-// SealPage encrypts and MACs one page frame for eviction to untrusted
-// memory. The version must be the page's next (monotonically
-// increasing) version number.
-func (e *Engine) SealPage(id mem.PageID, version uint64, f *mem.Frame) *mem.SealedPage {
-	sp := &mem.SealedPage{ID: id, Version: version}
+// pageHeader is the additional authenticated data bound into a page's
+// GCM tag: full identity and full 64-bit version.
+func pageHeader(id mem.PageID, version uint64) [20]byte {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], id.Enclave)
+	binary.LittleEndian.PutUint64(hdr[4:12], id.VPN)
+	binary.LittleEndian.PutUint64(hdr[12:20], version)
+	return hdr
+}
+
+// pageAEAD builds the page AEAD: AES-128-GCM with the engine's full
+// 16-byte page nonce.
+func (e *Engine) pageAEAD() cipher.AEAD {
 	block, err := aes.NewCipher(e.encKey[:])
 	if err != nil {
 		panic(fmt.Sprintf("mee: aes init: %v", err)) // key length is fixed; cannot happen
 	}
-	iv := nonce(id, version)
-	cipher.NewCTR(block, iv[:]).XORKeyStream(sp.Ciphertext[:], f.Data[:])
-	sp.MAC = e.pageMAC(id, version, &sp.Ciphertext)
-	return sp
+	aead, err := cipher.NewGCMWithNonceSize(block, aes.BlockSize)
+	if err != nil {
+		panic(fmt.Sprintf("mee: gcm init: %v", err)) // nonce size is fixed; cannot happen
+	}
+	return aead
+}
+
+// SealPage encrypts and MACs one page frame for eviction to untrusted
+// memory. The version must be the page's next (monotonically
+// increasing) version number.
+func (e *Engine) SealPage(id mem.PageID, version uint64, f *mem.Frame) *mem.SealedPage {
+	return sealPage(e.pageAEAD(), &[mem.PageSize + 16]byte{}, id, version, f)
 }
 
 // UnsealPage decrypts sp into f after verifying its MAC and checking
 // that its version matches expectVersion (freshness).
 func (e *Engine) UnsealPage(sp *mem.SealedPage, expectVersion uint64, f *mem.Frame) error {
+	return unsealPage(e.pageAEAD(), &[mem.PageSize + 16]byte{}, sp, expectVersion, f)
+}
+
+// sealPage runs one GCM seal through the given AEAD into the caller's
+// scratch buffer (ciphertext ∥ tag), then splits it into the sealed
+// page. Batch passes a long-lived AEAD and scratch; Engine builds
+// per-call ones. The output depends only on the keys and inputs, so
+// both produce byte-identical sealed pages.
+func sealPage(aead cipher.AEAD, scratch *[mem.PageSize + 16]byte, id mem.PageID, version uint64, f *mem.Frame) *mem.SealedPage {
+	sp := &mem.SealedPage{}
+	sealPageInto(aead, scratch, sp, id, version, f)
+	return sp
+}
+
+// sealPageInto seals into a caller-provided SealedPage, overwriting
+// every field — the destination may be recycled storage with stale
+// contents (mem.BackingStore.Reserve).
+func sealPageInto(aead cipher.AEAD, scratch *[mem.PageSize + 16]byte, sp *mem.SealedPage, id mem.PageID, version uint64, f *mem.Frame) {
+	sp.ID = id
+	sp.Version = version
+	iv := nonce(id, version)
+	hdr := pageHeader(id, version)
+	out := aead.Seal(scratch[:0], iv[:], f.Data[:], hdr[:])
+	copy(sp.Ciphertext[:], out[:mem.PageSize])
+	copy(sp.MAC[:], out[mem.PageSize:])
+}
+
+// unsealPage is sealPage's inverse: rollback check, then GCM open
+// (which verifies the tag over ciphertext, identity and version before
+// releasing any plaintext).
+func unsealPage(aead cipher.AEAD, scratch *[mem.PageSize + 16]byte, sp *mem.SealedPage, expectVersion uint64, f *mem.Frame) error {
 	if sp.Version != expectVersion {
 		return ErrRollback
 	}
-	want := e.pageMAC(sp.ID, sp.Version, &sp.Ciphertext)
-	if !hmac.Equal(want[:], sp.MAC[:]) {
+	iv := nonce(sp.ID, sp.Version)
+	hdr := pageHeader(sp.ID, sp.Version)
+	n := copy(scratch[:], sp.Ciphertext[:])
+	copy(scratch[n:], sp.MAC[:])
+	if _, err := aead.Open(f.Data[:0], iv[:], scratch[:], hdr[:]); err != nil {
 		return ErrMACMismatch
 	}
-	block, err := aes.NewCipher(e.encKey[:])
-	if err != nil {
-		panic(fmt.Sprintf("mee: aes init: %v", err))
-	}
-	iv := nonce(sp.ID, sp.Version)
-	cipher.NewCTR(block, iv[:]).XORKeyStream(f.Data[:], sp.Ciphertext[:])
 	return nil
-}
-
-func (e *Engine) pageMAC(id mem.PageID, version uint64, ct *[mem.PageSize]byte) [32]byte {
-	h := hmac.New(sha256.New, e.macKey[:])
-	var hdr [20]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], id.Enclave)
-	binary.LittleEndian.PutUint64(hdr[4:12], id.VPN)
-	binary.LittleEndian.PutUint64(hdr[12:20], version)
-	h.Write(hdr[:])
-	h.Write(ct[:])
-	var out [32]byte
-	copy(out[:], h.Sum(nil))
-	return out
 }
 
 // sealOverhead is the number of bytes Seal adds to the plaintext: a

@@ -97,7 +97,7 @@ func nodeHash(a, b uint64) uint64 {
 	return binary.LittleEndian.Uint64(s[:8])
 }
 
-func macLeaf(mac [32]byte) uint64 {
+func macLeaf(mac [16]byte) uint64 {
 	// Fold the page MAC into the 8-byte leaf, never zero (zero marks
 	// an unassigned leaf).
 	v := binary.LittleEndian.Uint64(mac[:8])
@@ -122,7 +122,7 @@ func (t *IntegrityTree) leaf(id mem.PageID) (int, error) {
 
 // Update records the MAC of a freshly sealed page, rewriting its
 // leaf-to-root path.
-func (t *IntegrityTree) Update(id mem.PageID, mac [32]byte) error {
+func (t *IntegrityTree) Update(id mem.PageID, mac [16]byte) error {
 	i, err := t.leaf(id)
 	if err != nil {
 		return err
@@ -137,7 +137,7 @@ func (t *IntegrityTree) Update(id mem.PageID, mac [32]byte) error {
 
 // Verify checks a sealed page's MAC against the tree: the leaf must
 // match and the path to the root must be consistent.
-func (t *IntegrityTree) Verify(id mem.PageID, mac [32]byte) error {
+func (t *IntegrityTree) Verify(id mem.PageID, mac [16]byte) error {
 	i, ok := t.leafOf[id]
 	if !ok {
 		return fmt.Errorf("mee: page %v has no integrity-tree leaf", id)

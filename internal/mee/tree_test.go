@@ -7,8 +7,8 @@ import (
 	"sgxgauge/internal/mem"
 )
 
-func mac(b byte) [32]byte {
-	var m [32]byte
+func mac(b byte) [16]byte {
+	var m [16]byte
 	for i := range m {
 		m[i] = b
 	}
@@ -125,7 +125,7 @@ func TestTreeFull(t *testing.T) {
 
 func TestTreeRoundTripProperty(t *testing.T) {
 	tr := NewIntegrityTree(256, 3)
-	seen := map[mem.PageID][32]byte{}
+	seen := map[mem.PageID][16]byte{}
 	f := func(vpn uint16, b byte) bool {
 		id := mem.PageID{Enclave: 1, VPN: uint64(vpn % 200)}
 		m := mac(b)

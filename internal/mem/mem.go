@@ -77,29 +77,71 @@ func (id PageID) String() string {
 // SealedPage is an encrypted page together with the metadata the MEE
 // needs to verify it on load-back (paper §2.2: pages are evicted "in an
 // encrypted form" with a MAC, and integrity-checked when brought back).
+// The MAC is the MEE's 128-bit AES-GCM tag.
 type SealedPage struct {
 	ID         PageID
 	Version    uint64
 	Ciphertext [PageSize]byte
-	MAC        [32]byte
+	MAC        [16]byte
 }
 
 // BackingStore is the untrusted main memory region that receives
 // evicted (sealed) EPC pages. It is safe for concurrent use.
+//
+// A *SealedPage obtained from Get stays valid until that entry is
+// deleted or replaced; afterwards its storage may be recycled through
+// Reserve and overwritten by a later seal. Callers that need a sealed
+// image beyond that point (e.g. to replay it later) must copy the
+// struct, not hold the pointer.
 type BackingStore struct {
 	mu    sync.Mutex
 	pages map[PageID]*SealedPage // guarded by mu
+	// free recycles the storage of dead entries: evicting a page
+	// allocates a 4 KiB+ SealedPage, and an EPC-thrashing run retires
+	// one per load-back, so recycling removes the dominant allocation
+	// of the whole simulation. Bounded so enclave teardown cannot pin
+	// an arbitrary amount of dead memory.
+	free []*SealedPage // guarded by mu
 }
+
+// maxFreeSealed bounds the recycling list: enough to feed several
+// eviction storms (the EPC seals 16 pages per batch) without
+// retaining more than ~¼ MiB of dead pages.
+const maxFreeSealed = 64
 
 // NewBackingStore returns an empty backing store.
 func NewBackingStore() *BackingStore {
 	return &BackingStore{pages: make(map[PageID]*SealedPage)}
 }
 
+// recycle adds a dead entry to the free list; caller holds mu.
+func (b *BackingStore) recycle(p *SealedPage) {
+	if len(b.free) < maxFreeSealed {
+		b.free = append(b.free, p)
+	}
+}
+
+// Reserve returns a SealedPage whose storage may be recycled from a
+// dead entry, or nil when none is available (the caller allocates).
+// Every field must be overwritten before the page is stored.
+func (b *BackingStore) Reserve() *SealedPage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n := len(b.free); n > 0 {
+		p := b.free[n-1]
+		b.free = b.free[:n-1]
+		return p
+	}
+	return nil
+}
+
 // Put stores the sealed page, replacing any previous version.
 func (b *BackingStore) Put(p *SealedPage) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if old := b.pages[p.ID]; old != nil && old != p {
+		b.recycle(old)
+	}
 	b.pages[p.ID] = p
 }
 
@@ -115,7 +157,10 @@ func (b *BackingStore) Get(id PageID) *SealedPage {
 func (b *BackingStore) Delete(id PageID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	delete(b.pages, id)
+	if old := b.pages[id]; old != nil {
+		b.recycle(old)
+		delete(b.pages, id)
+	}
 }
 
 // Len returns the number of sealed pages currently stored.
@@ -129,8 +174,9 @@ func (b *BackingStore) Len() int {
 func (b *BackingStore) DropEnclave(enclave uint32) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for id := range b.pages {
+	for id, p := range b.pages {
 		if id.Enclave == enclave {
+			b.recycle(p)
 			delete(b.pages, id)
 		}
 	}

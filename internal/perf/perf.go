@@ -60,6 +60,15 @@ const (
 	// enclave access also abort the enclave; failures during
 	// untrusted accesses are visible only through this counter.
 	BalloonFailures
+	// ExtentRuns counts extent executions issued through the
+	// Thread.RunExtent family, regardless of whether the machine
+	// charged them in bulk or replayed them per access.
+	ExtentRuns
+	// ExtentAccesses counts the elements those extents carried
+	// (before page splitting); the per-chunk traffic still lands in
+	// Accesses as usual, so ExtentAccesses/Accesses measures how much
+	// of a run's traffic arrived pre-compiled.
+	ExtentAccesses
 	numEvents
 )
 
@@ -92,6 +101,8 @@ var eventNames = [...]string{
 	EPCResizes:       "epc-resizes",
 	TransitionFaults: "transition-faults",
 	BalloonFailures:  "balloon-failures",
+	ExtentRuns:       "extent-runs",
+	ExtentAccesses:   "extent-accesses",
 }
 
 // String returns the perf-style name of the event.

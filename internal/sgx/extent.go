@@ -1,0 +1,733 @@
+package sgx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"sgxgauge/internal/enclave"
+	"sgxgauge/internal/mem"
+	"sgxgauge/internal/perf"
+)
+
+// This file implements the access-stream extent compiler: workloads
+// describe whole runs of accesses as Extents — (address, stride,
+// element size, count, kind) — and the machine charges each
+// page-confined stretch of a run in bulk, generalizing the LLC's
+// AccessRun to the full access path. One page resolution (memo probe,
+// or TLB probe + page walk + EPCM check) covers every access that the
+// run makes to that page, because between two accesses of a
+// page-confined run nothing can change the translation: faults, AEX
+// flushes, evictions and shootdowns all happen inside the resolution
+// step at the head of a run, never between the uniform accesses behind
+// it. The charges are computed arithmetically but remain
+// access-for-access identical to issuing each element through
+// accessPage — the differential and fuzz tests hold the compiler to
+// the naive replay bit for bit.
+//
+// Fallback conditions (the replay path, one pageOpDispatch per
+// element chunk, is used instead of bulk charging):
+//
+//   - Config.SlowPath: the straight-line reference path must see
+//     every access individually;
+//   - chaos enabled: the injector consumes one PRNG draw per access
+//     and may fault anywhere inside a run, so bulk charging would
+//     both desynchronize the chaos stream and misattribute the fault;
+//     replaying per access keeps fault attribution exact (the access
+//     that trips the injector is the one charged);
+//   - Stride < Elem (self-overlapping runs): the line-touch sequence
+//     is no longer monotone, so repeats are not provably streak hits.
+
+// ExtentKind selects what an extent does with memory.
+type ExtentKind uint8
+
+const (
+	// ExtentRead reads Count elements into the payload.
+	ExtentRead ExtentKind = iota
+	// ExtentWrite writes Count elements from the payload.
+	ExtentWrite
+	// ExtentFill writes the Fill byte across every element (no
+	// payload; the rep-stos analogue at element granularity).
+	ExtentFill
+)
+
+// String returns a short name for the kind.
+func (k ExtentKind) String() string {
+	switch k {
+	case ExtentRead:
+		return "read"
+	case ExtentWrite:
+		return "write"
+	case ExtentFill:
+		return "fill"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Extent describes Count simulated accesses of Elem bytes each, the
+// i-th at Addr + i*Stride. Semantically an extent IS its per-element
+// access sequence (elements that straddle a page boundary split into
+// per-page chunks, exactly as a plain Read/Write of Elem bytes
+// would); the machine merely charges page-confined stretches of that
+// sequence in bulk when it can prove the outcome identical.
+type Extent struct {
+	// Addr is the address of element 0.
+	Addr uint64
+	// Stride is the distance in bytes between consecutive elements.
+	// Stride > Elem leaves gaps (strided column walks); Stride < Elem
+	// overlaps and falls back to per-access replay.
+	Stride uint64
+	// Count is the number of elements.
+	Count uint64
+	// Elem is the size of one element in bytes.
+	Elem uint32
+	// Kind selects read, write, or fill.
+	Kind ExtentKind
+	// Fill is the byte written by ExtentFill.
+	Fill byte
+	// Data is the packed payload (Count*Elem bytes): destination for
+	// reads, source for writes. Exactly one of Data/U64 must be set
+	// for Read/Write extents; Fill takes neither.
+	Data []byte
+	// U64 is the payload as little-endian 64-bit words, valid only
+	// when Elem == 8 (one word per element). It saves workloads that
+	// operate on word slices the byte-repacking round trip.
+	U64 []uint64
+}
+
+// ExtentPlan is a compiled sequence of extents, executed in order.
+type ExtentPlan []Extent
+
+// validate panics when the extent is malformed. Validation happens
+// before any dispatch, so fast, slow and replay paths reject the same
+// extents identically, having charged nothing.
+func (x *Extent) validate() {
+	if x.Elem == 0 {
+		panic("sgx: extent with zero element size")
+	}
+	if x.Kind > ExtentFill {
+		panic(fmt.Sprintf("sgx: unknown extent kind %d", x.Kind))
+	}
+	if x.Count == 0 {
+		return
+	}
+	hi, payload := bits.Mul64(x.Count, uint64(x.Elem))
+	if hi != 0 {
+		panic("sgx: extent payload overflows")
+	}
+	switch x.Kind {
+	case ExtentFill:
+		if x.Data != nil || x.U64 != nil {
+			panic("sgx: fill extent carries a payload")
+		}
+	default:
+		switch {
+		case x.U64 != nil:
+			if x.Data != nil {
+				panic("sgx: extent carries both Data and U64 payloads")
+			}
+			if x.Elem != 8 {
+				panic(fmt.Sprintf("sgx: U64 payload with %d-byte elements", x.Elem))
+			}
+			if uint64(len(x.U64)) < x.Count {
+				panic(fmt.Sprintf("sgx: U64 payload holds %d words, extent needs %d", len(x.U64), x.Count))
+			}
+		case x.Data != nil:
+			if uint64(len(x.Data)) < payload {
+				panic(fmt.Sprintf("sgx: Data payload holds %d bytes, extent needs %d", len(x.Data), payload))
+			}
+		default:
+			panic("sgx: read/write extent without payload")
+		}
+	}
+	// The last element must not wrap the address space.
+	hi, span := bits.Mul64(x.Count-1, x.Stride)
+	if hi != 0 {
+		panic("sgx: extent stride span overflows")
+	}
+	end, carry := bits.Add64(x.Addr, span, 0)
+	end, carry2 := bits.Add64(end, uint64(x.Elem), carry)
+	if carry2 != 0 || end < x.Addr {
+		panic("sgx: extent overflows the address space")
+	}
+}
+
+// runExtent executes one extent, choosing bulk charging or per-access
+// replay (see the file comment for the fallback conditions).
+func (m *Machine) runExtent(t *Thread, x *Extent) error {
+	x.validate()
+	if x.Count == 0 {
+		return nil
+	}
+	if !m.fastWords || x.Stride < uint64(x.Elem) {
+		return m.replayExtent(t, x)
+	}
+	e := uint64(x.Elem)
+	if x.Stride == e && e <= mem.LineSize && mem.LineSize%e == 0 && x.Addr%e == 0 {
+		return m.bulkDense(t, x)
+	}
+	return m.bulkStrided(t, x)
+}
+
+// replayExtent is the reference execution: one pageOpDispatch per
+// element chunk, exactly as if the workload had issued each element
+// through Read/Write/Memset. Under SlowPath this routes to
+// accessPageSlow; under chaos it routes to accessPage so the
+// injector's PRNG stream advances once per access and an injected
+// fault lands on — and is attributed to — the precise element that
+// tripped it.
+func (m *Machine) replayExtent(t *Thread, x *Extent) error {
+	elem := uint64(x.Elem)
+	op := opRead
+	if x.Kind == ExtentWrite {
+		op = opWrite
+	}
+	var word [8]byte
+	for i := uint64(0); i < x.Count; i++ {
+		a := x.Addr + i*x.Stride
+		var p []byte
+		if x.Kind != ExtentFill {
+			if x.U64 != nil {
+				if x.Kind == ExtentWrite {
+					binary.LittleEndian.PutUint64(word[:], x.U64[i])
+				}
+				p = word[:]
+			} else {
+				p = x.Data[i*elem : (i+1)*elem]
+			}
+		}
+		rem := elem
+		off := uint64(0)
+		for rem > 0 {
+			n := mem.PageSize - a&(mem.PageSize-1)
+			if n > rem {
+				n = rem
+			}
+			var err error
+			if x.Kind == ExtentFill {
+				err = m.pageOpDispatch(t, a, n, nil, x.Fill, opFill)
+			} else {
+				err = m.pageOpDispatch(t, a, n, p[off:off+n], 0, op)
+			}
+			if err != nil {
+				return err
+			}
+			a += n
+			off += n
+			rem -= n
+		}
+		if x.Kind == ExtentRead && x.U64 != nil {
+			x.U64[i] = binary.LittleEndian.Uint64(word[:])
+		}
+	}
+	return nil
+}
+
+// extentResolve performs the first access of a page-confined run: the
+// exact resolution sequence of accessPage (memo probe, TLB probe with
+// stale-entry fallback, page walk with EPCM verification and fault
+// handling), charging that one access's Compute. It returns the
+// resolved frame and enclave plus the pending (not yet advanced)
+// cycle charge; on a fault or abort the clock is fully drained, as
+// accessPage leaves it.
+func (m *Machine) extentResolve(t *Thread, addr uint64) (*mem.Frame, *enclave.Enclave, uint64, error) {
+	c := &m.Costs
+	sh := t.shard
+	sh.Inc(perf.Accesses)
+	pend := c.Compute
+
+	vpn := mem.PageNumber(addr)
+	me := t.memoLookup(vpn)
+	var enc *enclave.Enclave
+	if me != nil {
+		enc = me.enc
+	} else {
+		enc = m.enclaveFor(addr)
+	}
+	if enc != nil && enc.Aborted() {
+		t.Clock.Advance(pend)
+		return nil, nil, 0, &AbortError{EnclaveID: enc.ID, Cause: enc.AbortCause()}
+	}
+	if me != nil {
+		pend += c.TLBHit
+		if me.ref != nil {
+			*me.ref = true
+		}
+		return me.frame, enc, pend, nil
+	}
+
+	var frame *mem.Frame
+	var ref *bool
+	resolved := false
+	if t.tlb.Lookup(vpn) {
+		if f, r, ok := m.lookupResident(enc, addr); ok {
+			pend += c.TLBHit
+			frame, ref, resolved = f, r, true
+		} else {
+			t.tlb.Evict(vpn)
+		}
+	}
+	if !resolved {
+		sh.Inc(perf.DTLBMisses)
+		walk := c.PageWalk
+		if enc != nil {
+			walk += c.EPCMCheck
+		}
+		sh.Add(perf.WalkCycles, walk)
+		t.Clock.Advance(pend + walk)
+		pend = 0
+		var err error
+		frame, err = m.ensureResident(t, enc, addr)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if enc != nil {
+			_, r, ent, ok := m.EPC.WalkResolve(enc.PageID(addr))
+			if !ok || !ent.Valid || ent.Owner != enc.ID || ent.VPN != vpn {
+				panic(fmt.Sprintf("sgx: EPCM verification failed for %#x", addr))
+			}
+			ref = r
+		}
+		if victim, evicted := t.tlb.Insert(vpn); evicted {
+			t.memoInvalidate(victim)
+		}
+	}
+	t.memoStore(vpn, enc, frame, ref)
+	return frame, enc, pend, nil
+}
+
+// bulkDense charges a dense extent (Stride == Elem, element-aligned,
+// elements never straddle a line): the run is one contiguous byte
+// range, so each page-confined stretch is resolved once, its distinct
+// lines charged with one AccessRun, the remaining touches counted as
+// streak hits, and its payload moved with one copy.
+func (m *Machine) bulkDense(t *Thread, x *Extent) error {
+	c := &m.Costs
+	sh := t.shard
+	elem := uint64(x.Elem)
+	addr := x.Addr
+	total := x.Count * elem
+	payOff := uint64(0)
+	for total > 0 {
+		n := mem.PageSize - addr&(mem.PageSize-1)
+		if n > total {
+			n = total
+		}
+		accs := n / elem
+		frame, enc, pend, err := m.extentResolve(t, addr)
+		if err != nil {
+			return err
+		}
+		sh.Add(perf.Accesses, accs-1)
+		pend += (accs - 1) * (c.Compute + c.TLBHit)
+
+		first := mem.LineNumber(addr)
+		lines := mem.LineNumber(addr+n-1) - first + 1
+		rep := accs - lines // elem == LineSize means one touch per line
+		if t.l1 == nil {
+			hits, misses := m.LLC.AccessRun(first, lines)
+			if rep > 0 {
+				m.LLC.NoteStreakHits(rep)
+				hits += rep
+			}
+			if hits != 0 {
+				sh.Add(perf.LLCHits, hits)
+				pend += hits * c.LLCHit
+			}
+			if misses != 0 {
+				extra := c.DRAMAccess
+				if enc != nil {
+					extra += c.MEELine
+				}
+				sh.Add(perf.LLCMisses, misses)
+				sh.Add(perf.StallCycles, misses*extra)
+				pend += misses * extra
+			}
+		} else {
+			for line := first; line < first+lines; line++ {
+				if t.l1.Access(line) {
+					sh.Inc(perf.L1Hits)
+					pend += c.L1Hit
+					continue
+				}
+				sh.Inc(perf.L1Misses)
+				if m.LLC.Access(line) {
+					sh.Inc(perf.LLCHits)
+					pend += c.LLCHit
+				} else {
+					extra := c.DRAMAccess
+					if enc != nil {
+						extra += c.MEELine
+					}
+					sh.Inc(perf.LLCMisses)
+					sh.Add(perf.StallCycles, extra)
+					pend += extra
+				}
+			}
+			if rep > 0 {
+				// Repeated touches of a just-probed line always hit
+				// the L1 in the reference path.
+				t.l1.NoteStreakHits(rep)
+				sh.Add(perf.L1Hits, rep)
+				pend += rep * c.L1Hit
+			}
+		}
+
+		off := addr & (mem.PageSize - 1)
+		switch x.Kind {
+		case ExtentRead:
+			if x.U64 != nil {
+				w := x.U64[payOff/8 : payOff/8+n/8]
+				src := frame.Data[off : off+n]
+				for k := range w {
+					w[k] = binary.LittleEndian.Uint64(src)
+					src = src[8:]
+				}
+			} else {
+				copy(x.Data[payOff:payOff+n], frame.Data[off:off+n])
+			}
+			sh.Add(perf.BytesRead, n)
+		case ExtentWrite:
+			if x.U64 != nil {
+				w := x.U64[payOff/8 : payOff/8+n/8]
+				dst := frame.Data[off : off+n]
+				for _, v := range w {
+					binary.LittleEndian.PutUint64(dst, v)
+					dst = dst[8:]
+				}
+			} else {
+				copy(frame.Data[off:off+n], x.Data[payOff:payOff+n])
+			}
+			sh.Add(perf.BytesWritten, n)
+		case ExtentFill:
+			// Exponential self-copy: memmove-speed fill at any byte.
+			s := frame.Data[off : off+n]
+			s[0] = x.Fill
+			for fi := 1; fi < len(s); fi *= 2 {
+				copy(s[fi:], s[:fi])
+			}
+			sh.Add(perf.BytesWritten, n)
+		}
+		t.Clock.Advance(pend)
+		addr += n
+		total -= n
+		payOff += n
+	}
+	return nil
+}
+
+// bulkStrided charges a non-overlapping strided extent (Stride >=
+// Elem, arbitrary alignment). Element addresses are monotone, so the
+// line-touch sequence is nondecreasing: a chunk's first line either
+// repeats the previous touch (a guaranteed streak hit) or moves
+// forward (a real probe). Page resolutions happen once per run, at
+// every page transition, exactly where the replay's walk would.
+func (m *Machine) bulkStrided(t *Thread, x *Extent) error {
+	c := &m.Costs
+	sh := t.shard
+	elem := uint64(x.Elem)
+	var (
+		frame    *mem.Frame
+		enc      *enclave.Enclave
+		curVPN   = ^uint64(0)
+		pend     uint64
+		lastLine = ^uint64(0)
+	)
+	// Line-strided word sweeps (the classic one-word-per-line page
+	// touch pattern) visit consecutive cache lines, so each
+	// page-confined stretch collapses to one resolve, one bulk
+	// AccessRun over its lines and batched counter adds — identical
+	// state and charges to the scalar walk: elements stay on distinct
+	// consecutive lines (no streaks), and AccessRun is defined as
+	// Access-in-a-loop.
+	if x.Stride == mem.LineSize && x.Elem == 8 && x.U64 != nil && x.Addr&7 == 0 && t.l1 == nil {
+		for i := uint64(0); i < x.Count; {
+			a := x.Addr + i*mem.LineSize
+			if pend != 0 {
+				t.Clock.Advance(pend)
+				pend = 0
+			}
+			var err error
+			var rp uint64
+			frame, enc, rp, err = m.extentResolve(t, a)
+			if err != nil {
+				return err
+			}
+			pend += rp
+			pOff := a & (mem.PageSize - 1)
+			run := (mem.PageSize - pOff + mem.LineSize - 1) / mem.LineSize
+			if run > x.Count-i {
+				run = x.Count - i
+			}
+			sh.Add(perf.Accesses, run-1)
+			pend += (run - 1) * (c.Compute + c.TLBHit)
+			h, miss := m.LLC.AccessRun(mem.LineNumber(a), run)
+			sh.Add(perf.LLCHits, h)
+			pend += h * c.LLCHit
+			if miss != 0 {
+				extra := c.DRAMAccess
+				if enc != nil {
+					extra += c.MEELine
+				}
+				sh.Add(perf.LLCMisses, miss)
+				sh.Add(perf.StallCycles, miss*extra)
+				pend += miss * extra
+			}
+			if x.Kind == ExtentRead {
+				for k := uint64(0); k < run; k++ {
+					x.U64[i+k] = binary.LittleEndian.Uint64(frame.Data[pOff+k*mem.LineSize:])
+				}
+				sh.Add(perf.BytesRead, 8*run)
+			} else {
+				for k := uint64(0); k < run; k++ {
+					binary.LittleEndian.PutUint64(frame.Data[pOff+k*mem.LineSize:], x.U64[i+k])
+				}
+				sh.Add(perf.BytesWritten, 8*run)
+			}
+			i += run
+		}
+		if pend != 0 {
+			t.Clock.Advance(pend)
+		}
+		return nil
+	}
+
+	// Aligned 8-byte elements on a word-aligned stride never straddle
+	// a line or a page, so each element is exactly one resolve check,
+	// one line charge and one direct word move — the general loop
+	// below performs the same steps through its page-split machinery
+	// and staging buffer, with identical counters, cycles and bytes.
+	if x.Elem == 8 && x.U64 != nil && x.Addr&7 == 0 && x.Stride&7 == 0 {
+		for i := uint64(0); i < x.Count; i++ {
+			a := x.Addr + i*x.Stride
+			if vpn := mem.PageNumber(a); vpn != curVPN {
+				if pend != 0 {
+					t.Clock.Advance(pend)
+					pend = 0
+				}
+				var err error
+				var rp uint64
+				frame, enc, rp, err = m.extentResolve(t, a)
+				if err != nil {
+					return err
+				}
+				pend += rp
+				curVPN = vpn
+			} else {
+				sh.Inc(perf.Accesses)
+				pend += c.Compute + c.TLBHit
+			}
+			line := mem.LineNumber(a)
+			if line == lastLine {
+				if t.l1 != nil {
+					t.l1.NoteStreakHits(1)
+					sh.Inc(perf.L1Hits)
+					pend += c.L1Hit
+				} else {
+					m.LLC.NoteStreakHits(1)
+					sh.Inc(perf.LLCHits)
+					pend += c.LLCHit
+				}
+			} else {
+				hit := false
+				if t.l1 != nil {
+					if t.l1.Access(line) {
+						sh.Inc(perf.L1Hits)
+						pend += c.L1Hit
+						hit = true
+					} else {
+						sh.Inc(perf.L1Misses)
+					}
+				}
+				if !hit {
+					if m.LLC.Access(line) {
+						sh.Inc(perf.LLCHits)
+						pend += c.LLCHit
+					} else {
+						extra := c.DRAMAccess
+						if enc != nil {
+							extra += c.MEELine
+						}
+						sh.Inc(perf.LLCMisses)
+						sh.Add(perf.StallCycles, extra)
+						pend += extra
+					}
+				}
+				lastLine = line
+			}
+			pOff := a & (mem.PageSize - 1)
+			if x.Kind == ExtentRead {
+				x.U64[i] = binary.LittleEndian.Uint64(frame.Data[pOff:])
+				sh.Add(perf.BytesRead, 8)
+			} else {
+				binary.LittleEndian.PutUint64(frame.Data[pOff:], x.U64[i])
+				sh.Add(perf.BytesWritten, 8)
+			}
+		}
+		if pend != 0 {
+			t.Clock.Advance(pend)
+		}
+		return nil
+	}
+
+	var word [8]byte
+	for i := uint64(0); i < x.Count; i++ {
+		a := x.Addr + i*x.Stride
+		var p []byte
+		if x.Kind != ExtentFill {
+			if x.U64 != nil {
+				if x.Kind == ExtentWrite {
+					binary.LittleEndian.PutUint64(word[:], x.U64[i])
+				}
+				p = word[:]
+			} else {
+				p = x.Data[i*elem : (i+1)*elem]
+			}
+		}
+		rem := elem
+		off := uint64(0)
+		for rem > 0 {
+			n := mem.PageSize - a&(mem.PageSize-1)
+			if n > rem {
+				n = rem
+			}
+			if vpn := mem.PageNumber(a); vpn != curVPN {
+				if pend != 0 {
+					t.Clock.Advance(pend)
+					pend = 0
+				}
+				var err error
+				var rp uint64
+				frame, enc, rp, err = m.extentResolve(t, a)
+				if err != nil {
+					return err
+				}
+				pend += rp
+				curVPN = vpn
+			} else {
+				sh.Inc(perf.Accesses)
+				pend += c.Compute + c.TLBHit
+			}
+
+			line := mem.LineNumber(a)
+			last := mem.LineNumber(a + n - 1)
+			if line == lastLine && line <= last {
+				if t.l1 != nil {
+					t.l1.NoteStreakHits(1)
+					sh.Inc(perf.L1Hits)
+					pend += c.L1Hit
+				} else {
+					m.LLC.NoteStreakHits(1)
+					sh.Inc(perf.LLCHits)
+					pend += c.LLCHit
+				}
+				line++
+			}
+			for ; line <= last; line++ {
+				if t.l1 != nil {
+					if t.l1.Access(line) {
+						sh.Inc(perf.L1Hits)
+						pend += c.L1Hit
+						continue
+					}
+					sh.Inc(perf.L1Misses)
+				}
+				if m.LLC.Access(line) {
+					sh.Inc(perf.LLCHits)
+					pend += c.LLCHit
+				} else {
+					extra := c.DRAMAccess
+					if enc != nil {
+						extra += c.MEELine
+					}
+					sh.Inc(perf.LLCMisses)
+					sh.Add(perf.StallCycles, extra)
+					pend += extra
+				}
+			}
+			lastLine = last
+
+			pOff := a & (mem.PageSize - 1)
+			switch x.Kind {
+			case ExtentRead:
+				copy(p[off:off+n], frame.Data[pOff:pOff+n])
+				sh.Add(perf.BytesRead, n)
+			case ExtentWrite:
+				copy(frame.Data[pOff:], p[off:off+n])
+				sh.Add(perf.BytesWritten, n)
+			case ExtentFill:
+				s := frame.Data[pOff : pOff+n]
+				for k := range s {
+					s[k] = x.Fill
+				}
+				sh.Add(perf.BytesWritten, n)
+			}
+			a += n
+			off += n
+			rem -= n
+		}
+		if x.Kind == ExtentRead && x.U64 != nil {
+			x.U64[i] = binary.LittleEndian.Uint64(word[:])
+		}
+	}
+	if pend != 0 {
+		t.Clock.Advance(pend)
+	}
+	return nil
+}
+
+// TryRunExtent executes one extent on this thread, returning a fault
+// instead of panicking. The extent counters are charged up front —
+// they count issued extents, whether or not a fault cuts one short.
+func (t *Thread) TryRunExtent(x Extent) error {
+	t.shard.Inc(perf.ExtentRuns)
+	t.shard.Add(perf.ExtentAccesses, x.Count)
+	return t.env.M.runExtent(t, &x)
+}
+
+// RunExtent executes one extent, panicking with the Fault on error
+// (the convention of Read/Write: workloads treat faults as fatal
+// unless they opt into the Try variants).
+func (t *Thread) RunExtent(x Extent) {
+	if err := t.TryRunExtent(x); err != nil {
+		panic(err.(Fault))
+	}
+}
+
+// TryRunPlan executes the plan's extents in order, stopping at the
+// first fault.
+func (t *Thread) TryRunPlan(p ExtentPlan) error {
+	for i := range p {
+		if err := t.TryRunExtent(p[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunPlan executes the plan's extents in order, panicking on fault.
+func (t *Thread) RunPlan(p ExtentPlan) {
+	for i := range p {
+		t.RunExtent(p[i])
+	}
+}
+
+// ReadU64Run reads len(dst) consecutive u64 words starting at addr.
+func (t *Thread) ReadU64Run(addr uint64, dst []uint64) {
+	t.RunExtent(Extent{Addr: addr, Stride: 8, Count: uint64(len(dst)), Elem: 8, Kind: ExtentRead, U64: dst})
+}
+
+// WriteU64Run writes the words of src consecutively starting at addr.
+func (t *Thread) WriteU64Run(addr uint64, src []uint64) {
+	t.RunExtent(Extent{Addr: addr, Stride: 8, Count: uint64(len(src)), Elem: 8, Kind: ExtentWrite, U64: src})
+}
+
+// ReadU64Strided reads len(dst) u64 words, the i-th at addr+i*stride.
+func (t *Thread) ReadU64Strided(addr, stride uint64, dst []uint64) {
+	t.RunExtent(Extent{Addr: addr, Stride: stride, Count: uint64(len(dst)), Elem: 8, Kind: ExtentRead, U64: dst})
+}
+
+// WriteU64Strided writes the words of src, the i-th at addr+i*stride.
+func (t *Thread) WriteU64Strided(addr, stride uint64, src []uint64) {
+	t.RunExtent(Extent{Addr: addr, Stride: stride, Count: uint64(len(src)), Elem: 8, Kind: ExtentWrite, U64: src})
+}

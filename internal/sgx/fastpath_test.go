@@ -122,6 +122,138 @@ func diffScript() []diffStep {
 				s.sum += s.env.Main.ReadU64(s.ebuf + p*mem.PageSize + 64)
 			}
 		}},
+		{"extent-dense", func(s *diffState) {
+			s.env.Main.ECall(func() {
+				w := make([]uint64, 3*mem.PageSize/8+11)
+				for i := range w {
+					w[i] = uint64(i)*0x9e37 + 5
+				}
+				s.env.Main.WriteU64Run(s.ebuf+2*mem.PageSize+16, w)
+				r := make([]uint64, len(w))
+				s.env.Main.ReadU64Run(s.ebuf+2*mem.PageSize+16, r)
+				for _, v := range r {
+					s.sum += v
+				}
+			})
+			// Byte-granular dense run, unaligned start and odd length.
+			b := make([]byte, 2*mem.PageSize+333)
+			for i := range b {
+				b[i] = byte(i * 7)
+			}
+			s.env.Main.RunExtent(Extent{Addr: s.ubuf + 123, Stride: 1, Count: uint64(len(b)), Elem: 1, Kind: ExtentWrite, Data: b})
+			rb := make([]byte, len(b))
+			s.env.Main.RunExtent(Extent{Addr: s.ubuf + 123, Stride: 1, Count: uint64(len(rb)), Elem: 1, Kind: ExtentRead, Data: rb})
+			for _, v := range rb {
+				s.sum += uint64(v)
+			}
+		}},
+		{"extent-strided", func(s *diffState) {
+			s.env.Main.ECall(func() {
+				r := make([]uint64, 700)
+				s.env.Main.ReadU64Strided(s.ebuf+40, 88, r) // stride not a line multiple
+				for _, v := range r {
+					s.sum += v
+				}
+				w := make([]uint64, 300)
+				for i := range w {
+					w[i] = uint64(i) ^ 0xabcdef
+				}
+				s.env.Main.WriteU64Strided(s.ebuf+5, 1032, w) // page-crossing stride
+				col := make([]uint64, diffEPages)
+				s.env.Main.ReadU64Strided(s.ebuf+512, mem.PageSize, col) // one element per page
+				for _, v := range col {
+					s.sum += v
+				}
+			})
+		}},
+		{"extent-misaligned", func(s *diffState) {
+			// Elem 8 at addr%8 != 0: elements straddle lines and pages.
+			s.env.Main.ECall(func() {
+				w := make([]uint64, 900)
+				for i := range w {
+					w[i] = uint64(i)*3 + 1
+				}
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 10*mem.PageSize + 61, Stride: 8, Count: 900, Elem: 8, Kind: ExtentWrite, U64: w})
+				r := make([]uint64, 900)
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 10*mem.PageSize + 61, Stride: 8, Count: 900, Elem: 8, Kind: ExtentRead, U64: r})
+				for _, v := range r {
+					s.sum += v
+				}
+			})
+		}},
+		{"extent-bigelem", func(s *diffState) {
+			b := make([]byte, 256*40)
+			for i := range b {
+				b[i] = byte(i*13 + 1)
+			}
+			s.env.Main.ECall(func() {
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 30*mem.PageSize + 17, Stride: 640, Count: 40, Elem: 256, Kind: ExtentWrite, Data: b})
+				rb := make([]byte, len(b))
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 30*mem.PageSize + 17, Stride: 640, Count: 40, Elem: 256, Kind: ExtentRead, Data: rb})
+				for _, v := range rb {
+					s.sum += uint64(v)
+				}
+				// Element bigger than a page: every element splits.
+				big := make([]byte, 3*(mem.PageSize+200))
+				for i := range big {
+					big[i] = byte(i ^ 0x55)
+				}
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 50*mem.PageSize + 1000, Stride: mem.PageSize + 512, Count: 3, Elem: mem.PageSize + 200, Kind: ExtentWrite, Data: big})
+			})
+		}},
+		{"extent-fill", func(s *diffState) {
+			s.env.Main.ECall(func() {
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 61*mem.PageSize, Stride: 32, Count: 400, Elem: 32, Kind: ExtentFill, Fill: 0x7E})
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 64*mem.PageSize + 3, Stride: 96, Count: 200, Elem: 48, Kind: ExtentFill, Fill: 0xC3})
+			})
+			s.sum += s.env.Main.ReadU64(s.ebuf + 61*mem.PageSize + 128)
+		}},
+		{"extent-overlap", func(s *diffState) {
+			// Stride < Elem: self-overlapping, must take the replay
+			// fallback on both machines.
+			b := make([]byte, 16*50)
+			for i := range b {
+				b[i] = byte(i + 3)
+			}
+			s.env.Main.ECall(func() {
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 70*mem.PageSize + 9, Stride: 8, Count: 50, Elem: 16, Kind: ExtentWrite, Data: b})
+				rb := make([]byte, len(b))
+				s.env.Main.RunExtent(Extent{Addr: s.ebuf + 70*mem.PageSize + 9, Stride: 8, Count: 50, Elem: 16, Kind: ExtentRead, Data: rb})
+				for _, v := range rb {
+					s.sum += uint64(v)
+				}
+			})
+		}},
+		{"extent-plan", func(s *diffState) {
+			w := make([]uint64, 512)
+			for i := range w {
+				w[i] = uint64(i) * 17
+			}
+			r := make([]uint64, 512)
+			s.env.Main.ECall(func() {
+				s.env.Main.RunPlan(ExtentPlan{
+					{Addr: s.ebuf + 44*mem.PageSize, Stride: 8, Count: 512, Elem: 8, Kind: ExtentWrite, U64: w},
+					{Addr: s.ebuf + 44*mem.PageSize, Stride: 16, Count: 256, Elem: 8, Kind: ExtentRead, U64: r},
+					{Addr: s.ebuf + 46*mem.PageSize, Stride: 64, Count: 128, Elem: 64, Kind: ExtentFill, Fill: 1},
+				})
+			})
+			for _, v := range r[:256] {
+				s.sum += v
+			}
+		}},
+		{"pagegrain-memops", func(s *diffState) {
+			// Exact page-aligned and off-by-one partial first/last pages:
+			// the page-granular Memset/Memcpy fast paths must charge MEE
+			// and LLC identically to SlowPath on every boundary shape.
+			s.env.Main.ECall(func() {
+				s.env.Main.Memset(s.ebuf+20*mem.PageSize, 0x33, 2*mem.PageSize)
+				s.env.Main.Memset(s.ebuf+23*mem.PageSize-1, 0x44, mem.PageSize+2)
+				s.env.Main.Memcpy(s.ebuf+25*mem.PageSize, s.ebuf+20*mem.PageSize, mem.PageSize)
+				s.env.Main.Memcpy(s.ebuf+27*mem.PageSize+1, s.ebuf+23*mem.PageSize-1, mem.PageSize)
+			})
+			s.env.Main.Memcpy(s.ubuf, s.ebuf+25*mem.PageSize, mem.PageSize)
+			s.sum += s.env.Main.ReadU64(s.ubuf + 8)
+		}},
 		{"relaunch", func(s *diffState) {
 			s.env.DestroyEnclave()
 			if _, err := s.env.LaunchEnclave(4, 30); err != nil {

@@ -225,6 +225,12 @@ type Machine struct {
 	// rollbackStash keeps the stale sealed pages it replays.
 	chaos         *chaos.Injector
 	rollbackStash map[mem.PageID]*mem.SealedPage
+
+	// fastWords enables the word fast path and bulk extent charging:
+	// true iff the machine runs neither the SlowPath reference nor a
+	// chaos injector (chaos draws are consumed per access, so chaotic
+	// machines replay extents access by access).
+	fastWords bool
 }
 
 // switchlessFallback is how often a switchless call finds the proxy
@@ -308,6 +314,7 @@ func NewMachine(cfg Config) *Machine {
 		m.chaos = chaos.New(*cfg.Chaos)
 		m.rollbackStash = make(map[mem.PageID]*mem.SealedPage)
 	}
+	m.fastWords = !cfg.SlowPath && m.chaos == nil
 	return m
 }
 
@@ -707,12 +714,14 @@ func (m *Machine) accessPage(t *Thread, addr, n uint64, p []byte, v byte, op pag
 				return err
 			}
 			if enc != nil {
-				id := enc.PageID(addr)
-				ent := m.EPC.EPCMLookup(id)
-				if !ent.Valid || ent.Owner != enc.ID || ent.VPN != vpn {
+				// One combined probe covers the EPCM verification and
+				// the CLOCK reference-bit fetch (same semantics as
+				// EPCMLookup + LookupRef; see epc.WalkResolve).
+				_, r, ent, ok := m.EPC.WalkResolve(enc.PageID(addr))
+				if !ok || !ent.Valid || ent.Owner != enc.ID || ent.VPN != vpn {
 					panic(fmt.Sprintf("sgx: EPCM verification failed for %#x", addr))
 				}
-				_, ref, _ = m.EPC.LookupRef(id)
+				ref = r
 			}
 			if victim, evicted := t.tlb.Insert(vpn); evicted {
 				// The displaced translation may be memoized; a memo
@@ -799,6 +808,76 @@ func (m *Machine) accessPage(t *Thread, addr, n uint64, p []byte, v byte, op pag
 		sh.Add(perf.BytesWritten, n)
 	}
 	return nil
+}
+
+// wordFast handles the hottest access shape — an aligned word-sized
+// load or store (n ≤ 8, addr aligned to n, so no line or page span)
+// whose page resolution is memoized — without the general path's
+// dispatch layers and staging buffer. It replicates accessPage's
+// memo-hit branch exactly: one access, one TLB-hit charge, one LLC
+// (or L1) line, identical counters and cycles. Anything else — memo
+// miss, aborted enclave — reports ok=false with zero side effects and
+// the caller falls back to the general path. Callers must check
+// m.fastWords (no SlowPath, no chaos) and alignment first.
+//
+// The caller performs the data movement on the returned frame, which
+// keeps the 8-byte staging buffer and memmove out of the loop.
+func (m *Machine) wordFast(t *Thread, addr, n uint64, write bool) (*mem.Frame, bool) {
+	me := t.memoLookup(mem.PageNumber(addr))
+	if me == nil {
+		return nil, false
+	}
+	if me.enc != nil && me.enc.Aborted() {
+		return nil, false // rare: take the general path's exact error flow
+	}
+	c := &m.Costs
+	sh := t.shard
+	sh.Inc(perf.Accesses)
+	pend := c.Compute + c.TLBHit
+	if me.ref != nil {
+		*me.ref = true
+	}
+	line := mem.LineNumber(addr)
+	if t.l1 == nil {
+		if m.LLC.Access(line) {
+			sh.Inc(perf.LLCHits)
+			pend += c.LLCHit
+		} else {
+			extra := c.DRAMAccess
+			if me.enc != nil {
+				extra += c.MEELine
+			}
+			sh.Inc(perf.LLCMisses)
+			sh.Add(perf.StallCycles, extra)
+			pend += extra
+		}
+	} else {
+		if t.l1.Access(line) {
+			sh.Inc(perf.L1Hits)
+			pend += c.L1Hit
+		} else {
+			sh.Inc(perf.L1Misses)
+			if m.LLC.Access(line) {
+				sh.Inc(perf.LLCHits)
+				pend += c.LLCHit
+			} else {
+				extra := c.DRAMAccess
+				if me.enc != nil {
+					extra += c.MEELine
+				}
+				sh.Inc(perf.LLCMisses)
+				sh.Add(perf.StallCycles, extra)
+				pend += extra
+			}
+		}
+	}
+	t.Clock.Advance(pend)
+	if write {
+		sh.Add(perf.BytesWritten, n)
+	} else {
+		sh.Add(perf.BytesRead, n)
+	}
+	return me.frame, true
 }
 
 // access performs a possibly page-spanning access, raising any Fault

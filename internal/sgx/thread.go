@@ -24,8 +24,9 @@ const memoWays = 4
 // hits keep marking the page recently-used. An entry is only valid
 // while its TLB entry and EPC slot both live; see Thread.memoStore.
 type memoEntry struct {
-	vpn   uint64
-	valid bool
+	// key is the entry's VPN biased by 1; 0 marks an invalid entry,
+	// so a lookup is a single compare with no separate valid flag.
+	key   uint64
 	enc   *enclave.Enclave
 	frame *mem.Frame
 	ref   *bool
@@ -49,12 +50,22 @@ type Thread struct {
 
 	memo     [memoWays]memoEntry
 	memoNext uint8
+	memoMRU  uint8
 }
 
-// memoLookup returns the memo entry for vpn, or nil.
+// memoLookup returns the memo entry for vpn, or nil. The
+// most-recently-hit way is probed first: same-page streaks — the
+// dominant access pattern — then cost one compare instead of a scan.
+// The MRU index is a pure lookup-order hint; it never affects which
+// entry is found, so simulated semantics are untouched.
 func (t *Thread) memoLookup(vpn uint64) *memoEntry {
+	k := vpn + 1
+	if e := &t.memo[t.memoMRU]; e.key == k {
+		return e
+	}
 	for i := range t.memo {
-		if e := &t.memo[i]; e.valid && e.vpn == vpn {
+		if e := &t.memo[i]; e.key == k {
+			t.memoMRU = uint8(i)
 			return e
 		}
 	}
@@ -68,7 +79,8 @@ func (t *Thread) memoLookup(vpn uint64) *memoEntry {
 // slot-table rebuild) invalidates the corresponding memo entries, so
 // a memo hit soundly stands in for TLB probe + residency lookup.
 func (t *Thread) memoStore(vpn uint64, enc *enclave.Enclave, frame *mem.Frame, ref *bool) {
-	t.memo[t.memoNext] = memoEntry{vpn: vpn, valid: true, enc: enc, frame: frame, ref: ref}
+	t.memo[t.memoNext] = memoEntry{key: vpn + 1, enc: enc, frame: frame, ref: ref}
+	t.memoMRU = t.memoNext
 	t.memoNext = (t.memoNext + 1) % memoWays
 }
 
@@ -76,16 +88,17 @@ func (t *Thread) memoStore(vpn uint64, enc *enclave.Enclave, frame *mem.Frame, r
 // rebuild).
 func (t *Thread) memoClear() {
 	for i := range t.memo {
-		t.memo[i].valid = false
+		t.memo[i].key = 0
 	}
 }
 
 // memoInvalidate drops the memo entry for vpn if present (TLB
 // shootdown or displacement of that page).
 func (t *Thread) memoInvalidate(vpn uint64) {
+	k := vpn + 1
 	for i := range t.memo {
-		if t.memo[i].valid && t.memo[i].vpn == vpn {
-			t.memo[i].valid = false
+		if t.memo[i].key == k {
+			t.memo[i].key = 0
 		}
 	}
 }
@@ -249,32 +262,61 @@ func (t *Thread) TryWrite(addr uint64, p []byte) error {
 	return t.env.M.tryAccess(t, addr, p, true)
 }
 
-// ReadU64 reads a little-endian uint64 at addr.
+// ReadU64 reads a little-endian uint64 at addr. Aligned words whose
+// page resolution is memoized take the machine's word fast path,
+// which skips the general access dispatch and its staging buffer (see
+// Machine.wordFast); the simulated charges are identical either way.
 func (t *Thread) ReadU64(addr uint64) uint64 {
+	m := t.env.M
+	if m.fastWords && addr&7 == 0 {
+		if f, ok := m.wordFast(t, addr, 8, false); ok {
+			return binary.LittleEndian.Uint64(f.Data[addr&(mem.PageSize-1):])
+		}
+	}
 	var b [8]byte
-	t.env.M.access(t, addr, b[:], false)
+	m.access(t, addr, b[:], false)
 	return binary.LittleEndian.Uint64(b[:])
 }
 
 // WriteU64 writes a little-endian uint64 at addr.
 func (t *Thread) WriteU64(addr uint64, v uint64) {
+	m := t.env.M
+	if m.fastWords && addr&7 == 0 {
+		if f, ok := m.wordFast(t, addr, 8, true); ok {
+			binary.LittleEndian.PutUint64(f.Data[addr&(mem.PageSize-1):], v)
+			return
+		}
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	t.env.M.access(t, addr, b[:], true)
+	m.access(t, addr, b[:], true)
 }
 
 // ReadU32 reads a little-endian uint32 at addr.
 func (t *Thread) ReadU32(addr uint64) uint32 {
+	m := t.env.M
+	if m.fastWords && addr&3 == 0 {
+		if f, ok := m.wordFast(t, addr, 4, false); ok {
+			return binary.LittleEndian.Uint32(f.Data[addr&(mem.PageSize-1):])
+		}
+	}
 	var b [4]byte
-	t.env.M.access(t, addr, b[:], false)
+	m.access(t, addr, b[:], false)
 	return binary.LittleEndian.Uint32(b[:])
 }
 
 // WriteU32 writes a little-endian uint32 at addr.
 func (t *Thread) WriteU32(addr uint64, v uint32) {
+	m := t.env.M
+	if m.fastWords && addr&3 == 0 {
+		if f, ok := m.wordFast(t, addr, 4, true); ok {
+			binary.LittleEndian.PutUint32(f.Data[addr&(mem.PageSize-1):], v)
+			return
+		}
+	}
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
-	t.env.M.access(t, addr, b[:], true)
+	m.access(t, addr, b[:], true)
 }
 
 // ReadF64 reads a float64 at addr.
@@ -289,15 +331,28 @@ func (t *Thread) WriteF64(addr uint64, v float64) {
 
 // ReadU8 reads one byte at addr.
 func (t *Thread) ReadU8(addr uint64) byte {
+	m := t.env.M
+	if m.fastWords {
+		if f, ok := m.wordFast(t, addr, 1, false); ok {
+			return f.Data[addr&(mem.PageSize-1)]
+		}
+	}
 	var b [1]byte
-	t.env.M.access(t, addr, b[:], false)
+	m.access(t, addr, b[:], false)
 	return b[0]
 }
 
 // WriteU8 writes one byte at addr.
 func (t *Thread) WriteU8(addr uint64, v byte) {
+	m := t.env.M
+	if m.fastWords {
+		if f, ok := m.wordFast(t, addr, 1, true); ok {
+			f.Data[addr&(mem.PageSize-1)] = v
+			return
+		}
+	}
 	b := [1]byte{v}
-	t.env.M.access(t, addr, b[:], true)
+	m.access(t, addr, b[:], true)
 }
 
 // Memset fills n bytes at addr with v. The fill is issued as one

@@ -94,6 +94,22 @@ type tree struct {
 	root     uint64
 	nextPage uint64
 	limit    uint64
+	// shift is scratch for moveRun's bulk key/child moves.
+	shift [maxKeys + 1]uint64
+}
+
+// moveRun copies cnt consecutive u64 slots from src to dst as one
+// read extent plus one write extent — the bulk form of the shift
+// loops in splitChild and Insert. The full run is staged in scratch
+// before any write, so overlapping moves are safe in either
+// direction; the access count matches the per-slot loop it replaces.
+func (tr *tree) moveRun(src, dst uint64, cnt int) {
+	if cnt <= 0 {
+		return
+	}
+	buf := tr.shift[:cnt]
+	tr.t.ReadU64Run(src, buf)
+	tr.t.WriteU64Run(dst, buf)
 }
 
 func newTree(t *sgx.Thread, region uint64, regionBytes uint64) *tree {
@@ -120,6 +136,14 @@ func (tr *tree) allocNode(leaf bool) uint64 {
 func (tr *tree) nkeys(n uint64) int       { return int(tr.t.ReadU32(n)) }
 func (tr *tree) setNKeys(n uint64, v int) { tr.t.WriteU32(n, uint32(v)) }
 func (tr *tree) isLeaf(n uint64) bool     { return tr.t.ReadU32(n+4) == 1 }
+
+// header reads a node's packed header — nkeys and the leaf flag are
+// adjacent u32s — in a single aligned access, the way a real port
+// would pull in the whole header word it is about to branch on.
+func (tr *tree) header(n uint64) (nk int, leaf bool) {
+	h := tr.t.ReadU64(n)
+	return int(uint32(h)), uint32(h>>32) == 1
+}
 func (tr *tree) key(n uint64, i int) uint64 {
 	return tr.t.ReadU64(n + keysOff + uint64(8*i))
 }
@@ -133,10 +157,11 @@ func (tr *tree) setChild(n uint64, i int, c uint64) {
 	tr.t.WriteU64(n+childrenOff+uint64(8*i), c)
 }
 
-// findSlot binary-searches node n for k, returning the first index
-// with key >= k.
-func (tr *tree) findSlot(n uint64, k uint64) int {
-	lo, hi := 0, tr.nkeys(n)
+// findSlot binary-searches node n (holding nk keys) for k, returning
+// the first index with key >= k. The caller supplies nk from its
+// header read so the header is touched once per level.
+func (tr *tree) findSlot(n uint64, nk int, k uint64) int {
+	lo, hi := 0, nk
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if tr.key(n, mid) < k {
@@ -152,83 +177,79 @@ func (tr *tree) findSlot(n uint64, k uint64) int {
 func (tr *tree) Contains(k uint64) bool {
 	n := tr.root
 	for {
-		i := tr.findSlot(n, k)
-		if i < tr.nkeys(n) && tr.key(n, i) == k {
+		nk, leaf := tr.header(n)
+		i := tr.findSlot(n, nk, k)
+		if i < nk && tr.key(n, i) == k {
 			return true
 		}
-		if tr.isLeaf(n) {
+		if leaf {
 			return false
 		}
 		n = tr.child(n, i)
 	}
 }
 
-// splitChild splits the full i-th child of parent.
-func (tr *tree) splitChild(parent uint64, i int) {
+// splitChild splits the full i-th child of parent, which holds pn
+// keys (from the caller's header read).
+func (tr *tree) splitChild(parent uint64, i, pn int) {
 	full := tr.child(parent, i)
-	right := tr.allocNode(tr.isLeaf(full))
+	leaf := tr.isLeaf(full)
+	right := tr.allocNode(leaf)
 	midKey := tr.key(full, minKeys)
 
-	// Move the upper keys (and children) of full to right.
+	// Move the upper keys (and children) of full to right, one bulk
+	// run each.
 	rk := maxKeys - minKeys - 1
-	for j := 0; j < rk; j++ {
-		tr.setKey(right, j, tr.key(full, minKeys+1+j))
-	}
-	if !tr.isLeaf(full) {
-		for j := 0; j <= rk; j++ {
-			tr.setChild(right, j, tr.child(full, minKeys+1+j))
-		}
+	tr.moveRun(full+keysOff+uint64(8*(minKeys+1)), right+keysOff, rk)
+	if !leaf {
+		tr.moveRun(full+childrenOff+uint64(8*(minKeys+1)), right+childrenOff, rk+1)
 	}
 	tr.setNKeys(right, rk)
 	tr.setNKeys(full, minKeys)
 
 	// Shift parent entries to make room.
-	pn := tr.nkeys(parent)
-	for j := pn; j > i; j-- {
-		tr.setKey(parent, j, tr.key(parent, j-1))
-	}
-	for j := pn + 1; j > i+1; j-- {
-		tr.setChild(parent, j, tr.child(parent, j-1))
-	}
+	tr.moveRun(parent+keysOff+uint64(8*i), parent+keysOff+uint64(8*(i+1)), pn-i)
+	tr.moveRun(parent+childrenOff+uint64(8*(i+1)), parent+childrenOff+uint64(8*(i+2)), pn-i)
 	tr.setKey(parent, i, midKey)
 	tr.setChild(parent, i+1, right)
 	tr.setNKeys(parent, pn+1)
 }
 
 // Insert adds k to the tree (duplicates are kept; the workload's keys
-// are unique by construction).
+// are unique by construction). Each level reads its node header once
+// and carries (nkeys, leaf) down the descent.
 func (tr *tree) Insert(k uint64) {
-	if tr.nkeys(tr.root) == maxKeys {
+	nk, leaf := tr.header(tr.root)
+	if nk == maxKeys {
 		newRoot := tr.allocNode(false)
 		tr.setChild(newRoot, 0, tr.root)
 		tr.root = newRoot
-		tr.splitChild(newRoot, 0)
+		tr.splitChild(newRoot, 0, 0)
+		nk, leaf = tr.header(tr.root)
 	}
 	n := tr.root
 	for {
-		if tr.isLeaf(n) {
-			i := tr.findSlot(n, k)
-			nk := tr.nkeys(n)
-			for j := nk; j > i; j-- {
-				tr.setKey(n, j, tr.key(n, j-1))
-			}
+		i := tr.findSlot(n, nk, k)
+		if leaf {
+			tr.moveRun(n+keysOff+uint64(8*i), n+keysOff+uint64(8*(i+1)), nk-i)
 			tr.setKey(n, i, k)
 			tr.setNKeys(n, nk+1)
 			return
 		}
-		i := tr.findSlot(n, k)
-		if i < tr.nkeys(n) && tr.key(n, i) == k {
+		if i < nk && tr.key(n, i) == k {
 			i++ // equal keys descend right
 		}
 		child := tr.child(n, i)
-		if tr.nkeys(child) == maxKeys {
-			tr.splitChild(n, i)
+		cnk, cleaf := tr.header(child)
+		if cnk == maxKeys {
+			tr.splitChild(n, i, nk)
 			if k > tr.key(n, i) {
 				i++
 			}
 			child = tr.child(n, i)
+			cnk, cleaf = tr.header(child)
 		}
-		n = child
+		n, nk, leaf = child, cnk, cleaf
 	}
 }
 

@@ -135,29 +135,48 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 		degrees[rng.Int63n(nodes)]++
 	}
 	t.ECall(func() {
+		// Stream the CSR arrays in as extents: offsets in one run,
+		// each adjacency list in one run, initial ranks in one run.
+		offs := make([]uint64, nodes+1)
 		var off uint64
 		for i := int64(0); i < nodes; i++ {
-			t.WriteU64(offsets+uint64(i)*8, off)
+			offs[i] = off
 			off += uint64(degrees[i])
 		}
-		t.WriteU64(offsets+uint64(nodes)*8, off)
+		offs[nodes] = off
+		t.WriteU64Run(offsets, offs)
+		var ebuf []uint64
 		for i := int64(0); i < nodes; i++ {
-			base := t.ReadU64(offsets + uint64(i)*8)
-			for j := int64(0); j < degrees[i]; j++ {
-				t.WriteU64(edgeArr+(base+uint64(j))*8, uint64(rng.Int63n(nodes)))
+			if int64(cap(ebuf)) < degrees[i] {
+				ebuf = make([]uint64, degrees[i])
+			} else {
+				ebuf = ebuf[:degrees[i]]
 			}
-			t.WriteF64(rankOld+uint64(i)*8, 1.0/float64(nodes))
+			for j := range ebuf {
+				ebuf[j] = uint64(rng.Int63n(nodes))
+			}
+			t.WriteU64Run(edgeArr+offs[i]*8, ebuf)
 		}
+		rinit := make([]uint64, nodes)
+		bits := math.Float64bits(1.0 / float64(nodes))
+		for i := range rinit {
+			rinit[i] = bits
+		}
+		t.WriteU64Run(rankOld, rinit)
 	})
 
 	// Power iteration: push each page's rank share along its
 	// out-links.
 	t.ECall(func() {
+		baseInit := make([]uint64, nodes)
+		var ebuf []uint64
 		for it := 0; it < iterations; it++ {
 			base := (1 - damping) / float64(nodes)
-			for i := int64(0); i < nodes; i++ {
-				t.WriteF64(rankNew+uint64(i)*8, base)
+			bits := math.Float64bits(base)
+			for i := range baseInit {
+				baseInit[i] = bits
 			}
+			t.WriteU64Run(rankNew, baseInit)
 			for i := int64(0); i < nodes; i++ {
 				lo := t.ReadU64(offsets + uint64(i)*8)
 				hi := t.ReadU64(offsets + uint64(i+1)*8)
@@ -165,8 +184,15 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 					continue
 				}
 				share := damping * t.ReadF64(rankOld+uint64(i)*8) / float64(hi-lo)
-				for eIdx := lo; eIdx < hi; eIdx++ {
-					v := t.ReadU64(edgeArr + eIdx*8)
+				// Bulk-read the adjacency list; the rank updates stay
+				// per-access (random scatter).
+				if n := hi - lo; uint64(cap(ebuf)) < n {
+					ebuf = make([]uint64, n)
+				} else {
+					ebuf = ebuf[:hi-lo]
+				}
+				t.ReadU64Run(edgeArr+lo*8, ebuf)
+				for _, v := range ebuf {
 					t.WriteF64(rankNew+v*8, t.ReadF64(rankNew+v*8)+share)
 				}
 			}
@@ -178,8 +204,10 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	var checksum uint64
 	var total float64
 	t.ECall(func() {
-		for i := int64(0); i < nodes; i++ {
-			r := t.ReadF64(rankOld + uint64(i)*8)
+		ranks := make([]uint64, nodes)
+		t.ReadU64Run(rankOld, ranks)
+		for _, bits := range ranks {
+			r := math.Float64frombits(bits)
 			total += r
 			checksum = workloads.FoldChecksum(checksum, uint64(r*1e12))
 		}

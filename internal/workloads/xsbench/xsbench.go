@@ -9,6 +9,7 @@ package xsbench
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"sgxgauge/internal/mem"
@@ -108,14 +109,34 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	// with jitter keeps them sorted without an explicit sort) and
 	// per-nuclide cross sections.
 	t.ECall(func() {
+		// Stream the grid in as dense extents, chunked so host-side
+		// staging stays bounded at any footprint.
+		const chunkPoints = 2048
+		ebuf := make([]uint64, 0, chunkPoints)
+		xbuf := make([]uint64, 0, chunkPoints*nuclides)
+		flush := func(start int64) {
+			if len(ebuf) == 0 {
+				return
+			}
+			t.WriteU64Run(energies+uint64(start)*8, ebuf)
+			t.WriteU64Run(xs+uint64(start*nuclides)*8, xbuf)
+			ebuf = ebuf[:0]
+			xbuf = xbuf[:0]
+		}
+		chunkStart := int64(0)
 		for i := int64(0); i < points; i++ {
 			e := (float64(i) + 0.5*float64(workloads.Mix64(uint64(i))%1000)/1000.0) / float64(points)
-			t.WriteF64(energies+uint64(i)*8, e)
+			ebuf = append(ebuf, math.Float64bits(e))
 			for nuc := int64(0); nuc < nuclides; nuc++ {
 				v := float64(workloads.Mix64(uint64(i*nuclides+nuc))%100000) / 100000.0
-				t.WriteF64(xs+uint64(i*nuclides+nuc)*8, v)
+				xbuf = append(xbuf, math.Float64bits(v))
+			}
+			if len(ebuf) == chunkPoints {
+				flush(chunkStart)
+				chunkStart = i + 1
 			}
 		}
+		flush(chunkStart)
 	})
 
 	// Lookup kernel: binary search the energy grid, then accumulate
@@ -123,6 +144,7 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 	var macroSum float64
 	var checksum uint64
 	t.ECall(func() {
+		row := make([]uint64, nuclides)
 		for l := int64(0); l < lookups; l++ {
 			target := rng.Float64()
 			lo, hi := int64(0), points-1
@@ -134,11 +156,14 @@ func (w *Workload) Run(ctx *workloads.Ctx) (workloads.Output, error) {
 					hi = mid
 				}
 			}
+			// The nuclide row at the bracketing grid point is
+			// contiguous: one read extent, one batched FLOP charge.
+			t.ReadU64Run(xs+uint64(lo*nuclides)*8, row)
 			var macro float64
-			for nuc := int64(0); nuc < nuclides; nuc++ {
-				macro += t.ReadF64(xs + uint64(lo*nuclides+nuc)*8)
-				t.Compute(8) // FLOPs of the interpolation
+			for _, bits := range row {
+				macro += math.Float64frombits(bits)
 			}
+			t.Compute(8 * nuclides) // FLOPs of the interpolation
 			macroSum += macro
 			checksum = workloads.FoldChecksum(checksum, uint64(macro*1e9))
 		}

@@ -5,10 +5,14 @@
 # substrate micro-benchmarks time-based, then folds both into one JSON
 # file via benchgate.
 #
-# Usage: scripts/bench.sh OUT.json [REF-LABEL]
+# Usage: scripts/bench.sh OUT.json [REF-LABEL] [PREV.json]
+# When PREV.json is given, its numbers are embedded in OUT.json as the
+# `previous` capture (benchgate parse -previous), preserving the
+# trajectory across baseline refreshes.
 set -eu
-out=${1:?usage: scripts/bench.sh OUT.json [REF-LABEL]}
+out=${1:?usage: scripts/bench.sh OUT.json [REF-LABEL] [PREV.json]}
 ref=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
+prev=${3:-}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -18,8 +22,12 @@ go test -run '^$' -bench '^(BenchmarkFigure2|BenchmarkWorkloadBTreeNative)$' \
 
 # Substrate micro-benchmarks: time-based for stable ns/op.
 go test -run '^$' \
-	-bench '^(BenchmarkAccessPage|BenchmarkAccessPageStride|BenchmarkECall|BenchmarkOCall|BenchmarkMemset|BenchmarkMemcpy|BenchmarkSpaceReadU64)$' \
+	-bench '^(BenchmarkAccessPage|BenchmarkAccessPageStride|BenchmarkExtentRead|BenchmarkExtentWrite|BenchmarkECall|BenchmarkOCall|BenchmarkMemset|BenchmarkMemcpy|BenchmarkSpaceReadU64)$' \
 	-benchtime 0.3s . | tee -a "$tmp"
 
-go run ./cmd/benchgate parse -ref "$ref" -o "$out" <"$tmp"
+if [ -n "$prev" ]; then
+	go run ./cmd/benchgate parse -ref "$ref" -previous "$prev" -o "$out" <"$tmp"
+else
+	go run ./cmd/benchgate parse -ref "$ref" -o "$out" <"$tmp"
+fi
 echo "wrote $out (ref $ref)"
