@@ -1,20 +1,27 @@
 // Command sgxlint runs sgxgauge's in-tree static-analysis suite: the
-// invariant checkers of internal/lint (determinism, droppederr,
-// lockdiscipline, satconv) over every package of the module.
+// invariant checkers of internal/lint (atomicfield, ctxflow,
+// determinism, droppederr, goroleak, lockdiscipline, satconv,
+// streamerr) over every package of the module, with a shared
+// interprocedural call graph backing the concurrency analyzers.
 //
 // Usage:
 //
 //	go run ./cmd/sgxlint ./...
 //	go run ./cmd/sgxlint -a determinism ./internal/sgx/...
 //	go run ./cmd/sgxlint -suppressed ./...
+//	go run ./cmd/sgxlint -json ./... > sgxlint.json
 //
 // Findings print as "file:line: [analyzer] message"; the exit status
 // is non-zero when any unsuppressed finding (or type error) exists, so
-// CI can gate on it. See DESIGN.md §8 for the enforced invariants and
-// the //sgxlint:ignore suppression syntax.
+// CI can gate on it. -json instead emits the full diagnostic set
+// (suppressed findings included, with their reasons) as a JSON array
+// for machine consumption — CI uploads it as a build artifact. See
+// DESIGN.md §8 for the enforced invariants and the //sgxlint:ignore
+// suppression syntax.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +34,7 @@ import (
 func main() {
 	analyzerFlag := flag.String("a", "", "comma-separated analyzer subset (default: all)")
 	showSuppressed := flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
+	jsonOut := flag.Bool("json", false, "emit every finding (suppressed included) as a JSON array instead of text")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
 	asPath := flag.String("as", "", "lint the single directory argument as a package at this import path (for testdata corpora, which the module walk skips)")
 	flag.Usage = func() {
@@ -76,7 +84,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sgxlint: %v\n", err)
 			os.Exit(2)
 		}
-		os.Exit(printDiags(cwd, diags, *showSuppressed))
+		os.Exit(emitDiags(cwd, diags, *showSuppressed, *jsonOut))
 	}
 
 	mod, err := lint.LoadModule(cwd)
@@ -108,15 +116,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	if code := printDiags(mod.Dir, lint.RunAnalyzers(filtered, analyzers), *showSuppressed); code > exit {
+	if code := emitDiags(mod.Dir, lint.RunAnalyzers(filtered, analyzers), *showSuppressed, *jsonOut); code > exit {
 		exit = code
 	}
 	os.Exit(exit)
 }
 
-// printDiags renders findings relative to root and returns 1 when any
-// unsuppressed finding exists, 0 otherwise.
-func printDiags(root string, diags []lint.Diagnostic, showSuppressed bool) int {
+// emitDiags renders findings relative to root — as text, or as a JSON
+// array when jsonOut is set — and returns 1 when any unsuppressed
+// finding exists, 0 otherwise.
+func emitDiags(root string, diags []lint.Diagnostic, showSuppressed, jsonOut bool) int {
+	if jsonOut {
+		return printJSON(root, diags)
+	}
 	exit := 0
 	for _, d := range diags {
 		if d.Suppressed {
@@ -127,6 +139,49 @@ func printDiags(root string, diags []lint.Diagnostic, showSuppressed bool) int {
 		}
 		fmt.Println(rel(root, d))
 		exit = 1
+	}
+	return exit
+}
+
+// jsonDiag is the stable wire shape of one finding in -json output.
+// Suppressed findings are always included so the artifact doubles as
+// the suppression audit; consumers filter on the suppressed field.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func printJSON(root string, diags []lint.Diagnostic) int {
+	out := make([]jsonDiag, 0, len(diags))
+	exit := 0
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+			file = filepath.ToSlash(r)
+		}
+		out = append(out, jsonDiag{
+			File:       file,
+			Line:       d.Pos.Line,
+			Column:     d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+		})
+		if !d.Suppressed {
+			exit = 1
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "sgxlint: encoding JSON: %v\n", err)
+		return 2
 	}
 	return exit
 }

@@ -166,7 +166,7 @@ func runBatch(specs []Spec, o engineOpts) ([]Result, error) {
 				results[i].Attempts = 1
 			}
 		} else {
-			res, attempts, err := runWithRetry(specs[i], &o)
+			res, attempts, err := runWithRetry(ctx, specs[i], &o)
 			if res != nil {
 				results[i] = *res
 				results[i].Err = err
@@ -207,8 +207,11 @@ func execBatch(specs []Spec, opts ...Option) ([]Result, error) {
 // runWithRetry executes the spec, re-running it on transient injected
 // faults per the engine's retry policy. It returns the last attempt's
 // result (possibly a partial, fault-bearing one), how many attempts
-// ran, and the last error.
-func runWithRetry(spec Spec, o *engineOpts) (*Result, int, error) {
+// ran, and the last error. Backoff sleeps are bound to the batch
+// context: a cancelled batch stops waiting immediately and surfaces
+// the last attempt's transient error instead of sleeping out the rest
+// of an exponential schedule nobody will read.
+func runWithRetry(ctx context.Context, spec Spec, o *engineOpts) (*Result, int, error) {
 	var res *Result
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -221,9 +224,22 @@ func runWithRetry(spec Spec, o *engineOpts) (*Result, int, error) {
 		if err == nil || attempt >= o.retries || !sgx.IsTransient(err) {
 			return res, attempt + 1, err
 		}
-		if o.backoff > 0 {
-			time.Sleep(o.backoff << uint(attempt))
+		if o.backoff > 0 && !sleepCtx(ctx, o.backoff<<uint(attempt)) {
+			return res, attempt + 1, err
 		}
+	}
+}
+
+// sleepCtx blocks for d or until ctx is cancelled, reporting whether
+// the full delay elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"sgxgauge/internal/chaos"
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/workloads"
 	"sgxgauge/internal/workloads/suite"
@@ -268,5 +270,47 @@ func TestWithContextCancellation(t *testing.T) {
 	clean, err := execBatch(specs[:1], WithContext(context.Background()))
 	if err != nil || clean[0].Err != nil {
 		t.Fatalf("live-context batch failed: %v / %v", err, clean[0].Err)
+	}
+}
+
+// TestRetryBackoffHonorsCancellation pins the ctxflow fix: a cancelled
+// batch context must abort the retry backoff sleep immediately. Before
+// the fix, runWithRetry slept the raw exponential schedule — with an
+// hour-scale backoff, a drained worker sat pinned long after its
+// context died. The spec fails transiently on every attempt
+// (TransitionRate 1), so without cancellation this test would block
+// for the full hour backoff; the deadline below is its regression
+// tripwire.
+func TestRetryBackoffHonorsCancellation(t *testing.T) {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC, Seed: 7}
+	spec.Chaos = &chaos.Config{Seed: 5, TransitionFault: true, TransitionRate: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []Result, 1)
+	go func() {
+		res, _ := execBatch([]Spec{spec}, Workers(1), Retry(3), RetryBackoff(time.Hour), WithContext(ctx))
+		done <- res
+	}()
+	// Let the first attempt start, then cancel mid-backoff. The first
+	// simulated run takes well under the 10s guard; the backoff after
+	// its transient failure is where the batch must notice the cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case res := <-done:
+		r := res[0]
+		if r.Err == nil || !sgx.IsTransient(r.Err) {
+			t.Fatalf("Err = %v, want the transient fault from the aborted retry loop", r.Err)
+		}
+		if r.Attempts < 1 || r.Attempts > 3 {
+			t.Errorf("Attempts = %d, want >= 1 and < the full retry budget of 4", r.Attempts)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch still blocked 10s after cancellation; retry backoff is not context-aware")
 	}
 }

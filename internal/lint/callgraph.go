@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural layer under the analyzer suite: a
+// module-wide static call graph with per-function summaries, built
+// once per RunAnalyzers invocation and handed to every analyzer
+// through Pass.Graph. Analyzers stay per-package — each reports only
+// findings located in its own package — but judge those findings
+// against module-wide facts: who calls whom, which functions lock
+// which mutexes, which struct fields are touched atomically anywhere.
+//
+// Resolution is static and deliberately conservative. A call resolves
+// to a FuncNode only when the type checker binds it to a concrete
+// declared function or method of this module — plain calls, method
+// calls through named types (including promoted methods), and method
+// values the checker can pin down. Calls through interfaces, function
+// variables, or external packages produce no module edge; an analyzer
+// relying on edges therefore never reports on the strength of a guess.
+
+// Graph is the module-wide call graph plus the interprocedural fact
+// tables shared by all analyzers.
+type Graph struct {
+	// nodes maps every declared function or method of the module to
+	// its node.
+	nodes map[*types.Func]*FuncNode
+	// callers indexes call sites by callee.
+	callers map[*types.Func][]*CallSite
+	// Fields carries the module-wide struct-field access facts.
+	Fields *FieldFacts
+}
+
+// FuncNode is one declared function or method of the module.
+type FuncNode struct {
+	// Fn is the type-checker object for the declaration.
+	Fn *types.Func
+	// Decl is the source declaration.
+	Decl *ast.FuncDecl
+	// PkgPath is the declaring package's import path.
+	PkgPath string
+	// Calls are the statically resolved call sites inside the body
+	// (function literals included — a closure's calls belong to the
+	// function that lexically contains it, matching the suite's
+	// flow-insensitive lock model).
+	Calls []*CallSite
+	// Summary holds the per-function facts analyzers consume.
+	Summary Summary
+}
+
+// CallSite is one statically resolved call.
+type CallSite struct {
+	// Caller is the function whose body (or nested literal) contains
+	// the call.
+	Caller *FuncNode
+	// Callee is the resolved target; it has a node in the graph only
+	// when declared in this module.
+	Callee *types.Func
+	// Pos locates the call expression.
+	Pos token.Pos
+	// InLiteral marks a call site inside a function literal nested in
+	// the caller (a goroutine body, an AfterFunc callback, a deferred
+	// closure) rather than in the caller's own statement list.
+	InLiteral bool
+}
+
+// Summary is the per-function fact sheet the analyzers consume.
+type Summary struct {
+	// Locks names every mutex the function locks anywhere in its body
+	// (Lock or RLock, nested literals included) — the flow-insensitive
+	// "held" set lockdiscipline already used intra-procedurally.
+	Locks map[string]bool
+	// CallerHolds names the mutexes the function's doc comment
+	// declares held on entry (`// caller holds <mu>`).
+	CallerHolds map[string]bool
+	// WaitGroupDone reports that the function calls Done on a
+	// sync.WaitGroup — goroleak accepts `go f()` as joined when f
+	// signals a WaitGroup itself.
+	WaitGroupDone bool
+}
+
+// FieldFacts records, module-wide, how each struct field is accessed:
+// through the sync/atomic package-level functions (`atomic.AddUint64
+// (&x.f, 1)`), or plainly. A field appearing in both sets is a data
+// race waiting for an unlucky interleaving; atomicfield reports every
+// plain site of such a field.
+type FieldFacts struct {
+	// Atomic maps a field object to the positions where its address is
+	// passed to a sync/atomic function.
+	Atomic map[types.Object][]token.Pos
+	// Plain maps a field object to the positions of its ordinary
+	// selector accesses.
+	Plain map[types.Object][]token.Pos
+}
+
+// NodeOf returns the graph node for fn, or nil when fn is not a
+// declared function of this module.
+func (g *Graph) NodeOf(fn *types.Func) *FuncNode {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// CallersOf returns every statically resolved call site targeting fn.
+func (g *Graph) CallersOf(fn *types.Func) []*CallSite {
+	if g == nil {
+		return nil
+	}
+	return g.callers[fn]
+}
+
+// BuildGraph constructs the call graph and fact tables for the
+// module's loaded packages.
+func BuildGraph(mod *Module) *Graph {
+	g := &Graph{
+		nodes:   map[*types.Func]*FuncNode{},
+		callers: map[*types.Func][]*CallSite{},
+		Fields: &FieldFacts{
+			Atomic: map[types.Object][]token.Pos{},
+			Plain:  map[types.Object][]token.Pos{},
+		},
+	}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, PkgPath: pkg.Path}
+				node.Summary = summarize(pkg.Info, fd)
+				g.nodes[fn] = node
+			}
+		}
+	}
+	// Second pass: edges (needs every node to exist first only for
+	// clarity; callee nodes are looked up lazily by analyzers).
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				node := g.nodes[fn]
+				if node == nil {
+					continue
+				}
+				collectCalls(g, pkg.Info, node)
+			}
+		}
+		collectFieldFacts(g.Fields, pkg.Info, pkg.Files)
+	}
+	return g
+}
+
+// summarize computes one function's fact sheet.
+func summarize(info *types.Info, fd *ast.FuncDecl) Summary {
+	s := Summary{Locks: map[string]bool{}, CallerHolds: map[string]bool{}}
+	if fd.Doc != nil {
+		for _, m := range callerHoldsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+			s.CallerHolds[m[1]] = true
+		}
+	}
+	if fd.Body == nil {
+		return s
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			switch recv := ast.Unparen(sel.X).(type) {
+			case *ast.Ident:
+				s.Locks[recv.Name] = true
+			case *ast.SelectorExpr:
+				s.Locks[recv.Sel.Name] = true
+			}
+		case "Done":
+			if isWaitGroup(info.Types[sel.X].Type) {
+				s.WaitGroupDone = true
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// collectCalls records node's statically resolved call sites,
+// attributing calls inside nested function literals to node itself.
+func collectCalls(g *Graph, info *types.Info, node *FuncNode) {
+	depth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			depth++
+			ast.Inspect(n.Body, walk)
+			depth--
+			return false
+		case *ast.CallExpr:
+			callee := staticCallee(info, n)
+			if callee == nil {
+				return true
+			}
+			cs := &CallSite{Caller: node, Callee: callee, Pos: n.Pos(), InLiteral: depth > 0}
+			node.Calls = append(node.Calls, cs)
+			g.callers[callee] = append(g.callers[callee], cs)
+		}
+		return true
+	}
+	ast.Inspect(node.Decl.Body, walk)
+}
+
+// staticCallee resolves the declared function or method a call
+// expression statically targets, or nil for indirect calls,
+// conversions, and builtins. Method calls resolve through the
+// receiver's named type; interface method calls resolve to the
+// interface's method object, which has no module node.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// collectFieldFacts classifies every struct-field selector access in
+// the files as atomic (its address is an argument to a sync/atomic
+// package-level function) or plain. Composite-literal field keys are
+// not selector expressions and so never count — the `&T{f: v}`
+// construction idiom predates publication and is safe.
+func collectFieldFacts(facts *FieldFacts, info *types.Info, files []*ast.File) {
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr); ok {
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			obj := selection.Obj()
+			if atomicArgs[sel] {
+				facts.Atomic[obj] = append(facts.Atomic[obj], sel.Sel.Pos())
+			} else {
+				facts.Plain[obj] = append(facts.Plain[obj], sel.Sel.Pos())
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call targets a package-level function
+// of sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

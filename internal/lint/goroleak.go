@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// detachedRe matches the goroleak acknowledgement pragma. Like
+// sgxlint:ignore, it must open the comment with no space after "//".
+var detachedRe = regexp.MustCompile(`^//sgxlint:detached(\s.*)?$`)
+
+// GoroLeak enforces that every spawned goroutine has a tracked join.
+// Motivated by the idle-worker leak: a worker goroutine that returned
+// without deregistering left the coordinator routing tasks to a ghost
+// until the liveness TTL fired, and nothing in the tree stated whether
+// that goroutine was supposed to outlive its spawner. A `go` statement
+// is accepted when it is joined through a sync.WaitGroup pair — an
+// Add in the spawning function and a Done in the goroutine body (or in
+// a named callee, via its call-graph summary) on the same WaitGroup —
+// and otherwise must carry an explicit lifecycle statement:
+//
+//	//sgxlint:detached <reason>
+//
+// on the `go` statement's line or the line above. Detached goroutines
+// still surface in the -suppressed audit with their written reason.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement must be joined via a sync.WaitGroup Add/Done " +
+		"pair or annotated //sgxlint:detached <reason>",
+	Run: runGoroLeak,
+}
+
+// detachedPragma is one parsed //sgxlint:detached comment.
+type detachedPragma struct {
+	pos    token.Pos
+	line   int
+	reason string
+	used   bool
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		pragmas := collectDetached(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			adds := waitGroupAdds(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, gs, adds, pragmas)
+				return true
+			})
+			return false
+		})
+		for _, p := range pragmas {
+			if !p.used {
+				pass.Reportf(p.pos,
+					"sgxlint:detached pragma marks no go statement; delete it")
+			}
+		}
+	}
+}
+
+// collectDetached parses a file's //sgxlint:detached pragmas,
+// reporting reason-less ones (which then cover nothing).
+func collectDetached(pass *Pass, f *ast.File) []*detachedPragma {
+	var pragmas []*detachedPragma
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := detachedRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			reason := strings.TrimSpace(m[1])
+			if reason == "" {
+				pass.Reportf(c.Pos(),
+					"sgxlint:detached requires a written reason stating who owns the goroutine's lifecycle")
+				continue
+			}
+			pragmas = append(pragmas, &detachedPragma{
+				pos:    c.Pos(),
+				line:   pass.Fset.Position(c.Pos()).Line,
+				reason: reason,
+			})
+		}
+	}
+	return pragmas
+}
+
+// waitGroupAdds collects the WaitGroup objects fd calls Add on,
+// anywhere in its body (nested literals included).
+func waitGroupAdds(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	adds := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if !isWaitGroup(pass.Info.Types[sel.X].Type) {
+			return true
+		}
+		if obj := waitGroupObject(pass, sel.X); obj != nil {
+			adds[obj] = true
+		}
+		return true
+	})
+	return adds
+}
+
+// waitGroupObject resolves the identity of a WaitGroup expression: the
+// variable object for `wg`, the field object for `s.leaders`. Distinct
+// instances sharing a field are conflated — acceptable for a join
+// check that enforces the pairing discipline, not a happens-before
+// proof.
+func waitGroupObject(pass *Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// checkGoStmt judges one go statement against the join rule.
+func checkGoStmt(pass *Pass, gs *ast.GoStmt, adds map[types.Object]bool, pragmas []*detachedPragma) {
+	if goStmtJoined(pass, gs, adds) {
+		return
+	}
+	line := pass.Fset.Position(gs.Pos()).Line
+	for _, p := range pragmas {
+		if p.line == line || p.line == line-1 {
+			p.used = true
+			pass.ReportSuppressedf(gs.Pos(), p.reason,
+				"go statement runs detached from any join (acknowledged)")
+			return
+		}
+	}
+	pass.Reportf(gs.Pos(),
+		"go statement is not joined: pair it with a sync.WaitGroup Add/Done or annotate //sgxlint:detached <reason>")
+}
+
+// goStmtJoined reports whether the spawned goroutine signals a
+// WaitGroup the spawning function Adds to. For `go func(){...}()` the
+// literal body is scanned for a Done on an Added WaitGroup; for
+// `go f(...)` the callee's call-graph summary must record a
+// WaitGroup Done (the interprocedural case — the Add site and the
+// Done live in different functions, possibly different packages).
+func goStmtJoined(pass *Pass, gs *ast.GoStmt, adds map[types.Object]bool) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		done := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Done" {
+				return true
+			}
+			if !isWaitGroup(pass.Info.Types[sel.X].Type) {
+				return true
+			}
+			if obj := waitGroupObject(pass, sel.X); obj != nil && adds[obj] {
+				done = true
+			}
+			return true
+		})
+		return done
+	}
+	callee := staticCallee(pass.Info, gs.Call)
+	if node := pass.Graph.NodeOf(callee); node != nil {
+		return node.Summary.WaitGroupDone && len(adds) > 0
+	}
+	return false
+}

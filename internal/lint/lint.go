@@ -1,10 +1,13 @@
 // Package lint is sgxgauge's in-tree static-analysis driver: a small,
 // dependency-free framework (go/parser + go/types only) that
-// type-checks every package in the module and runs a pluggable set of
-// analyzers enforcing the simulator's cross-cutting invariants —
-// determinism, error propagation, lock discipline, and saturating
-// cycle arithmetic. See DESIGN.md §8 for the invariant catalogue and
-// the historical bugs each analyzer exists to prevent.
+// type-checks every package in the module, builds a module-wide static
+// call graph (callgraph.go), and runs a pluggable set of analyzers
+// enforcing the simulator's cross-cutting invariants — determinism,
+// error propagation, lock discipline, saturating cycle arithmetic,
+// context-aware blocking, goroutine join tracking, atomic-field
+// consistency, and stream write-error handling. See DESIGN.md §8 for
+// the invariant catalogue and the historical bugs each analyzer exists
+// to prevent.
 //
 // Findings are reported as "file:line: [analyzer] message". A finding
 // can be acknowledged in place with a pragma on the offending line or
@@ -62,13 +65,28 @@ type Pass struct {
 	Files []*ast.File
 	// Info holds the type-checker's resolution tables.
 	Info *types.Info
+	// Graph is the module-wide call graph and fact tables, shared by
+	// every pass of one RunAnalyzers invocation. Analyzers still report
+	// only on the current package but may judge it against facts from
+	// anywhere in the module.
+	Graph *Graph
 
-	report func(pos token.Pos, msg string)
+	report           func(pos token.Pos, msg string)
+	reportSuppressed func(pos token.Pos, msg, reason string)
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// ReportSuppressedf records a finding at pos that is born suppressed
+// with the given reason — used by analyzers whose own annotation
+// grammar (goroleak's //sgxlint:detached) acknowledges a finding
+// without the generic ignore pragma, so the -suppressed audit still
+// surfaces it.
+func (p *Pass) ReportSuppressedf(pos token.Pos, reason, format string, args ...any) {
+	p.reportSuppressed(pos, fmt.Sprintf(format, args...), reason)
 }
 
 // InModule reports whether pkgPath belongs to this module.
@@ -97,10 +115,14 @@ func (a *Analyzer) Applies(pkgPath string) bool {
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicField,
+		CtxFlow,
 		Determinism,
 		DroppedErr,
+		GoroLeak,
 		LockDiscipline,
 		SatConv,
+		StreamErr,
 	}
 }
 
@@ -202,16 +224,17 @@ func RunAnalyzers(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return false
 	}
+	graph := BuildGraph(mod)
 	var diags []Diagnostic
 	for _, pkg := range mod.Packages {
-		diags = append(diags, runPackage(mod, pkg, analyzers, known)...)
+		diags = append(diags, runPackage(mod, graph, pkg, analyzers, known)...)
 	}
 	sortDiagnostics(diags)
 	return diags
 }
 
 // runPackage runs the applicable analyzers over one loaded package.
-func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer, known func(string) bool) []Diagnostic {
+func runPackage(mod *Module, graph *Graph, pkg *Package, analyzers []*Analyzer, known func(string) bool) []Diagnostic {
 	var diags []Diagnostic
 	sups := map[string]*fileSuppressions{} // filename -> pragmas
 	for _, f := range pkg.Files {
@@ -235,6 +258,7 @@ func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer, known func(str
 			Pkg:        pkg.Types,
 			Files:      pkg.Files,
 			Info:       pkg.Info,
+			Graph:      graph,
 		}
 		pass.report = func(pos token.Pos, msg string) {
 			d := Diagnostic{
@@ -249,6 +273,15 @@ func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer, known func(str
 				}
 			}
 			diags = append(diags, d)
+		}
+		pass.reportSuppressed = func(pos token.Pos, msg, reason string) {
+			diags = append(diags, Diagnostic{
+				Pos:        mod.Fset.Position(pos),
+				Analyzer:   a.Name,
+				Message:    msg,
+				Suppressed: true,
+				Reason:     reason,
+			})
 		}
 		a.Run(pass)
 	}

@@ -1,0 +1,72 @@
+package lint
+
+import "testing"
+
+// TestShippedTreeLintsClean runs the full analyzer suite — the
+// interprocedural call-graph pass included — over the live module, so
+// tier-1 `go test ./...` gates on the invariants without the separate
+// CI lint job. The repository's own sources must produce zero
+// unsuppressed findings, and every suppression must carry a reason.
+func TestShippedTreeLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow; skipped in -short mode")
+	}
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, pkg := range mod.Packages {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", pkg.Path, terr)
+		}
+	}
+	for _, d := range RunAnalyzers(mod, All()) {
+		if d.Suppressed {
+			if d.Reason == "" {
+				t.Errorf("suppression without reason: %s", d)
+			}
+			continue
+		}
+		t.Errorf("shipped tree has lint finding: %s", d)
+	}
+}
+
+// TestModuleCallGraphSanity pins structural facts of the live module's
+// call graph that every interprocedural analyzer depends on: the
+// coordinator's *Locked helpers must be resolvable graph nodes with
+// their caller-holds summaries intact, and they must have at least one
+// statically resolved caller. If summary extraction or method
+// resolution silently breaks, lockdiscipline's call-path check (and
+// goroleak's callee summaries) would pass vacuously — this test fails
+// instead.
+func TestModuleCallGraphSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow; skipped in -short mode")
+	}
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	g := BuildGraph(mod)
+
+	var annotated, called int
+	for fn, node := range g.nodes {
+		if len(node.Summary.CallerHolds) == 0 {
+			continue
+		}
+		annotated++
+		if len(g.CallersOf(fn)) > 0 {
+			called++
+		}
+	}
+	// The serve coordinator alone ships several `caller holds mu`
+	// helpers (routeLocked, expireLocked, finishLocked, ...); if the
+	// summaries vanish, the interprocedural lock check has nothing to
+	// verify.
+	if annotated < 5 {
+		t.Errorf("call graph found %d caller-holds functions, want >= 5", annotated)
+	}
+	if called == 0 {
+		t.Errorf("no caller-holds function has a resolved caller; static call resolution is broken")
+	}
+}

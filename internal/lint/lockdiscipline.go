@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"regexp"
+	"sort"
 )
 
 // guardedByRe matches the field annotation, e.g. "guarded by mu".
@@ -26,22 +27,59 @@ var callerHoldsRe = regexp.MustCompile(`caller holds (\w+)`)
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc: "fields annotated `guarded by <mu>` may only be accessed in " +
-		"functions that lock <mu> or are annotated `caller holds <mu>`",
+		"functions that lock <mu> or are annotated `caller holds <mu>`; " +
+		"`caller holds` functions may only be called with the lock held",
 	Run: runLockDiscipline,
 }
 
 func runLockDiscipline(pass *Pass) {
 	guards := collectGuardedFields(pass)
-	if len(guards) == 0 {
-		return
-	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFuncLocks(pass, fd, guards)
+			if len(guards) > 0 {
+				checkFuncLocks(pass, fd, guards)
+			}
+			checkCallPaths(pass, fd)
+		}
+	}
+}
+
+// checkCallPaths is the interprocedural half of the discipline: a
+// function whose doc declares `caller holds <mu>` may only be reached
+// from call sites whose enclosing function either locks <mu> itself
+// or declares <mu> held in turn. The original analyzer took the
+// annotation on faith — the annotated callee was checked, but nothing
+// stopped an unlocked caller from reaching it, which is exactly how a
+// *Locked helper escapes its lock over a refactor. Matching is by
+// mutex name, consistent with the flow-insensitive field check.
+func checkCallPaths(pass *Pass, fd *ast.FuncDecl) {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	node := pass.Graph.NodeOf(fn)
+	if node == nil {
+		return
+	}
+	held := node.Summary.Locks
+	for _, cs := range node.Calls {
+		callee := pass.Graph.NodeOf(cs.Callee)
+		if callee == nil || len(callee.Summary.CallerHolds) == 0 {
+			continue
+		}
+		mus := make([]string, 0, len(callee.Summary.CallerHolds))
+		for mu := range callee.Summary.CallerHolds {
+			mus = append(mus, mu)
+		}
+		sort.Strings(mus)
+		for _, mu := range mus {
+			if held[mu] || node.Summary.CallerHolds[mu] {
+				continue
+			}
+			pass.Reportf(cs.Pos,
+				"%s declares `caller holds %s`, but %s neither locks %s nor declares `caller holds %s`",
+				cs.Callee.Name(), mu, funcLabel(fd), mu, mu)
 		}
 	}
 }

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// streamerrPkgs are the packages that stream bytes to peers or disk in
+// loops: the daemon/cluster layer, the write-ahead journal, and the
+// result store. Everything else keeps its writes short and checked by
+// droppederr (for module-internal calls) or inspection.
+var streamerrPkgs = []string{
+	"internal/serve",
+	"internal/journal",
+	"internal/store",
+}
+
+// streamerrExemptPkgs declare Write methods that cannot fail:
+// in-memory buffers and hashes always return a nil error by contract,
+// so looping over them unchecked is fine.
+var streamerrExemptPkgs = map[string]bool{
+	"bytes":   true,
+	"strings": true,
+	"hash":    true,
+}
+
+// StreamErr enforces first-write-error handling in streaming loops.
+// Motivated by the PR 7 NDJSON bug: the sweep handler kept encoding
+// result lines to a dead client for the whole sweep because every
+// enc.Encode error inside the loop was discarded — thousands of
+// doomed serializations, a flusher hammering a closed connection, and
+// no signal anywhere that the peer was gone. A loop that writes to an
+// io.Writer or *json.Encoder must look at each write's error so the
+// first failure can short-circuit the stream (the serve.ndjsonStream
+// helper is the canonical fix).
+var StreamErr = &Analyzer{
+	Name: "streamerr",
+	Doc: "loops writing to an io.Writer or *json.Encoder must check each " +
+		"write's error and stop at the first failure",
+	Appliesf: func(pkgPath string) bool { return underPkgs(pkgPath, streamerrPkgs) },
+	Run:      runStreamErr,
+}
+
+func runStreamErr(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStreamLoops(pass, fd.Body, 0)
+		}
+	}
+}
+
+// checkStreamLoops walks stmts tracking loop depth. Function literals
+// do NOT reset the depth: a goroutine or callback spawned inside a
+// loop still writes once per iteration, which is exactly the shape of
+// the original bug.
+func checkStreamLoops(pass *Pass, root ast.Node, depth int) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			if n.Cond != nil {
+				ast.Inspect(n.Cond, walk)
+			}
+			if n.Post != nil {
+				ast.Inspect(n.Post, walk)
+			}
+			checkStreamLoops(pass, n.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			if n.X != nil {
+				ast.Inspect(n.X, walk)
+			}
+			checkStreamLoops(pass, n.Body, depth+1)
+			return false
+		case *ast.ExprStmt:
+			if depth > 0 {
+				checkDiscardedWrite(pass, n.X)
+			}
+		case *ast.GoStmt:
+			if depth > 0 {
+				checkDiscardedWrite(pass, n.Call)
+			}
+		case *ast.DeferStmt:
+			if depth > 0 {
+				checkDiscardedWrite(pass, n.Call)
+			}
+		case *ast.AssignStmt:
+			if depth > 0 {
+				checkBlankWrite(pass, n)
+			}
+		}
+		return true
+	}
+	ast.Inspect(root, walk)
+}
+
+// checkDiscardedWrite reports expr when it is a stream-write call
+// whose error result is fully discarded.
+func checkDiscardedWrite(pass *Pass, expr ast.Expr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if name := streamWriteCall(pass, call); name != "" {
+		pass.Reportf(call.Pos(),
+			"%s error discarded inside a loop; check it and stop the stream at the first failure (see serve.ndjsonStream)", name)
+	}
+}
+
+// checkBlankWrite reports stream-write calls whose error lands in the
+// blank identifier, e.g. `_, _ = w.Write(b)`.
+func checkBlankWrite(pass *Pass, assign *ast.AssignStmt) {
+	for _, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name := streamWriteCall(pass, call)
+		if name == "" {
+			continue
+		}
+		allBlank := true
+		for _, lhs := range assign.Lhs {
+			if !isBlank(lhs) {
+				allBlank = false
+			}
+		}
+		if allBlank {
+			pass.Reportf(call.Pos(),
+				"%s error assigned to _ inside a loop; check it and stop the stream at the first failure", name)
+		}
+	}
+}
+
+// streamWriteCall classifies call: the display name of the write-like
+// method when call is a stream write whose error matters, "" otherwise.
+// Covered: Encode on *encoding/json.Encoder, and Write/WriteString
+// methods returning an error — except on the exempt in-memory types.
+func streamWriteCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn := staticCallee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Encode":
+		if fn.Pkg().Path() == "encoding/json" {
+			return "json.Encoder.Encode"
+		}
+		return ""
+	case "Write", "WriteString":
+		if streamerrExemptPkgs[fn.Pkg().Path()] {
+			return ""
+		}
+		if errorResultIndex(fn) < 0 {
+			return ""
+		}
+		return fn.Pkg().Name() + "." + recvTypeName(recv) + "." + sel.Sel.Name
+	}
+	return ""
+}
+
+// recvTypeName names a method receiver's type for diagnostics,
+// trimming pointers and package qualifiers to a compact label.
+func recvTypeName(recv *types.Var) string {
+	s := recv.Type().String()
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+// Package corpus is the ctxflow analyzer's golden corpus: blocking
+// operations in the service layer must be cancellable.
+package corpus
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// sleepBug reproduces the motivating worker-retry bug: a raw backoff
+// sleep that outlives its cancelled context.
+func sleepBug(ctx context.Context, backoff time.Duration) {
+	time.Sleep(backoff) // want "time.Sleep blocks without a cancellation path"
+}
+
+// requestBug builds a poll request nothing can abort.
+func requestBug(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want "uncancellable request"
+}
+
+// afterBug blocks on a bare timer with no way out.
+func afterBug(d time.Duration) {
+	<-time.After(d) // want "bare receive from time.After"
+}
+
+// selectBug waits on a timer but forgot the ctx case.
+func selectBug(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-time.After(time.Second): // want "no ctx.Done"
+	}
+}
+
+// tickBug leaks its ticker forever.
+func tickBug(f func()) {
+	for range time.Tick(time.Minute) { // want "time.Tick leaks its ticker"
+		f()
+	}
+}
+
+// selectOK pairs the timeout with a Done case.
+func selectOK(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// sleepOK is the canonical cancellable sleep.
+func sleepOK(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// requestOK threads the context through.
+func requestOK(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+// deadlineOK: assigning the channel is fine; the select that drains it
+// is judged on its own.
+func deadlineOK(ctx context.Context, ch chan int) {
+	timeout := time.After(time.Second)
+	select {
+	case <-ch:
+	case <-timeout:
+	case <-ctx.Done():
+	}
+}
+
+// suppressedOK shows an acknowledged exception with its reason.
+func suppressedOK() {
+	//sgxlint:ignore ctxflow one-shot startup settle before any context exists to cancel
+	time.Sleep(time.Millisecond)
+}

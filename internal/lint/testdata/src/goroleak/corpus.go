@@ -1,0 +1,85 @@
+// Package corpus is the goroleak analyzer's golden corpus: every go
+// statement must be WaitGroup-joined or explicitly detached.
+package corpus
+
+import "sync"
+
+// pool mimics the serve layer's leader tracking.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// leakBug reproduces the motivating idle-worker leak: a goroutine with
+// no join and no stated owner.
+func leakBug(ch chan int) {
+	go func() { // want "not joined"
+		ch <- 1
+	}()
+}
+
+// leakNamedBug spawns a named function that signals nothing.
+func leakNamedBug() {
+	go fireAndForget() // want "not joined"
+}
+
+func fireAndForget() {}
+
+// halfPairBug calls Done in the goroutine but never Adds, so Wait
+// can't be tracking it.
+func halfPairBug(ch chan int) {
+	var wg sync.WaitGroup
+	go func() { // want "not joined"
+		defer wg.Done()
+		ch <- 1
+	}()
+}
+
+// joinedOK is the canonical Add/Done pair on a field WaitGroup.
+func (p *pool) joinedOK(ch chan int) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		ch <- 1
+	}()
+	p.wg.Wait()
+}
+
+// joinedLocalOK pairs a local WaitGroup across a worker fan-out.
+func joinedLocalOK(n int, f func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// run signals the pool's WaitGroup itself.
+func (p *pool) run() {
+	defer p.wg.Done()
+}
+
+// joinedCalleeOK is the interprocedural case: the Done lives in the
+// named callee, visible only through its call-graph summary.
+func (p *pool) joinedCalleeOK() {
+	p.wg.Add(1)
+	go p.run()
+	p.wg.Wait()
+}
+
+// detachedOK states its goroutine's lifecycle explicitly; the finding
+// survives, suppressed, for the audit trail.
+func detachedOK(ch chan int) {
+	//sgxlint:detached forwarder exits when ch closes; owned by the producer side
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// stale pragma below marks nothing and must be reported.
+//sgxlint:detached leftover excuse for a goroutine deleted long ago // want "marks no go statement"
+func staleOK() {}

@@ -1,0 +1,67 @@
+// Package corpus is the golden corpus for lockdiscipline's
+// interprocedural call-path check: a function annotated
+// `caller holds <mu>` may only be reached from callers that actually
+// hold the lock.
+package corpus
+
+import "sync"
+
+// table mimics the coordinator's mu-guarded state with *Locked
+// helpers.
+type table struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// bumpLocked increments the counter.
+//
+// caller holds mu
+func (t *table) bumpLocked() {
+	t.n++
+}
+
+// bump is the locked entry point.
+func (t *table) bump() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked()
+}
+
+// sneakBug reproduces the escape this check exists to stop: a refactor
+// reaches the *Locked helper without taking the lock.
+func (t *table) sneakBug() {
+	t.bumpLocked() // want "neither locks mu"
+}
+
+// chainLocked: a caller-holds function may call further caller-holds
+// functions — the obligation propagates, it doesn't re-trigger.
+//
+// caller holds mu
+func (t *table) chainLocked() {
+	t.bumpLocked()
+}
+
+// chain discharges the whole chain's obligation at the top.
+func (t *table) chain() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.chainLocked()
+}
+
+// closureOK: a call from a literal inside a locking function counts as
+// held under the flow-insensitive model.
+func (t *table) closureOK() func() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := func() { t.bumpLocked() }
+	f()
+	return f
+}
+
+// suppressedOK shows an acknowledged exception with its reason.
+func newTable() *table {
+	t := &table{}
+	//sgxlint:ignore lockdiscipline construction path; t has not escaped, no concurrent caller can exist
+	t.bumpLocked()
+	return t
+}

@@ -1,0 +1,95 @@
+// Package corpus is the streamerr analyzer's golden corpus: streaming
+// loops must check each write's error and stop at the first failure.
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+// encodeBug reproduces the motivating NDJSON bug: every result line
+// keeps going to a dead client because the Encode error is discarded.
+func encodeBug(enc *json.Encoder, results []int) {
+	for _, r := range results {
+		enc.Encode(r) // want "json.Encoder.Encode error discarded"
+	}
+}
+
+// writeBug drops raw write errors the same way.
+func writeBug(w io.Writer, chunks [][]byte) {
+	for _, c := range chunks {
+		w.Write(c) // want "error discarded"
+	}
+}
+
+// blankBug launders the error through the blank identifier.
+func blankBug(w io.Writer, chunks [][]byte) {
+	for _, c := range chunks {
+		_, _ = w.Write(c) // want "error assigned to _"
+	}
+}
+
+// literalBug crosses a function-literal boundary inside the loop — the
+// per-iteration goroutine shape.
+func literalBug(w io.Writer, chunks [][]byte) {
+	for _, c := range chunks {
+		c := c
+		go func() {
+			w.Write(c) // want "error discarded"
+		}()
+	}
+}
+
+// checkedOK stops at the first failure.
+func checkedOK(w io.Writer, chunks [][]byte) error {
+	for _, c := range chunks {
+		if _, err := w.Write(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// capturedOK keeps only the first error and stops encoding.
+func capturedOK(enc *json.Encoder, results []int) error {
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bufferOK: in-memory buffers cannot fail; unchecked loops are fine.
+func bufferOK(chunks [][]byte) []byte {
+	var buf bytes.Buffer
+	for _, c := range chunks {
+		buf.Write(c)
+	}
+	return buf.Bytes()
+}
+
+// builderOK: strings.Builder writes cannot fail either.
+func builderOK(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// singleOK is not a loop; one unchecked write is droppederr's
+// jurisdiction (module-internal calls), not a streaming failure mode.
+func singleOK(w io.Writer, c []byte) {
+	w.Write(c)
+}
+
+// suppressedOK shows an acknowledged exception with its reason.
+func suppressedOK(w io.Writer, chunks [][]byte) {
+	for _, c := range chunks {
+		//sgxlint:ignore streamerr best-effort debug mirror; the primary stream checks errors
+		w.Write(c)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -707,4 +708,68 @@ func TestResultLineDecoderLimits(t *testing.T) {
 	if _, _, _, err := d.next(); err == nil || !strings.Contains(err.Error(), "exceeds") {
 		t.Fatalf("oversized line error = %v, want a limit error", err)
 	}
+}
+
+// TestClusterLifecycleLeaksNoGoroutines is the goroleak analyzer's
+// runtime counterpart: a full coordinator+worker lifecycle — register,
+// sweep through the fleet, worker drain/deregister, server Drain —
+// must return the process to its starting goroutine count. The
+// motivating bug was an idle worker goroutine that outlived its
+// context and kept the coordinator routing to a ghost; a leak here
+// shows up as a count that never settles back down.
+func TestClusterLifecycleLeaksNoGoroutines(t *testing.T) {
+	// Let goroutines from earlier tests park before the baseline.
+	time.Sleep(100 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	// Manual lifecycle (no t.Cleanup): the accounting below must run
+	// after teardown, inside the test body.
+	cs := New(Config{Coordinator: true, EPCPages: testEPC, Seed: 7, Workers: 2})
+	ts := httptest.NewServer(cs.Handler())
+	ws := New(Config{EPCPages: testEPC, Seed: 7, Workers: 2})
+	wk := NewWorker(ws, ts.URL, "leakcheck")
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		wk.Run(ctx)
+	}()
+	waitForWorkers(t, cs, 1)
+
+	// Real traffic so leaders, the batch fan-out, the heartbeat loop
+	// and the results stream all actually spin up.
+	lines, terminal := sweepResultLines(t, ts.URL, sweepBody(3))
+	if len(lines) != 3 || terminal.Event != "done" || !terminal.OK {
+		t.Fatalf("fleet sweep: %d results, terminal %+v", len(lines), terminal)
+	}
+
+	// Teardown in drain order: cancel the worker (it deregisters on the
+	// way out), drain both servers' leader goroutines, close the
+	// listener.
+	cancel()
+	<-workerDone
+	if cs.cluster.liveWorkers(time.Now()) != 0 {
+		t.Error("worker still registered after drain; deregister did not land")
+	}
+	cs.Drain()
+	ws.Drain()
+	ts.Close()
+
+	// Goroutines park asynchronously (idle HTTP conns, timer reapers);
+	// poll until the count settles at the baseline instead of asserting
+	// a single racy snapshot.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines: before=%d, after=%d (never settled); stacks:\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
 }

@@ -417,6 +417,7 @@ func (c *cluster) poisonLocked(t *clusterTask) {
 	jl := c.journal
 	// Persist off the lock; losing the record on crash only means the
 	// budget is re-burned once after restart.
+	//sgxlint:detached one-shot journal append; best-effort by design, the record is redundant with the in-memory quarantine
 	go func() {
 		if err := jl.Poison(rec); err != nil {
 			log.Printf("serve: persisting poison record for %s: %v", rec.Key, err)

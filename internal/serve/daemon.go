@@ -113,6 +113,7 @@ func Main(args []string) error {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//sgxlint:detached Serve lives for the whole process; its exit is joined via the errc receive in the select below
 	go func() { errc <- srv.Serve(ln) }()
 	logRole := role
 	if *workerFor != "" {
@@ -123,6 +124,7 @@ func Main(args []string) error {
 	// Replay the journal after the listener is up: healthz holds 503
 	// (recovering) until Recover returns, so clients cannot race the
 	// replay, while recovered jobs re-enqueue behind the warm store.
+	//sgxlint:detached recovery runs once and signals completion through the server's recovered gate (healthz 503 until done)
 	go func() {
 		if err := s.Recover(); err != nil {
 			log.Printf("sgxgauged: journal recovery: %v", err)
@@ -133,6 +135,7 @@ func Main(args []string) error {
 	if *workerFor != "" {
 		wk := NewWorker(s, *workerFor, ln.Addr().String())
 		wk.Drain = *drain
+		//sgxlint:detached worker loop is joined by the workerDone close, received during shutdown below
 		go func() {
 			defer close(workerDone)
 			// Run only returns on ctx cancellation; transient

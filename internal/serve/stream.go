@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"sync"
 )
@@ -28,6 +29,15 @@ func newNDJSONStream(w http.ResponseWriter) *ndjsonStream {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	return &ndjsonStream{enc: json.NewEncoder(w), flusher: flusher}
+}
+
+// newNDJSONPipe returns a stream over a plain io.Writer — the worker's
+// results pipe — with no header commit and no flusher. Same
+// first-error discipline: once a write fails, every later emit
+// short-circuits without serializing, so a batch whose results post
+// died stops burning CPU on lines nobody will read.
+func newNDJSONPipe(w io.Writer) *ndjsonStream {
+	return &ndjsonStream{enc: json.NewEncoder(w)}
 }
 
 // emit writes one event line and flushes it to the client, reporting

@@ -56,6 +56,48 @@ func TestSweepStopsWritingToDeadClient(t *testing.T) {
 	}
 }
 
+// erroringWriter is a plain io.Writer (the worker's results pipe, not
+// a ResponseWriter) that breaks after a fixed number of writes.
+type erroringWriter struct {
+	ok     int // writes that succeed before the pipe breaks
+	writes int // total Write calls observed
+}
+
+func (w *erroringWriter) Write(b []byte) (int, error) {
+	w.writes++
+	if w.writes > w.ok {
+		return 0, errors.New("write tcp: broken pipe")
+	}
+	return len(b), nil
+}
+
+// TestNDJSONPipeStopsAfterFirstError (regression): the worker's batch
+// results used to go through a bare json.Encoder that ignored every
+// Encode error, serializing the whole batch into a pipe whose post had
+// already died. newNDJSONPipe must stop touching the writer after the
+// first failure.
+func TestNDJSONPipeStopsAfterFirstError(t *testing.T) {
+	w := &erroringWriter{ok: 2}
+	st := newNDJSONPipe(w)
+	emitted := 0
+	for i := 0; i < 10; i++ {
+		if st.emit(i) {
+			emitted++
+		}
+	}
+	if emitted != 2 {
+		t.Errorf("emit reported %d successes, want 2", emitted)
+	}
+	// Two good writes plus the one that discovered the break; the
+	// remaining seven emits must never reach the writer.
+	if w.writes != 3 {
+		t.Errorf("writer saw %d writes, want 3", w.writes)
+	}
+	if st.alive() {
+		t.Error("stream still alive after a failed write")
+	}
+}
+
 // TestSweepDisconnectDetachesJob: a client that disconnects mid-sweep
 // no longer cancels the batch — the job runs detached to completion,
 // and a reattach via GET /v1/jobs/{id} streams every result exactly

@@ -216,6 +216,7 @@ func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error
 	defer cancelBatch()
 	batchDone := make(chan struct{})
 	defer close(batchDone)
+	//sgxlint:detached drain watcher exits on the deferred close(batchDone) above; channel-joined, not WaitGroup-joined
 	go func() {
 		select {
 		case <-batchDone:
@@ -237,6 +238,7 @@ func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error
 	// draining worker stays registered until its final post lands.
 	hbCtx, stopHeartbeat := context.WithCancel(batchCtx)
 	defer stopHeartbeat()
+	//sgxlint:detached heartbeat loop returns when the deferred stopHeartbeat cancels hbCtx; nothing to wait on
 	go w.heartbeatLoop(hbCtx)
 
 	pr, pw := io.Pipe()
@@ -248,6 +250,7 @@ func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error
 	req.Header.Set("Content-Type", "application/x-ndjson")
 
 	postErr := make(chan error, 1)
+	//sgxlint:detached post goroutine delivers exactly one value on the buffered postErr channel, received before executeBatch returns
 	go func() {
 		resp, err := w.client.Do(req)
 		if err != nil {
@@ -265,8 +268,12 @@ func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error
 		postErr <- nil
 	}()
 
-	var mu sync.Mutex // serializes result lines onto the pipe
-	enc := json.NewEncoder(pw)
+	// The stream serializes result lines onto the pipe and remembers
+	// the first write error: once the post dies, later results skip
+	// serialization entirely instead of encoding into a broken pipe
+	// line after line. The post goroutine above reports the transport
+	// error and the coordinator reroutes whatever never arrived.
+	stream := newNDJSONPipe(pw)
 	sem := make(chan struct{}, w.jobs)
 	var wg sync.WaitGroup
 	for _, t := range batch {
@@ -279,11 +286,7 @@ func (w *Worker) executeBatch(ctx context.Context, batch []taskAssignment) error
 			if line.Failed != "" {
 				log.Printf("sgxgauged: worker %s: spec %s: %s (reporting failure; coordinator charges its retry budget)", w.id, t.Key, line.Failed)
 			}
-			mu.Lock()
-			// An encode failure means the post died; the goroutine
-			// above reports it and the coordinator reroutes.
-			enc.Encode(line)
-			mu.Unlock()
+			stream.emit(line)
 		}(t)
 	}
 	wg.Wait()

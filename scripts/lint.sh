@@ -4,10 +4,13 @@
 #	go build ./... && go test ./... && go run ./cmd/sgxlint ./...
 #
 # sgxlint is the in-tree invariant suite (see DESIGN.md §8): it
-# type-checks every package with the standard library only and
-# enforces determinism, error propagation, lock discipline, and
-# saturating cycle arithmetic. It exits non-zero on any unsuppressed
-# finding, so this script does too.
+# type-checks every package with the standard library only, builds a
+# module-wide call graph, and enforces determinism, error propagation,
+# lock discipline (including interprocedural caller-holds paths),
+# saturating cycle arithmetic, context-aware blocking, goroutine
+# joining, atomic-field consistency, and streaming-loop error
+# handling. It exits non-zero on any unsuppressed finding, so this
+# script does too.
 #
 # Usage: scripts/lint.sh [--fast]
 #   --fast  skip the test run (build + lint only)
