@@ -42,6 +42,8 @@ func main() {
 		cmdList()
 	case "run":
 		cmdRun(os.Args[2:])
+	case "scenario":
+		cmdScenario(os.Args[2:])
 	case "ops":
 		cmdOps(os.Args[2:])
 	case "trace":
@@ -69,6 +71,8 @@ func usage() {
   sgxgauge list
   sgxgauge run   -workload <name> [-mode Vanilla|Native|LibOS] [-size Low|Medium|High]
                  [-epc pages] [-seed n] [-switchless] [-pf] [-counters]
+  sgxgauge scenario <name> [-n enclaves] [-size Low|Medium|High] [-ops n] [-quantum cycles]
+                 [-epc pages] [-seed n] [-slowpath] [-counters]
   sgxgauge ops   [-epc pages]
   sgxgauge trace -workload <name> [-mode ...] [-size ...] [-epc pages] [-csv]
   sgxgauge sweep [-epc list] [-workloads list] [-mode ...] [-size ...] [-j workers] [-progress]
@@ -93,16 +97,28 @@ func progressPrinter() func(harness.Progress) {
 }
 
 func cmdList() {
-	fmt.Printf("%-12s %-22s %s\n", "Workload", "Property", "Modes")
-	for _, w := range suite.All() {
+	// Both tables derive from the shared registry, so an entry
+	// registered anywhere (suite workloads, scenarios) lists here
+	// without this command knowing about it.
+	fmt.Printf("%-18s %-38s %s\n", "Workload", "Property", "Modes")
+	for _, d := range workloads.Descriptors() {
+		if d.Scenario {
+			continue
+		}
+		w := d.New()
 		modes := "Vanilla, LibOS"
 		if w.NativePort() {
 			modes = "Vanilla, Native, LibOS"
 		}
-		fmt.Printf("%-12s %-22s %s\n", w.Name(), w.Property(), modes)
+		fmt.Printf("%-18s %-38s %s\n", d.Name, d.Property, modes)
 	}
-	fmt.Printf("%-12s %-22s %s\n", "Empty", suite.Empty().Property(), "Vanilla, Native, LibOS")
-	fmt.Printf("%-12s %-22s %s\n", "Iozone", suite.Iozone().Property(), "Vanilla, LibOS")
+	if names := workloads.ScenarioNames(); len(names) > 0 {
+		fmt.Printf("\n%-18s %s\n", "Scenario", "Property")
+		for _, name := range names {
+			d, _ := workloads.Lookup(name)
+			fmt.Printf("%-18s %s\n", d.Name, d.Property)
+		}
+	}
 }
 
 func parseMode(s string) (sgx.Mode, error) { return sgx.ParseMode(s) }

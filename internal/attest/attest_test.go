@@ -1,0 +1,193 @@
+package attest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sgxgauge/internal/libos"
+	"sgxgauge/internal/mee"
+	"sgxgauge/internal/sgx"
+)
+
+func testManifest() libos.Manifest {
+	return libos.Manifest{
+		Binary:           "Lighttpd",
+		Libs:             []string{"libc", "libssl"},
+		Files:            []string{"conf", "htdocs/index"},
+		EnclaveSizePages: 2048,
+		Threads:          16,
+		InternalMemPages: 512,
+	}
+}
+
+func testEnv(t *testing.T) (*sgx.Machine, *sgx.Env) {
+	t.Helper()
+	m := sgx.NewMachine(sgx.Config{EPCPages: 128, Seed: 9})
+	env := m.NewEnv(sgx.Native)
+	if _, err := env.LaunchEnclave(2, 32); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	return m, env
+}
+
+func TestMeasurementStableAndSensitive(t *testing.T) {
+	cfg := sgx.Config{EPCPages: 512}
+	base := MeasureManifest(testManifest(), cfg)
+	if again := MeasureManifest(testManifest(), cfg); again != base {
+		t.Fatalf("measurement not stable: %s vs %s", base, again)
+	}
+
+	mutations := map[string]func(*libos.Manifest, *sgx.Config){
+		"binary":          func(m *libos.Manifest, _ *sgx.Config) { m.Binary = "Lighttpd2" },
+		"added-file":      func(m *libos.Manifest, _ *sgx.Config) { m.Files = append(m.Files, "evil") },
+		"reordered-files": func(m *libos.Manifest, _ *sgx.Config) { m.Files = []string{"htdocs/index", "conf"} },
+		"enclave-size":    func(m *libos.Manifest, _ *sgx.Config) { m.EnclaveSizePages++ },
+		"threads":         func(m *libos.Manifest, _ *sgx.Config) { m.Threads++ },
+		"protected-files": func(m *libos.Manifest, _ *sgx.Config) { m.ProtectedFiles = true },
+		"epc-pages":       func(_ *libos.Manifest, c *sgx.Config) { c.EPCPages = 256 },
+		"integrity-tree":  func(_ *libos.Manifest, c *sgx.Config) { c.IntegrityTree = true },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			man, mcfg := testManifest(), cfg
+			mutate(&man, &mcfg)
+			if MeasureManifest(man, mcfg) == base {
+				t.Fatalf("mutation %s did not change the measurement", name)
+			}
+		})
+	}
+
+	// Field framing: moving bytes across a field boundary must not
+	// alias ("ab","c" vs "a","bc").
+	a, b := testManifest(), testManifest()
+	a.Files = []string{"ab", "c"}
+	b.Files = []string{"a", "bc"}
+	if MeasureManifest(a, cfg) == MeasureManifest(b, cfg) {
+		t.Fatal("field framing aliases across list boundaries")
+	}
+}
+
+func TestQuoteRoundTripAndTamperRejection(t *testing.T) {
+	m, env := testEnv(t)
+	p := NewPlatform(m.Config().Seed)
+	tr := env.Main
+
+	meas := MeasureManifest(testManifest(), m.Config())
+	var rd [32]byte
+	rd[0] = 0xaa
+	before := tr.Clock.Cycles()
+	q := p.Quote(tr, meas, rd)
+	if tr.Clock.Cycles() == before {
+		t.Fatal("quote generation charged no cycles")
+	}
+	if err := p.VerifyExpected(tr, q, meas); err != nil {
+		t.Fatalf("genuine quote rejected: %v", err)
+	}
+
+	// A quote over a tampered manifest carries a valid signature but
+	// the wrong measurement: the policy check must reject it.
+	tampered := testManifest()
+	tampered.Files = append(tampered.Files, "backdoor")
+	qt := p.Quote(tr, MeasureManifest(tampered, m.Config()), rd)
+	if err := p.VerifyExpected(tr, qt, meas); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatalf("tampered-manifest quote: got %v, want ErrMeasurementMismatch", err)
+	}
+
+	// A bit-flipped signature must fail the signature check.
+	qf := q
+	qf.Signature[3] ^= 0x40
+	if err := p.Verify(tr, qf); !errors.Is(err, ErrQuoteSignature) {
+		t.Fatalf("forged signature: got %v, want ErrQuoteSignature", err)
+	}
+
+	// A different platform (different machine seed) cannot verify
+	// this platform's quotes.
+	other := NewPlatform(m.Config().Seed + 1)
+	if err := other.Verify(tr, q); !errors.Is(err, ErrQuoteSignature) {
+		t.Fatalf("cross-platform quote: got %v, want ErrQuoteSignature", err)
+	}
+}
+
+func TestEnclaveMeasurementQuote(t *testing.T) {
+	m, env := testEnv(t)
+	p := NewPlatform(m.Config().Seed)
+	tr := env.Main
+	meas := MeasureEnclave(env.Enclave)
+	if meas == (Measurement{}) {
+		t.Fatal("built enclave has zero measurement")
+	}
+	q := p.Quote(tr, meas, [32]byte{})
+	if err := p.VerifyExpected(tr, q, meas); err != nil {
+		t.Fatalf("enclave-measurement quote rejected: %v", err)
+	}
+}
+
+func TestSealedExchangeRoundTripAndTamper(t *testing.T) {
+	m, env := testEnv(t)
+	p := NewPlatform(m.Config().Seed)
+	tr := env.Main
+	const clientID, serverID = 7, 11
+
+	secret := SessionSecret(42, clientID, serverID)
+	sealed := p.SealTo(tr, serverID, 1, secret)
+	got, err := p.UnsealAt(tr, serverID, 1, sealed)
+	if err != nil {
+		t.Fatalf("unseal: %v", err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("sealed exchange did not round-trip the secret")
+	}
+
+	// The chaos injector's MemTamper vectors against sealed pages are
+	// bit flips, MAC corruption and truncation; the sealed secret
+	// must reject each shape.
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"bit-flip":  func(b []byte) []byte { b[len(b)/2] ^= 1; return b },
+		"mac-zero":  func(b []byte) []byte { copy(b[len(b)-32:], make([]byte, 32)); return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-1] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			blob := corrupt(append([]byte(nil), sealed...))
+			if _, err := p.UnsealAt(tr, serverID, 1, blob); !errors.Is(err, mee.ErrMACMismatch) {
+				t.Fatalf("%s sealed blob: got %v, want ErrMACMismatch", name, err)
+			}
+		})
+	}
+
+	// Wrong target enclave or wrong context must not unseal.
+	if _, err := p.UnsealAt(tr, clientID, 1, sealed); err == nil {
+		t.Fatal("unseal under the wrong enclave identity succeeded")
+	}
+	if _, err := p.UnsealAt(tr, serverID, 2, sealed); err == nil {
+		t.Fatal("unseal under the wrong context succeeded")
+	}
+}
+
+func TestSessionEncryptDecrypt(t *testing.T) {
+	m, env := testEnv(t)
+	p := NewPlatform(m.Config().Seed)
+	tr := env.Main
+	secret := SessionSecret(1, 3, 4)
+	client := NewSession(p, 3, 4, secret)
+	server := NewSession(p, 3, 4, secret)
+
+	msg := []byte("GET /blocks/42")
+	ct := client.Encrypt(tr, 0, msg)
+	if bytes.Contains(ct, msg) {
+		t.Fatal("ciphertext leaks plaintext")
+	}
+	pt, err := server.Decrypt(tr, 0, ct)
+	if err != nil || !bytes.Equal(pt, msg) {
+		t.Fatalf("decrypt: %v (%q)", err, pt)
+	}
+	// Replay under a different counter must fail.
+	if _, err := server.Decrypt(tr, 1, ct); err == nil {
+		t.Fatal("replayed message accepted under a new counter")
+	}
+	// A session derived from a different secret cannot read it.
+	outsider := NewSession(p, 3, 4, []byte("wrong"))
+	if _, err := outsider.Decrypt(tr, 0, ct); err == nil {
+		t.Fatal("foreign session decrypted the message")
+	}
+}

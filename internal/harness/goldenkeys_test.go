@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxgauge/internal/chaos"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/suite"
+)
+
+// goldenKeyEntry pins one legacy spec's canonical encoding and key.
+// The golden file was generated before the scenario wire envelope
+// existed, so this test is the proof that extending SpecWire never
+// moves a pre-existing spec's cache/store/cluster identity: every
+// result persisted by an older daemon must stay addressable.
+type goldenKeyEntry struct {
+	// Label names the entry in failures.
+	Label string `json:"label"`
+	// Spec is the spec's canonical JSON encoding at generation time.
+	Spec json.RawMessage `json:"spec"`
+	// Key is hex(SHA-256(Spec)) — what SpecKey returned then.
+	Key string `json:"key"`
+}
+
+const goldenKeysPath = "testdata/golden_keys.json"
+
+// compactJSON strips the indentation MarshalIndent applies to the
+// embedded raw spec documents, so encodings compare structurally while
+// the hex key still pins the exact canonical bytes.
+func compactJSON(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compacting %s: %v", raw, err)
+	}
+	return buf.String()
+}
+
+// goldenKeySpecs returns the legacy spec corpus the golden file pins:
+// one spec per wire feature that existed before the scenario envelope
+// (modes, sizes, knobs, machine config, chaos config, aux workloads).
+func goldenKeySpecs(t *testing.T) []struct {
+	Label string
+	Spec  Spec
+} {
+	t.Helper()
+	byName := func(name string) workloads.Workload {
+		w, err := suite.ByName(name)
+		if err != nil {
+			t.Fatalf("golden workload %s: %v", name, err)
+		}
+		return w
+	}
+	return []struct {
+		Label string
+		Spec  Spec
+	}{
+		{"btree-native-medium", Spec{Workload: byName("BTree"), Mode: sgx.Native, Size: workloads.Medium}},
+		{"blockchain-vanilla-low-seeded", Spec{Workload: byName("Blockchain"), Mode: sgx.Vanilla, Size: workloads.Low, Seed: 7, EPCPages: 256}},
+		{"lighttpd-libos-high-pf-switchless", Spec{Workload: byName("Lighttpd"), Mode: sgx.LibOS, Size: workloads.High, ProtectedFiles: true, Switchless: true}},
+		{"memcached-params-knobs", Spec{
+			Workload: byName("Memcached"), Mode: sgx.LibOS, Size: workloads.Low,
+			Params: &workloads.Params{
+				Size:    workloads.Medium,
+				Threads: 4,
+				Knobs:   map[string]int64{"ops": 512, "records": 1024},
+			},
+		}},
+		{"hashjoin-machine-config", Spec{
+			Workload: byName("HashJoin"), Mode: sgx.Native, Size: workloads.Medium,
+			Machine: &sgx.Config{EPCPages: 384, TLBEntries: 128, TLBWays: 4, IntegrityTree: true},
+		}},
+		{"bfs-chaos", Spec{
+			Workload: byName("BFS"), Mode: sgx.Native, Size: workloads.Low, Seed: 11,
+			Chaos: &chaos.Config{Seed: 17, Rate: 0.01, AEXStorm: true, MemTamper: true},
+		}},
+		{"empty-native-timeline", Spec{Workload: suite.Empty(), Mode: sgx.Native, Size: workloads.Low, Timeline: 64}},
+		{"iozone-libos", Spec{Workload: suite.Iozone(), Mode: sgx.LibOS, Size: workloads.Medium}},
+	}
+}
+
+// TestGoldenSpecKeysUnchanged locks every legacy spec's canonical
+// encoding and SHA-256 key to the committed golden file. Regenerate
+// deliberately (only when an intentional, migration-managed schema
+// break is shipped) with:
+//
+//	SGXGAUGE_UPDATE_GOLDEN=1 go test ./internal/harness -run TestGoldenSpecKeys
+func TestGoldenSpecKeysUnchanged(t *testing.T) {
+	specs := goldenKeySpecs(t)
+	current := make([]goldenKeyEntry, 0, len(specs))
+	for _, s := range specs {
+		enc, err := json.Marshal(s.Spec)
+		if err != nil {
+			t.Fatalf("%s: encoding: %v", s.Label, err)
+		}
+		key, err := SpecKey(s.Spec)
+		if err != nil {
+			t.Fatalf("%s: key: %v", s.Label, err)
+		}
+		current = append(current, goldenKeyEntry{Label: s.Label, Spec: enc, Key: key.String()})
+	}
+
+	if os.Getenv("SGXGAUGE_UPDATE_GOLDEN") != "" {
+		out, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenKeysPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenKeysPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s with %d entries", goldenKeysPath, len(current))
+		return
+	}
+
+	data, err := os.ReadFile(goldenKeysPath)
+	if err != nil {
+		t.Fatalf("reading golden keys (regenerate with SGXGAUGE_UPDATE_GOLDEN=1): %v", err)
+	}
+	var golden []goldenKeyEntry
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("parsing %s: %v", goldenKeysPath, err)
+	}
+	if len(golden) != len(current) {
+		t.Fatalf("golden file has %d entries, corpus has %d", len(golden), len(current))
+	}
+	for i, want := range golden {
+		got := current[i]
+		if got.Label != want.Label {
+			t.Fatalf("entry %d: label %q, golden %q", i, got.Label, want.Label)
+		}
+		if compactJSON(t, got.Spec) != compactJSON(t, want.Spec) {
+			t.Errorf("%s: canonical encoding changed:\n got %s\nwant %s", want.Label, got.Spec, want.Spec)
+		}
+		if got.Key != want.Key {
+			t.Errorf("%s: SpecKey changed: got %s, want %s", want.Label, got.Key, want.Key)
+		}
+	}
+}

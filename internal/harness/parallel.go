@@ -257,9 +257,9 @@ func runSafe(spec Spec) (res *Result, err error) {
 // failedResult echoes what identification the spec offers alongside
 // the error.
 func failedResult(spec Spec, err error) Result {
-	name := "<nil>"
-	if spec.Workload != nil {
-		name = spec.Workload.Name()
+	name := spec.WorkloadName()
+	if name == "" {
+		name = "<nil>"
 	}
 	return Result{Name: name, Mode: spec.Mode, Err: err}
 }

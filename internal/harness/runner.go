@@ -24,6 +24,7 @@ import (
 	"sgxgauge/internal/perf"
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/scenario"
 )
 
 // Spec describes one measured run.
@@ -58,12 +59,31 @@ type Spec struct {
 	// the chaos seed and settings, so a chaotic run is as reproducible
 	// as a clean one.
 	Chaos *chaos.Config
+	// Scenario, when non-nil, makes this a multi-enclave scenario
+	// spec: Workload must be nil, Mode must be Native, and the run
+	// interleaves the scenario's enclaves on one machine (see
+	// runScenario). Scenario specs travel, cache and cluster exactly
+	// like workload specs — the canonical encoding simply carries the
+	// scenario envelope instead of a workload name.
+	Scenario *scenario.Spec
 	// Hooks carries the spec's non-serializable callbacks. Everything
 	// else on a Spec round-trips through JSON (see MarshalJSON);
 	// hooks deliberately do not, and a spec carrying one bypasses the
 	// runner's result cache because a function value has no canonical
 	// encoding to key on.
 	Hooks Hooks
+}
+
+// WorkloadName returns the spec's registry name: the workload's, or
+// the scenario's for multi-enclave specs. Empty for a zero spec.
+func (s Spec) WorkloadName() string {
+	if s.Scenario != nil {
+		return s.Scenario.Name
+	}
+	if s.Workload != nil {
+		return s.Workload.Name()
+	}
+	return ""
 }
 
 // Hooks is the non-serializable side of a Spec: callbacks that observe
@@ -142,6 +162,9 @@ func (r *Result) fail(env *sgx.Env, m *sgx.Machine, err error) {
 // retries nothing, and reports the spec's own failure through the
 // error return (runWithRetry moves it into Result.Err).
 func runOne(spec Spec) (*Result, error) {
+	if spec.Scenario != nil {
+		return runScenario(spec)
+	}
 	if spec.Workload == nil {
 		return nil, fmt.Errorf("harness: spec has no workload")
 	}

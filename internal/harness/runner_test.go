@@ -169,3 +169,53 @@ func TestSwitchlessReducesLatency(t *testing.T) {
 		t.Error("switchless mode did not reduce dTLB misses")
 	}
 }
+
+// TestCacheKeysOnCanonicalEncodingNotPointer is the regression test
+// for the pointer-identity audit: two specs carrying DISTINCT but
+// structurally equal *Params (and *Config) pointers must resolve to
+// the same canonical key and share one cache entry. Nothing in the
+// cache path may ever compare the pointers themselves.
+func TestCacheKeysOnCanonicalEncodingNotPointer(t *testing.T) {
+	w, err := suite.ByName("BTree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSpec := func() Spec {
+		return Spec{
+			Workload: w, Mode: sgx.Native, Size: workloads.Low, EPCPages: testEPC,
+			Params:  &workloads.Params{Size: workloads.Low, Knobs: map[string]int64{"elements": 2000, "finds": 200}},
+			Machine: &sgx.Config{TLBEntries: 64, TLBWays: 4},
+		}
+	}
+	a, b := mkSpec(), mkSpec()
+	if a.Params == b.Params || a.Machine == b.Machine {
+		t.Fatal("test needs distinct pointers")
+	}
+	ka, err := SpecKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := SpecKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("equal specs with distinct pointers keyed differently: %s vs %s", ka, kb)
+	}
+
+	r := NewRunner(testEPC)
+	resA, err := r.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := r.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA != resB {
+		t.Fatal("second spec re-ran instead of hitting the first's cache entry")
+	}
+	if n := r.Cache.Len(); n != 1 {
+		t.Fatalf("cache holds %d entries, want 1", n)
+	}
+}

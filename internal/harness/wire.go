@@ -6,11 +6,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"strings"
 
 	"sgxgauge/internal/chaos"
 	"sgxgauge/internal/sgx"
 	"sgxgauge/internal/workloads"
+	"sgxgauge/internal/workloads/scenario"
 	"sgxgauge/internal/workloads/suite"
 )
 
@@ -26,7 +26,7 @@ import (
 // their paper names ("Native", "Medium"), so equal specs always
 // produce equal bytes.
 type SpecWire struct {
-	Workload       string            `json:"workload"`
+	Workload       string            `json:"workload,omitempty"`
 	Mode           sgx.Mode          `json:"mode"`
 	Size           workloads.Size    `json:"size"`
 	EPCPages       int               `json:"epc_pages,omitempty"`
@@ -37,16 +37,30 @@ type SpecWire struct {
 	Params         *workloads.Params `json:"params,omitempty"`
 	Machine        *sgx.Config       `json:"machine,omitempty"`
 	Chaos          *chaos.Config     `json:"chaos,omitempty"`
+	// Scenario is the versioned multi-enclave envelope; exactly one of
+	// Workload and Scenario is set. Appended after every pre-existing
+	// field with omitempty, so legacy single-workload specs encode —
+	// and key — byte-identically to before the field existed (the
+	// golden-key test pins this).
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 }
 
 // Wire extracts the spec's serializable side. It fails when the spec
-// has no workload (nothing to name on the wire).
+// names nothing to run (neither workload nor scenario) or is
+// ambiguous (both).
 func (s Spec) Wire() (SpecWire, error) {
-	if s.Workload == nil {
-		return SpecWire{}, fmt.Errorf("harness: spec has no workload to encode")
+	if s.Workload == nil && s.Scenario == nil {
+		return SpecWire{}, fmt.Errorf("harness: spec has no workload or scenario to encode")
+	}
+	if s.Workload != nil && s.Scenario != nil {
+		return SpecWire{}, fmt.Errorf("harness: spec has both a workload (%s) and a scenario (%s)", s.Workload.Name(), s.Scenario.Name)
+	}
+	var name string
+	if s.Workload != nil {
+		name = s.Workload.Name()
 	}
 	return SpecWire{
-		Workload:       s.Workload.Name(),
+		Workload:       name,
 		Mode:           s.Mode,
 		Size:           s.Size,
 		EPCPages:       s.EPCPages,
@@ -57,16 +71,45 @@ func (s Spec) Wire() (SpecWire, error) {
 		Params:         s.Params,
 		Machine:        s.Machine,
 		Chaos:          s.Chaos,
+		Scenario:       s.Scenario,
 	}, nil
 }
 
 // Spec resolves the wire form back into a runnable Spec. The workload
-// name is resolved against the suite (including the auxiliary Empty
-// and Iozone workloads); an unknown name yields an error listing the
-// valid ones. Hooks are always zero — they do not travel.
+// name is resolved against the shared registry (including the
+// auxiliary Empty and Iozone workloads); scenario envelopes are
+// validated strictly (schema version, registered scenario name, cast
+// shape). Unknown names yield errors listing the valid ones. Hooks
+// are always zero — they do not travel.
 func (w SpecWire) Spec() (Spec, error) {
+	if w.Scenario != nil {
+		if w.Workload != "" {
+			return Spec{}, fmt.Errorf("harness: wire spec has both a workload (%q) and a scenario (%q)", w.Workload, w.Scenario.Name)
+		}
+		if w.Mode != sgx.Native {
+			return Spec{}, fmt.Errorf("harness: scenario specs run in Native mode, got %v", w.Mode)
+		}
+		if w.Params != nil || w.ProtectedFiles {
+			return Spec{}, fmt.Errorf("harness: params and protected_files do not apply to scenario specs (per-enclave settings live in the scenario envelope)")
+		}
+		if err := w.Scenario.Validate(); err != nil {
+			return Spec{}, fmt.Errorf("harness: %w", err)
+		}
+		return Spec{
+			Scenario:   w.Scenario,
+			Mode:       w.Mode,
+			Size:       w.Size,
+			EPCPages:   w.EPCPages,
+			Seed:       w.Seed,
+			Switchless: w.Switchless,
+			Timeline:   w.Timeline,
+			Machine:    w.Machine,
+			Chaos:      w.Chaos,
+		}, nil
+	}
 	if w.Workload == "" {
-		return Spec{}, fmt.Errorf("harness: wire spec has no workload (valid: %s)", validWorkloads())
+		return Spec{}, fmt.Errorf("harness: wire spec has no workload or scenario (valid workloads: %s; valid scenarios: %s)",
+			validWorkloads(), workloads.ValidScenarioList())
 	}
 	wl, err := suite.ByName(w.Workload)
 	if err != nil {
@@ -88,11 +131,9 @@ func (w SpecWire) Spec() (Spec, error) {
 }
 
 // validWorkloads lists every resolvable workload name, for validation
-// errors.
-func validWorkloads() string {
-	names := append(suite.Names(), suite.Empty().Name(), suite.Iozone().Name())
-	return strings.Join(names, ", ")
-}
+// errors. Derived from the shared registry, so the list can never
+// drift from what ByName actually resolves.
+func validWorkloads() string { return workloads.ValidWorkloadList() }
 
 // MarshalJSON encodes the spec's canonical wire form. Hooks are
 // dropped (they have no encoding); everything else round-trips.

@@ -15,6 +15,7 @@ import (
 // sgxlint:ignore instead of a blanket package exemption.
 var deterministicPkgs = []string{
 	"internal/sgx",
+	"internal/attest",
 	"internal/epc",
 	"internal/mee",
 	"internal/tlb",

@@ -430,9 +430,7 @@ func (c *cluster) poisonLocked(t *clusterTask) {
 // sweep carries it alongside healthy rows and nothing caches it.
 func poisonResult(spec harness.Spec, msg string) *harness.Result {
 	res := &harness.Result{Mode: spec.Mode, Err: errors.New(msg)}
-	if spec.Workload != nil {
-		res.Name = spec.Workload.Name()
-	}
+	res.Name = spec.WorkloadName()
 	return res
 }
 
@@ -544,13 +542,14 @@ func (c *cluster) complete(workerID string, key harness.Key, res *harness.Result
 }
 
 // resultMatchesSpec checks that a posted result plausibly came from
-// executing spec: the workload name and mode it identifies as must be
-// the spec's own. The spec key itself cannot be recomputed from a
-// result, so this is a consistency check, not a proof — it catches
-// mislabeled keys from buggy workers and casually forged posts.
+// executing spec: the registry name (workload or scenario) and mode
+// it identifies as must be the spec's own. The spec key itself cannot
+// be recomputed from a result, so this is a consistency check, not a
+// proof — it catches mislabeled keys from buggy workers and casually
+// forged posts.
 func resultMatchesSpec(res *harness.Result, spec harness.Spec) bool {
-	return res != nil && spec.Workload != nil &&
-		res.Name == spec.Workload.Name() && res.Mode == spec.Mode
+	name := spec.WorkloadName()
+	return res != nil && name != "" && res.Name == name && res.Mode == spec.Mode
 }
 
 // heartbeat refreshes a worker's lastSeen without pulling work,

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sgxgauge/internal/workloads/scenario"
+)
+
+func postScenario(t *testing.T, ts *httptest.Server, body string) (*http.Response, runResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr runResponse
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &rr); err != nil {
+			t.Fatalf("decoding %q: %v", data, err)
+		}
+	}
+	return resp, rr
+}
+
+// TestScenarioList: GET /v1/scenarios enumerates every registered
+// scenario with its default cast.
+func TestScenarioList(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []scenarioInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(scenario.Names()) {
+		t.Fatalf("listed %d scenarios, registry has %d", len(infos), len(scenario.Names()))
+	}
+	for _, info := range infos {
+		if info.Version != scenario.SchemaVersion || len(info.Defaults) == 0 || info.Property == "" {
+			t.Fatalf("malformed listing entry: %+v", info)
+		}
+	}
+}
+
+// TestScenarioRunEndpoint: POST /v1/scenarios runs a scenario through
+// the same cache/job path as /v1/run — the repeat POST is a cache hit
+// with the identical key, and the key is addressable via /v1/results.
+func TestScenarioRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"name":"attested-session","seed":3}`
+	resp, first := postScenario(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/scenarios: %d", resp.StatusCode)
+	}
+	if first.Cached || first.Result == nil || first.Result.Name != "attested-session" {
+		t.Fatalf("first run: %+v", first)
+	}
+	if first.Result.Error != "" {
+		t.Fatalf("scenario failed: %s", first.Result.Error)
+	}
+
+	resp, again := postScenario(t, ts, body)
+	if resp.StatusCode != http.StatusOK || !again.Cached || again.Key != first.Key {
+		t.Fatalf("repeat run not served from cache: %d %+v", resp.StatusCode, again)
+	}
+
+	rr, err := http.Get(ts.URL + "/v1/results/" + first.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/results/%s: %d", first.Key, rr.StatusCode)
+	}
+}
+
+// TestScenarioRunViaGenericEndpoint: a full SpecWire document with a
+// scenario envelope runs through plain POST /v1/run and resolves to
+// the same key as the dedicated endpoint — one canonical encoding,
+// two doors.
+func TestScenarioRunViaGenericEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, dedicated := postScenario(t, ts, `{"name":"consensus","n":2,"seed":5}`)
+	resp, generic := postRun(t, ts,
+		`{"mode":"Native","size":"Low","seed":5,"scenario":{"version":1,"name":"consensus","enclaves":[`+
+			`{"role":"node","size":"Medium"},{"role":"node","size":"Medium"}]}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/run with scenario envelope: %d", resp.StatusCode)
+	}
+	if generic.Key != dedicated.Key {
+		t.Fatalf("generic and dedicated endpoints keyed differently: %s vs %s", generic.Key, dedicated.Key)
+	}
+	if !generic.Cached {
+		t.Fatal("generic endpoint missed the cache entry the dedicated run filled")
+	}
+}
+
+// TestScenarioRunRejectsBadRequests: validation failures are 400s
+// whose bodies name what would have been valid.
+func TestScenarioRunRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := map[string]struct {
+		body string
+		want string
+	}{
+		"unknown-name": {`{"name":"nope"}`, "valid: "},
+		"cast-and-n":   {`{"name":"consensus","n":3,"enclaves":[{"role":"node"}]}`, "both"},
+		"bad-cast":     {`{"name":"attested-session","enclaves":[{"role":"client"}]}`, "exactly 2"},
+		"missing-name": {`{}`, "valid: "},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, body %s", resp.StatusCode, data)
+			}
+			if !strings.Contains(string(data), tc.want) {
+				t.Fatalf("400 body %q does not mention %q", data, tc.want)
+			}
+		})
+	}
+}

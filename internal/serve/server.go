@@ -209,6 +209,8 @@ func (s *Server) localRun(spec harness.Spec) (*harness.Result, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	mux.HandleFunc("GET /v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarioList))
+	mux.HandleFunc("POST /v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarioRun))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("GET /v1/figures/{fig}", s.instrument("/v1/figures", s.handleFigure))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
@@ -372,6 +374,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, maxRunBody, &spec) {
 		return
 	}
+	s.serveRunSpec(w, r, spec)
+}
+
+// serveRunSpec is the shared tail of /v1/run and /v1/scenarios: cache
+// probe by canonical key, then a journaled detached job on a miss.
+// Workload and scenario specs take exactly the same path — the only
+// difference is which envelope their canonical encoding carries.
+func (s *Server) serveRunSpec(w http.ResponseWriter, r *http.Request, spec harness.Spec) {
 	key, err := s.runner.Key(spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", errBadSpec, err))

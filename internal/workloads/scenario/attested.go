@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sgxgauge/internal/attest"
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+// attested-session: a client and a server enclave on one machine
+// perform a mutual quote handshake, exchange a sealed session key,
+// and stream encrypted requests through ECALL/OCALL transitions —
+// the full attested-service round trip, with both enclaves' EPC
+// working sets co-resident.
+
+func init() {
+	Register(Descriptor{
+		Name:     "attested-session",
+		Property: "Attested client/server request stream",
+		Defaults: attestedDefaults,
+		Validate: attestedValidate,
+		Build:    buildAttested,
+	})
+}
+
+func attestedDefaults(int) []Enclave {
+	return []Enclave{
+		{Role: "client", Size: workloads.Low},
+		{Role: "server", Size: workloads.Medium},
+	}
+}
+
+func attestedValidate(sp Spec) error {
+	cast := sp.Cast()
+	if len(cast) != 2 {
+		return fmt.Errorf("scenario: attested-session needs exactly 2 enclaves (client, server), got %d", len(cast))
+	}
+	for i, role := range []string{"client", "server"} {
+		if cast[i].Role != "" && cast[i].Role != role {
+			return fmt.Errorf("scenario: attested-session enclave %d must have role %q, got %q", i, role, cast[i].Role)
+		}
+	}
+	return nil
+}
+
+// mailbox is the untrusted shared channel between the two enclaves.
+// Programs are strictly serialized by the scheduler, so plain slices
+// are deterministic.
+type mailbox struct {
+	queue [][]byte
+}
+
+func (b *mailbox) send(msg []byte) { b.queue = append(b.queue, msg) }
+
+// recv polls until a message arrives, charging poll cost and yielding
+// so the peer can make progress.
+func (b *mailbox) recv(p *sgx.Proc) []byte {
+	for len(b.queue) == 0 {
+		p.T().Compute(pollCost)
+		p.Yield()
+	}
+	msg := b.queue[0]
+	b.queue = b.queue[1:]
+	return msg
+}
+
+const attestedDefaultOps = 96
+
+func buildAttested(m *sgx.Machine, sp Spec, seed int64) (*Instance, error) {
+	cast := sp.Cast()
+	epc := m.Config().EPCPages
+
+	cliWS := workingSetPages(epc, cast[0].Size)
+	srvWS := workingSetPages(epc, cast[1].Size)
+	cliEnv, cliBase, err := launchEnclave(m, cliWS)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: launching client enclave: %w", err)
+	}
+	srvEnv, srvBase, err := launchEnclave(m, srvWS)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: launching server enclave: %w", err)
+	}
+
+	ops := cast[0].Ops
+	if ops <= 0 {
+		ops = attestedDefaultOps
+	}
+
+	plat := attest.NewPlatform(m.Config().Seed)
+	cliMeas := attest.MeasureEnclave(cliEnv.Enclave)
+	srvMeas := attest.MeasureEnclave(srvEnv.Enclave)
+	cliID, srvID := cliEnv.Enclave.ID, srvEnv.Enclave.ID
+
+	toServer, toClient := &mailbox{}, &mailbox{}
+	out := &workloads.Output{Extra: map[string]float64{}}
+	var handshakeCycles, latencySum uint64
+	var failure error
+
+	client := func(p *sgx.Proc) {
+		t := p.T()
+		start := t.Clock.Cycles()
+
+		// Handshake: quote, verify the server's quote against its
+		// known measurement, then seal the session secret to the
+		// server's identity.
+		var rd [32]byte
+		binary.LittleEndian.PutUint64(rd[:], uint64(seed))
+		q := plat.Quote(t, cliMeas, rd)
+		toServer.send(append(q.Measurement[:], append(q.ReportData[:], q.Signature[:]...)...))
+		sq := decodeQuote(toClient.recv(p))
+		if err := plat.VerifyExpected(t, sq, srvMeas); err != nil {
+			failure = fmt.Errorf("client rejects server quote: %w", err)
+			return
+		}
+		secret := attest.SessionSecret(seed, cliID, srvID)
+		toServer.send(plat.SealTo(t, srvID, uint64(seed), secret))
+		sess := attest.NewSession(plat, cliID, srvID, secret)
+		handshakeCycles = t.Clock.Cycles() - start
+
+		// Request stream: encrypt inside the enclave, OCALL the
+		// ciphertext out to the untrusted channel, poll for the
+		// encrypted response.
+		var sum uint64
+		for i := 0; i < ops; i++ {
+			reqStart := t.Clock.Cycles()
+			var req [32]byte
+			binary.LittleEndian.PutUint64(req[:], uint64(i))
+			var ct []byte
+			t.ECall(func() {
+				binary.LittleEndian.PutUint64(req[8:], touchPages(p, cliBase, cliWS, 8, uint64(i)))
+				ct = sess.Encrypt(t, uint64(2*i), req[:])
+			})
+			t.OCall(func() { toServer.send(ct) })
+			resp, err := sess.Decrypt(t, uint64(2*i+1), toClient.recv(p))
+			if err != nil {
+				failure = fmt.Errorf("client decrypting response %d: %w", i, err)
+				return
+			}
+			sum ^= binary.LittleEndian.Uint64(resp)
+			latencySum += t.Clock.Cycles() - reqStart
+			p.Yield()
+		}
+		out.Checksum = sum
+		out.Ops = int64(ops)
+	}
+
+	server := func(p *sgx.Proc) {
+		t := p.T()
+		cq := decodeQuote(toServer.recv(p))
+		if err := plat.VerifyExpected(t, cq, cliMeas); err != nil {
+			failure = fmt.Errorf("server rejects client quote: %w", err)
+			return
+		}
+		var rd [32]byte
+		binary.LittleEndian.PutUint64(rd[:], uint64(seed)+1)
+		q := plat.Quote(t, srvMeas, rd)
+		toClient.send(append(q.Measurement[:], append(q.ReportData[:], q.Signature[:]...)...))
+		secret, err := plat.UnsealAt(t, srvID, uint64(seed), toServer.recv(p))
+		if err != nil {
+			failure = fmt.Errorf("server unsealing session secret: %w", err)
+			return
+		}
+		sess := attest.NewSession(plat, cliID, srvID, secret)
+
+		for i := 0; i < ops; i++ {
+			req, err := sess.Decrypt(t, uint64(2*i), toServer.recv(p))
+			if err != nil {
+				failure = fmt.Errorf("server decrypting request %d: %w", i, err)
+				return
+			}
+			// Service the request inside the enclave: sweep the
+			// server's working set (the EPC-pressure half of the
+			// scenario) and answer with a digest.
+			var resp [16]byte
+			t.ECall(func() {
+				digest := touchPages(p, srvBase, srvWS, 1, binary.LittleEndian.Uint64(req))
+				binary.LittleEndian.PutUint64(resp[:], digest^binary.LittleEndian.Uint64(req[8:]))
+			})
+			var ct []byte
+			t.ECall(func() { ct = sess.Encrypt(t, uint64(2*i+1), resp[:]) })
+			t.OCall(func() { toClient.send(ct) })
+			p.Yield()
+		}
+	}
+
+	return &Instance{
+		Envs:     []*sgx.Env{cliEnv, srvEnv},
+		Programs: []sgx.Program{client, server},
+		Quantum:  sp.Quantum,
+		Finish: func() (workloads.Output, error) {
+			if failure != nil {
+				return workloads.Output{}, failure
+			}
+			if out.Ops > 0 {
+				out.MeanLatency = float64(latencySum) / float64(out.Ops)
+			}
+			out.Extra["handshake_cycles"] = float64(handshakeCycles)
+			out.Extra["client_ws_pages"] = float64(cliWS)
+			out.Extra["server_ws_pages"] = float64(srvWS)
+			return *out, nil
+		},
+	}, nil
+}
+
+// decodeQuote reverses the mailbox encoding of a quote.
+func decodeQuote(b []byte) attest.Quote {
+	var q attest.Quote
+	copy(q.Measurement[:], b[:32])
+	copy(q.ReportData[:], b[32:64])
+	copy(q.Signature[:], b[64:96])
+	return q
+}

@@ -1,0 +1,239 @@
+// Package scenario implements attested multi-enclave scenarios: N
+// workloads running as concurrently simulated enclaves on one machine,
+// time-shared by the deterministic sgx.Interleave scheduler and bound
+// together by the internal/attest stack (quote handshakes, sealed key
+// exchange, encrypted request streams).
+//
+// Scenarios register in the shared workloads registry (marked
+// Scenario), so every valid-name list — wire validation, /v1 errors,
+// CLI help — covers them without a second table; their builders live
+// in this package's own table, keyed by the same names.
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"sgxgauge/internal/sgx"
+	"sgxgauge/internal/workloads"
+)
+
+// SchemaVersion is the scenario wire envelope's current schema
+// version. Specs carrying any other version are rejected at decode
+// time, so an old daemon never misinterprets a newer envelope.
+const SchemaVersion = 1
+
+// maxEnclaves bounds a scenario's enclave count; beyond this a run
+// models nothing the paper's contention analysis covers and only
+// burns memory.
+const maxEnclaves = 64
+
+// Spec is the wire-visible body of a scenario run: the versioned
+// envelope embedded in a harness spec's "scenario" field. Field order
+// is the canonical encoding order (see harness.SpecWire).
+type Spec struct {
+	// Version is the envelope schema version; must be SchemaVersion.
+	Version int `json:"version"`
+	// Name is the registered scenario name.
+	Name string `json:"name"`
+	// Enclaves configures each simulated enclave. Empty means the
+	// scenario's default cast.
+	Enclaves []Enclave `json:"enclaves,omitempty"`
+	// Quantum overrides the scheduler's slice length in cycles
+	// (0 = default).
+	Quantum uint64 `json:"quantum,omitempty"`
+}
+
+// Enclave is one co-resident enclave's sub-spec.
+type Enclave struct {
+	// Role is the scenario-defined part this enclave plays ("client",
+	// "server", "node", "foreground", "neighbor"); empty means the
+	// scenario's default for that slot.
+	Role string `json:"role,omitempty"`
+	// Size scales the enclave's working set against the EPC, like the
+	// Table 1 input settings scale single-enclave workloads.
+	Size workloads.Size `json:"size,omitempty"`
+	// Ops overrides the enclave's work-unit count (0 = role default).
+	Ops int `json:"ops,omitempty"`
+}
+
+// Instance is one built scenario, ready to interleave: per-enclave
+// environments on the shared machine, their programs, and the
+// post-run collector.
+type Instance struct {
+	// Envs are the per-enclave environments, one per program.
+	Envs []*sgx.Env
+	// Programs are the enclave bodies, index-aligned with Envs.
+	Programs []sgx.Program
+	// Quantum is the scheduler slice length (0 = default).
+	Quantum uint64
+	// Finish runs after every program returned and produces the
+	// scenario's functional output.
+	Finish func() (workloads.Output, error)
+}
+
+// Descriptor is one registered scenario.
+type Descriptor struct {
+	// Name is the registry name ("attested-session", ...).
+	Name string
+	// Property is the listing characterization.
+	Property string
+	// Defaults returns the default enclave cast for n enclaves
+	// (n <= 0 means the scenario's preferred count).
+	Defaults func(n int) []Enclave
+	// Validate checks the scenario-specific shape of a spec (enclave
+	// count, roles); nil means any cast is accepted.
+	Validate func(sp Spec) error
+	// Build constructs the scenario on a freshly booted machine.
+	Build func(m *sgx.Machine, sp Spec, seed int64) (*Instance, error)
+}
+
+var (
+	tableMu sync.RWMutex
+	// table holds descriptors in registration order. guarded by tableMu
+	table []Descriptor
+	// tableIdx indexes table by name. guarded by tableMu
+	tableIdx = make(map[string]int)
+)
+
+// Register adds a scenario to this package's builder table and to the
+// shared workloads registry (as a Scenario entry), so the name shows
+// up in every derived listing. Package init calls it; duplicates
+// panic.
+func Register(d Descriptor) {
+	if d.Name == "" || d.Build == nil || d.Defaults == nil {
+		panic(fmt.Sprintf("scenario: incomplete descriptor %+v", d))
+	}
+	workloads.Register(workloads.Descriptor{Name: d.Name, Property: d.Property, Scenario: true})
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if _, dup := tableIdx[d.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", d.Name))
+	}
+	tableIdx[d.Name] = len(table)
+	table = append(table, d)
+}
+
+// Lookup resolves a registered scenario by name.
+func Lookup(name string) (Descriptor, bool) {
+	tableMu.RLock()
+	defer tableMu.RUnlock()
+	i, ok := tableIdx[name]
+	if !ok {
+		return Descriptor{}, false
+	}
+	return table[i], true
+}
+
+// Names lists the registered scenario names in registration order.
+func Names() []string {
+	tableMu.RLock()
+	defer tableMu.RUnlock()
+	out := make([]string, len(table))
+	for i, d := range table {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Validate checks the envelope: schema version, a registered name
+// (unknown names list the valid ones), and a sane enclave count,
+// then the scenario's own shape rules.
+func (sp Spec) Validate() error {
+	if sp.Version != SchemaVersion {
+		return fmt.Errorf("scenario: unsupported envelope version %d (this build speaks %d)", sp.Version, SchemaVersion)
+	}
+	d, ok := Lookup(sp.Name)
+	if !ok {
+		return fmt.Errorf("scenario: unknown scenario %q (valid: %s)", sp.Name, workloads.ValidScenarioList())
+	}
+	if len(sp.Enclaves) > maxEnclaves {
+		return fmt.Errorf("scenario: %d enclaves exceeds the %d-enclave limit", len(sp.Enclaves), maxEnclaves)
+	}
+	if d.Validate != nil {
+		return d.Validate(sp)
+	}
+	return nil
+}
+
+// Cast resolves the spec's enclave list, substituting the scenario's
+// defaults when the list is empty.
+func (sp Spec) Cast() []Enclave {
+	if len(sp.Enclaves) > 0 {
+		return sp.Enclaves
+	}
+	if d, ok := Lookup(sp.Name); ok {
+		return d.Defaults(0)
+	}
+	return nil
+}
+
+// New returns a versioned spec for the named scenario with its
+// default cast of n enclaves (n <= 0 means the scenario's preferred
+// count). Unknown names yield an error listing the valid ones.
+func New(name string, n int) (Spec, error) {
+	d, ok := Lookup(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (valid: %s)", name, workloads.ValidScenarioList())
+	}
+	return Spec{Version: SchemaVersion, Name: name, Enclaves: d.Defaults(n)}, nil
+}
+
+// workingSetPages maps an enclave's Size setting to a working set
+// relative to the machine's EPC, following the Table 1 convention:
+// Low fits comfortably, Medium nears the EPC, High exceeds it — so a
+// Medium/High cast of several enclaves contends hard for the EPC even
+// though each would fit alone.
+func workingSetPages(epcPages int, s workloads.Size) int {
+	switch s {
+	case workloads.Medium:
+		return (epcPages * 3) / 4
+	case workloads.High:
+		return (epcPages * 3) / 2
+	default:
+		return epcPages / 4
+	}
+}
+
+// launchEnclave boots one Native-mode environment with an enclave
+// sized for the given working set and returns it with the working
+// set's base address.
+func launchEnclave(m *sgx.Machine, wsPages int) (*sgx.Env, uint64, error) {
+	env := m.NewEnv(sgx.Native)
+	size := workloads.NativeImagePages + wsPages + 16
+	if _, err := env.LaunchEnclaveReserve(workloads.NativeImagePages, workloads.NativeImagePages, size); err != nil {
+		return nil, 0, err
+	}
+	base, err := env.Alloc(uint64(wsPages)*pageSize, pageSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	return env, base, nil
+}
+
+// pageSize mirrors mem.PageSize without importing it everywhere.
+const pageSize = 4096
+
+// pollCost is the simulated cost of one poll of a shared mailbox or
+// barrier while waiting for a co-resident enclave — an OCALL-free spin
+// on untrusted shared memory.
+const pollCost = 64
+
+// touchPages sweeps the working set [base, base+pages), one write per
+// page plus per-page compute, yielding to co-residents as it goes.
+// This is the EPC pressure loop every scenario's enclaves apply.
+func touchPages(p *sgx.Proc, base uint64, pages, stride int, salt uint64) uint64 {
+	t := p.T()
+	var sum uint64
+	for i := 0; i < pages; i += stride {
+		addr := base + uint64(i)*pageSize
+		v := t.ReadU64(addr) + salt + uint64(i)
+		t.WriteU64(addr, v)
+		sum ^= v
+		t.Compute(32)
+		if i%16 == 0 {
+			p.Yield()
+		}
+	}
+	return sum
+}

@@ -1,6 +1,9 @@
 // Package suite assembles the SGXGauge workloads into the benchmark
 // suite: the ten Table 2 workloads in paper order, plus the auxiliary
-// empty and iozone workloads used by Figures 6a and 10.
+// empty and iozone workloads used by Figures 6a and 10. Importing the
+// package registers every workload in the shared typed registry
+// (workloads.Register), which the wire codec, the daemon and the CLI
+// all derive their valid-name lists from.
 package suite
 
 import (
@@ -21,20 +24,46 @@ import (
 	"sgxgauge/internal/workloads/xsbench"
 )
 
+// tableOrder is the Table 2 suite in paper order; the auxiliary Empty
+// and Iozone workloads follow it in the registry.
+var tableOrder = []func() workloads.Workload{
+	func() workloads.Workload { return blockchain.New() },
+	func() workloads.Workload { return openssl.New() },
+	func() workloads.Workload { return btree.New() },
+	func() workloads.Workload { return hashjoin.New() },
+	func() workloads.Workload { return bfs.New() },
+	func() workloads.Workload { return pagerank.New() },
+	func() workloads.Workload { return memcached.New() },
+	func() workloads.Workload { return xsbench.New() },
+	func() workloads.Workload { return lighttpd.New() },
+	func() workloads.Workload { return svm.New() },
+}
+
+// auxiliary are the non-Table-2 workloads (Figures 6a and 10).
+var auxiliary = []func() workloads.Workload{
+	func() workloads.Workload { return empty.New() },
+	func() workloads.Workload { return iozone.New() },
+}
+
+func init() {
+	for _, ctor := range append(append([]func() workloads.Workload{}, tableOrder...), auxiliary...) {
+		w := ctor()
+		workloads.Register(workloads.Descriptor{
+			Name:       w.Name(),
+			Property:   w.Property(),
+			NativePort: w.NativePort(),
+			New:        ctor,
+		})
+	}
+}
+
 // All returns the ten suite workloads in Table 2 order.
 func All() []workloads.Workload {
-	return []workloads.Workload{
-		blockchain.New(),
-		openssl.New(),
-		btree.New(),
-		hashjoin.New(),
-		bfs.New(),
-		pagerank.New(),
-		memcached.New(),
-		xsbench.New(),
-		lighttpd.New(),
-		svm.New(),
+	out := make([]workloads.Workload, len(tableOrder))
+	for i, ctor := range tableOrder {
+		out[i] = ctor()
 	}
+	return out
 }
 
 // Native returns the six workloads with Native-mode ports.
@@ -54,15 +83,17 @@ func Empty() workloads.Workload { return empty.New() }
 // Iozone returns the filesystem benchmark of Figure 10.
 func Iozone() workloads.Workload { return iozone.New() }
 
-// ByName resolves a workload by its Table 2 name (case-sensitive),
-// including the auxiliary Empty and Iozone workloads.
+// ByName resolves a workload by its registry name (case-sensitive),
+// including the auxiliary Empty and Iozone workloads. Unknown — or
+// scenario — names yield an error listing every valid workload name,
+// so a mistyped CLI flag or wire request reports what would have
+// worked.
 func ByName(name string) (workloads.Workload, error) {
-	for _, w := range append(All(), Empty(), Iozone()) {
-		if w.Name() == name {
-			return w, nil
-		}
+	d, ok := workloads.Lookup(name)
+	if !ok || d.Scenario {
+		return nil, fmt.Errorf("suite: unknown workload %q (valid: %s)", name, workloads.ValidWorkloadList())
 	}
-	return nil, fmt.Errorf("suite: unknown workload %q", name)
+	return d.New(), nil
 }
 
 // Names returns the names of the ten suite workloads in order.
